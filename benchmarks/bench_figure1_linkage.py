@@ -1,0 +1,64 @@
+"""FIG1 — the paper's Figure 1 linkage diagram.
+
+Parses the exact example sentence, checks the headline verb–object
+link between "is" and "144/90", and verifies the shortest-distance
+association assigns each vital its own number.
+"""
+
+from conftest import print_table
+
+from repro.linkgrammar import (
+    ASSOCIATION_WEIGHTS,
+    LinkGrammarParser,
+    nearest_word,
+)
+
+FIGURE1 = (
+    "blood pressure is 144/90 , pulse of 84 , temperature of 98.3 , "
+    "and weight of 154 pounds ."
+).split()
+
+EXPECTED_ASSOCIATION = {
+    "pressure": "144/90",
+    "pulse": "84",
+    "temperature": "98.3",
+    "weight": "154",
+}
+
+
+def test_figure1_linkage(benchmark):
+    parser = LinkGrammarParser(max_linkages=4)
+    linkage = benchmark(lambda: parser.parse_one(FIGURE1))
+
+    links = {
+        (linkage.words[l.left], linkage.words[l.right]): l.label
+        for l in linkage.links
+    }
+    # "The link between 'is' and '144/90' represents a verb-object
+    # relation (denoted by notation 'O')."
+    assert links.get(("is", "144/90")) == "O"
+    assert links.get(("blood", "pressure")) == "AN"
+    assert linkage.is_planar() and linkage.is_connected()
+
+    numbers = [
+        i
+        for i, w in enumerate(linkage.words)
+        if w in EXPECTED_ASSOCIATION.values()
+    ]
+    rows = []
+    for feature, expected in EXPECTED_ASSOCIATION.items():
+        position = linkage.words.index(feature)
+        best, distance = nearest_word(
+            linkage, position, numbers, weights=ASSOCIATION_WEIGHTS
+        )
+        got = linkage.words[best]
+        rows.append((feature, expected, got, f"{distance:.2f}"))
+        assert got == expected
+
+    print_table(
+        "Figure 1: feature-number association via linkage distance",
+        ["feature", "paper", "measured", "distance"],
+        rows,
+    )
+    print(linkage.diagram())
+    benchmark.extra_info["links"] = len(linkage.links)

@@ -1,0 +1,50 @@
+"""FIG2 — the Figure 2 system architecture, end to end.
+
+Record files → section split → NLP → three extractors → result
+database, measured as throughput over the cohort.
+"""
+
+from conftest import print_table
+
+from repro import RecordExtractor, ResultStore, split_record
+
+
+def test_full_pipeline_throughput(benchmark, small_cohort):
+    records, golds = small_cohort
+    extractor = RecordExtractor()
+    extractor.train_categorical(records, golds)
+
+    def run():
+        store = ResultStore()
+        reparsed = [split_record(r.raw_text) for r in records]
+        results = extractor.extract_all(reparsed)
+        store.save_all(results)
+        return store, results
+
+    store, results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    assert len(store.patients()) == len(records)
+    filled_numeric = sum(
+        1
+        for result in results
+        for v in result.numeric.values()
+        if v is not None
+    )
+    print_table(
+        "Figure 2 pipeline (20 records end to end)",
+        ["stage", "output"],
+        [
+            ("records stored", len(store.patients())),
+            ("numeric cells filled", filled_numeric),
+            ("term cells filled", sum(
+                len(t) for r in results for t in r.terms.values()
+            )),
+            ("categorical cells filled", sum(
+                1
+                for r in results
+                for v in r.categorical.values()
+                if v is not None
+            )),
+        ],
+    )
+    assert filled_numeric == 8 * len(records)

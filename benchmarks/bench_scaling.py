@@ -1,0 +1,61 @@
+"""SCALE — the introduction's motivation, quantified.
+
+"Means to systematically examine patient charts will provide a method
+for clinicians to examine a significantly larger set of cases."
+Manual chart review is "infinitely time-consuming"; the system's value
+is linear-time throughput.  This bench measures records/second across
+cohort sizes and checks the pipeline scales linearly (no accidental
+quadratic behaviour in the NLP or parser layers).
+"""
+
+import time
+
+from conftest import print_table
+
+from repro.extraction import NumericExtractor, TermExtractor
+from repro.synth import CohortSpec, RecordGenerator
+
+SIZES = (5, 10, 20)
+
+
+def _cohort(size: int):
+    return RecordGenerator(seed=13).generate_cohort(
+        CohortSpec(
+            size=size,
+            smoking_counts={
+                "never": size - 3, "current": 1, "former": 1, None: 1,
+            },
+        )
+    )
+
+
+def test_extraction_scales_linearly(benchmark):
+    numeric = NumericExtractor()
+    terms = TermExtractor()
+
+    def run():
+        rows = []
+        for size in SIZES:
+            records, _ = _cohort(size)
+            started = time.perf_counter()
+            for record in records:
+                numeric.extract_record(record)
+                terms.extract_record(record)
+            elapsed = time.perf_counter() - started
+            rows.append(
+                (size, f"{elapsed:.2f}s", f"{size / elapsed:.1f}",
+                 elapsed)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Extraction throughput vs cohort size",
+        ["records", "elapsed", "records/s"],
+        [row[:3] for row in rows],
+    )
+
+    # Per-record cost must not grow with cohort size (linear scaling);
+    # allow 2x jitter for small samples.
+    per_record = [row[3] / row[0] for row in rows]
+    assert per_record[-1] <= per_record[0] * 2.0

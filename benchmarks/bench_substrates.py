@@ -1,0 +1,88 @@
+"""Substrate micro-benchmarks: the building blocks' raw speed.
+
+Not a paper artifact — these guard against performance regressions in
+the layers every experiment depends on.
+"""
+
+from repro.linkgrammar import LinkGrammarParser
+from repro.ml import Dataset, ID3Classifier
+from repro.nlp import analyze, tokenize
+from repro.ontology import default_ontology
+
+FIGURE1 = (
+    "Blood pressure is 144/90, pulse of 84, temperature of 98.3, and "
+    "weight of 154 pounds."
+)
+
+
+def test_tokenizer_speed(benchmark):
+    text = FIGURE1 * 20
+    tokens = benchmark(lambda: tokenize(text))
+    assert len(tokens) >= 300
+
+
+def test_nlp_pipeline_speed(benchmark):
+    document = benchmark(lambda: analyze(FIGURE1))
+    assert len(document.numbers()) == 4
+
+
+def test_parser_speed_figure1(benchmark):
+    parser = LinkGrammarParser(max_linkages=1)
+    words = [w.lower() for w in tokenize(FIGURE1)]
+    linkage = benchmark(lambda: parser.parse_one(words))
+    assert linkage.is_connected()
+
+
+def test_ontology_lookup_speed(benchmark):
+    ontology = default_ontology()
+    matches = benchmark(
+        lambda: ontology.lookup("high blood pressures")
+    )
+    assert matches
+
+
+def test_parser_length_scaling(benchmark):
+    """Parse time across sentence lengths (the O(n³) curve).
+
+    Sentences grow by appending "pulse of N" conjuncts to the Figure 1
+    frame, the dictation pattern that actually gets long in practice.
+    """
+    import time
+
+    parser = LinkGrammarParser(max_linkages=1, max_words=60)
+
+    def sentence(conjuncts: int) -> list[str]:
+        words = "blood pressure is 144/90".split()
+        for i in range(conjuncts):
+            words += [",", "pulse", "of", str(60 + i)]
+        return words + ["."]
+
+    def run():
+        timings = []
+        for conjuncts in (2, 4, 8, 12):
+            words = sentence(conjuncts)
+            started = time.perf_counter()
+            linkage = parser.parse_one(words)
+            elapsed = time.perf_counter() - started
+            assert linkage.is_connected()
+            timings.append((len(words), elapsed))
+        return timings
+
+    timings = benchmark.pedantic(run, rounds=1, iterations=1)
+    for length, elapsed in timings:
+        print(f"  {length:3d} words: {elapsed * 1000:7.1f} ms")
+    # Polynomial, not exponential: 3x the words may cost ~30x the
+    # time (n^3), but must stay well under 1000x.
+    first, last = timings[0][1], timings[-1][1]
+    assert last < max(first, 1e-4) * 1000
+
+
+def test_id3_training_speed(benchmark):
+    pairs = []
+    for i in range(60):
+        pairs.append(((f"quit", f"n{i}"), "former"))
+        pairs.append(((f"current", f"n{i+100}"), "current"))
+        pairs.append(((f"never", f"n{i+200}"), "never"))
+    dataset = Dataset.from_pairs(pairs)
+    classifier = benchmark(lambda: ID3Classifier().fit(dataset))
+    assert classifier.features_used()

@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench works from the same deterministic paper cohort: 50
+records, consistent dictation style, smoking composition 28 never /
+12 current / 5 former / 5 missing (§5).
+"""
+
+import pytest
+
+from repro.eval import paper_cohort
+from repro.synth import CohortSpec, DictationStyle, RecordGenerator
+
+PAPER_SEED = 42
+
+
+@pytest.fixture(scope="session")
+def cohort():
+    """The paper's 50-record evaluation data set."""
+    return paper_cohort(seed=PAPER_SEED)
+
+
+@pytest.fixture(scope="session")
+def small_cohort():
+    """A 20-record cohort for the heavier ablation sweeps."""
+    generator = RecordGenerator(seed=PAPER_SEED)
+    spec = CohortSpec(
+        size=20,
+        smoking_counts={"never": 11, "current": 5, "former": 3, None: 1},
+    )
+    return generator.generate_cohort(spec)
+
+
+def varied_cohort(level: float, size: int = 20, seed: int = 7):
+    """A cohort dictated with the given style-variability level."""
+    generator = RecordGenerator(
+        style=DictationStyle.varied(level), seed=seed
+    )
+    spec = CohortSpec(
+        size=size,
+        smoking_counts={
+            "never": size - 9, "current": 5, "former": 3, None: 1,
+        },
+    )
+    return generator.generate_cohort(spec)
+
+
+def print_table(title: str, headers: list[str], rows: list[tuple]):
+    """Uniform fixed-width table output for all benches."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,76 @@
+"""Link grammar parsing and the shortest-distance association (§3.1).
+
+Parses clinical sentences, prints their linkage diagrams (the paper's
+Figure 1), converts linkages into weighted word graphs, and shows how
+each feature finds its number — including the pattern fallback on an
+unparseable fragment.
+
+Run:  python examples/link_diagram.py
+"""
+
+from repro import LinkGrammarParser
+from repro.errors import ParseFailure
+from repro.extraction import NumericExtractor
+from repro.extraction.schema import attribute
+from repro.linkgrammar import ASSOCIATION_WEIGHTS, linkage_distances
+from repro.nlp import analyze
+
+SENTENCES = [
+    "Blood pressure is 144/90, pulse of 84, temperature of 98.3, "
+    "and weight of 154 pounds.",
+    "She quit smoking five years ago.",
+    "She has never smoked.",
+    "Menarche at age 10, gravida 4, para 3.",
+    "Blood pressure: 144/90.",  # fragment: the parser must fail
+]
+
+
+def main() -> None:
+    parser = LinkGrammarParser(max_linkages=4)
+    for text in SENTENCES:
+        print("=" * 70)
+        print(text)
+        document = analyze(text)
+        tokens = document.tokens()
+        words = [document.span_text(t).lower() for t in tokens]
+        tags = [t.features.get("pos", "NN") for t in tokens]
+        try:
+            linkage = parser.parse_one(words, tags)
+        except ParseFailure as failure:
+            print(f"  no linkage ({failure.reason}) -> "
+                  "pattern approach takes over")
+            continue
+        print(linkage.diagram())
+        print(f"  cost={linkage.cost}, planar={linkage.is_planar()}, "
+              f"connected={linkage.is_connected()}")
+
+        numbers = [
+            i
+            for i, w in enumerate(linkage.words)
+            if w and w[0].isdigit()
+        ]
+        if numbers:
+            print("  distances from each number "
+                  "(weighted by link type):")
+            for n in numbers:
+                distances = linkage_distances(
+                    linkage, n, weights=ASSOCIATION_WEIGHTS
+                )
+                nearest = sorted(
+                    (d, linkage.words[i])
+                    for i, d in distances.items()
+                    if i != n and i != 0
+                )[:3]
+                print(f"    {linkage.words[n]:8s} -> {nearest}")
+
+    print("=" * 70)
+    print("numeric extraction over the fragment (pattern fallback):")
+    extraction = NumericExtractor().extract_attribute(
+        attribute("blood_pressure"), "Blood pressure: 144/90."
+    )
+    print(f"  blood_pressure = {extraction.value} "
+          f"via {extraction.method.value}")
+
+
+if __name__ == "__main__":
+    main()

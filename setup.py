@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so
+PEP 517 editable installs fail.  This shim lets
+``pip install -e . --no-build-isolation`` (and plain
+``pip install -e .`` on pip configured for legacy installs) use the
+classic ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

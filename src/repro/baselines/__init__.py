@@ -1,0 +1,22 @@
+"""Baselines the paper positions itself against (§2).
+
+The related-work section contrasts the system's unsupervised
+link-grammar association with supervised linguistic-pattern learners
+(AutoSlog, PALKA, CRYSTAL, WHISK), declining them because "supervised
+pattern learning is costly".  :mod:`repro.baselines.pattern_induction`
+implements a WHISK-style learner for the numeric-association task so
+that claim is measurable: the benchmark sweeps training-set size and
+compares against the zero-training link-grammar method.
+"""
+
+from repro.baselines.pattern_induction import (
+    InducedPattern,
+    PatternInducer,
+    PatternNumericBaseline,
+)
+
+__all__ = [
+    "InducedPattern",
+    "PatternInducer",
+    "PatternNumericBaseline",
+]

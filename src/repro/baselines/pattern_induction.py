@@ -1,0 +1,347 @@
+"""WHISK-style supervised pattern induction for numeric association.
+
+§2: "AutoSlog, PALKA, CRYSTAL and WHISK all can automatically induce
+linguistic patterns from training examples.  However, supervised
+pattern learning is costly.  Instead, we use an unsupervised approach
+[the link grammar]."  This module implements the road not taken so the
+cost is measurable.
+
+A pattern is a *gap template* anchored on the feature keyword::
+
+    FEATURE of NUM         gap=("of",)        direction=+1
+    FEATURE is NUM         gap=("is",)        direction=+1
+    FEATURE * * NUM        gap=("*", "*")     direction=+1
+
+Induction is WHISK-flavoured: every training instance contributes its
+literal gap and all wildcard generalizations; candidates are scored by
+Laplacian accuracy over the training set and kept greedily.  At
+prediction time patterns apply in score order; the first one that
+reaches a number wins.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+
+from repro.extraction.features import FeatureLexicon
+from repro.extraction.numeric import Method, NumericExtraction
+from repro.extraction.schema import (
+    NUMERIC_ATTRIBUTES,
+    NumericAttribute,
+)
+from repro.nlp.document import Annotation, Document
+from repro.nlp.pipeline import Pipeline, default_pipeline
+from repro.records.model import PatientRecord
+from repro.synth.gold import GoldAnnotations
+
+WILDCARD = "*"
+
+
+@dataclass(frozen=True)
+class InducedPattern:
+    """A learned gap template with its training statistics."""
+
+    gap: tuple[str, ...]
+    direction: int  # +1: number right of feature; -1: left
+    support: int = 0
+    errors: int = 0
+
+    @property
+    def laplacian_accuracy(self) -> float:
+        """(support + 1) / (support + errors + 2) — WHISK's ranking."""
+        return (self.support + 1) / (self.support + self.errors + 2)
+
+    def specificity(self) -> int:
+        """Literal tokens in the gap (more = more specific)."""
+        return sum(1 for t in self.gap if t != WILDCARD)
+
+    def apply(
+        self,
+        tokens: list[str],
+        feature_span: tuple[int, int],
+        number_indices: list[int],
+    ) -> int | None:
+        """Index of the number this pattern reaches, or ``None``."""
+        start, end = feature_span
+        numbers = set(number_indices)
+        if self.direction > 0:
+            target = end + len(self.gap)
+            gap = tokens[end:target]
+        else:
+            target = start - len(self.gap) - 1
+            if target < 0:
+                return None
+            gap = tokens[target + 1:start]
+        if len(gap) != len(self.gap):
+            return None
+        if target not in numbers:
+            return None
+        for literal, token in zip(self.gap, gap):
+            if literal != WILDCARD and literal != token.lower():
+                return None
+        return target
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        gap = " ".join(self.gap) or "(adjacent)"
+        side = "NUM" if self.direction > 0 else "FEATURE"
+        other = "FEATURE" if self.direction > 0 else "NUM"
+        return (f"{other} {gap} {side}  "
+                f"[{self.support}+/{self.errors}-]")
+
+
+@dataclass(frozen=True)
+class TrainingInstance:
+    """One labelled association decision."""
+
+    tokens: tuple[str, ...]
+    feature_span: tuple[int, int]
+    number_indices: tuple[int, ...]
+    gold_index: int
+
+
+class PatternInducer:
+    """Learns an ordered pattern list from labelled instances."""
+
+    def __init__(
+        self, max_gap: int = 4, min_support: int = 1,
+        min_accuracy: float = 0.5,
+    ) -> None:
+        self.max_gap = max_gap
+        self.min_support = min_support
+        self.min_accuracy = min_accuracy
+
+    def induce(
+        self, instances: list[TrainingInstance]
+    ) -> list[InducedPattern]:
+        candidates = self._candidates(instances)
+        scored: list[InducedPattern] = []
+        for pattern in candidates:
+            support = errors = 0
+            for instance in instances:
+                predicted = pattern.apply(
+                    list(instance.tokens),
+                    instance.feature_span,
+                    list(instance.number_indices),
+                )
+                if predicted is None:
+                    continue
+                if predicted == instance.gold_index:
+                    support += 1
+                else:
+                    errors += 1
+            if support < self.min_support:
+                continue
+            pattern = replace(pattern, support=support, errors=errors)
+            if pattern.laplacian_accuracy < self.min_accuracy:
+                continue
+            scored.append(pattern)
+        # Best accuracy first; ties prefer specific over wildcarded
+        # and short gaps over long.
+        scored.sort(
+            key=lambda p: (
+                -p.laplacian_accuracy,
+                -p.specificity(),
+                len(p.gap),
+            )
+        )
+        return scored
+
+    def _candidates(
+        self, instances: list[TrainingInstance]
+    ) -> list[InducedPattern]:
+        seen: set[tuple[tuple[str, ...], int]] = set()
+        out: list[InducedPattern] = []
+        for instance in instances:
+            start, end = instance.feature_span
+            g = instance.gold_index
+            if g >= end:
+                gap = tuple(
+                    t.lower() for t in instance.tokens[end:g]
+                )
+                direction = 1
+            else:
+                gap = tuple(
+                    t.lower() for t in instance.tokens[g + 1:start]
+                )
+                direction = -1
+            if len(gap) > self.max_gap:
+                continue
+            for variant in self._generalizations(gap):
+                key = (variant, direction)
+                if key not in seen:
+                    seen.add(key)
+                    out.append(
+                        InducedPattern(gap=variant, direction=direction)
+                    )
+        return out
+
+    @staticmethod
+    def _generalizations(
+        gap: tuple[str, ...]
+    ) -> list[tuple[str, ...]]:
+        """The literal gap plus every wildcard substitution."""
+        positions = range(len(gap))
+        variants: list[tuple[str, ...]] = []
+        for k in range(len(gap) + 1):
+            for wild in itertools.combinations(positions, k):
+                variants.append(
+                    tuple(
+                        WILDCARD if i in wild else token
+                        for i, token in enumerate(gap)
+                    )
+                )
+        return variants
+
+
+class PatternNumericBaseline:
+    """Numeric extractor driven purely by induced patterns.
+
+    API-compatible with the pieces of
+    :class:`~repro.extraction.numeric.NumericExtractor` the evaluation
+    uses, so :func:`repro.eval.numeric_experiment` accepts it.
+    """
+
+    def __init__(
+        self,
+        attributes: tuple[NumericAttribute, ...] = NUMERIC_ATTRIBUTES,
+        pipeline: Pipeline | None = None,
+        inducer: PatternInducer | None = None,
+    ) -> None:
+        self.attributes = attributes
+        self.pipeline = pipeline or default_pipeline()
+        self.inducer = inducer or PatternInducer()
+        self._lexicons = {
+            a.name: FeatureLexicon(a) for a in attributes
+        }
+        self._patterns: dict[str, list[InducedPattern]] = {}
+
+    # ------------------------------------------------------------ train
+
+    def train(
+        self,
+        records: list[PatientRecord],
+        golds: list[GoldAnnotations],
+    ) -> dict[str, int]:
+        """Induce per-attribute patterns; returns pattern counts."""
+        instances: dict[str, list[TrainingInstance]] = {
+            a.name: [] for a in self.attributes
+        }
+        for record, gold in zip(records, golds):
+            for attr in self.attributes:
+                expected = gold.numeric.get(attr.name)
+                if expected is None:
+                    continue
+                text = record.section_text(attr.section)
+                if not text:
+                    continue
+                instances[attr.name].extend(
+                    self._instances(attr, text, expected)
+                )
+        counts: dict[str, int] = {}
+        for attr in self.attributes:
+            self._patterns[attr.name] = self.inducer.induce(
+                instances[attr.name]
+            )
+            counts[attr.name] = len(self._patterns[attr.name])
+        return counts
+
+    def _instances(
+        self, attr: NumericAttribute, text: str, expected
+    ) -> list[TrainingInstance]:
+        document = self.pipeline.process_text(text)
+        out: list[TrainingInstance] = []
+        target = (
+            tuple(expected)
+            if isinstance(expected, (tuple, list))
+            else expected
+        )
+        for sentence in document.sentences():
+            tokens = document.tokens(sentence)
+            texts = [document.span_text(t) for t in tokens]
+            numbers = self._numbers(attr, document, sentence, tokens)
+            gold_index = next(
+                (i for i, v in numbers if v == target), None
+            )
+            if gold_index is None:
+                continue
+            for mention in self._lexicons[attr.name].find(
+                document, tokens
+            ):
+                out.append(
+                    TrainingInstance(
+                        tokens=tuple(texts),
+                        feature_span=(
+                            mention.start_token, mention.end_token,
+                        ),
+                        number_indices=tuple(i for i, _ in numbers),
+                        gold_index=gold_index,
+                    )
+                )
+        return out
+
+    # ---------------------------------------------------------- extract
+
+    def extract_record(
+        self, record: PatientRecord
+    ) -> dict[str, NumericExtraction | None]:
+        results: dict[str, NumericExtraction | None] = {}
+        for attr in self.attributes:
+            text = record.section_text(attr.section)
+            results[attr.name] = (
+                self.extract_attribute(attr, text) if text else None
+            )
+        return results
+
+    def extract_attribute(
+        self, attr: NumericAttribute, text: str
+    ) -> NumericExtraction | None:
+        document = self.pipeline.process_text(text)
+        patterns = self._patterns.get(attr.name, [])
+        for sentence in document.sentences():
+            tokens = document.tokens(sentence)
+            texts = [document.span_text(t) for t in tokens]
+            numbers = self._numbers(attr, document, sentence, tokens)
+            if not numbers:
+                continue
+            by_index = dict(numbers)
+            indices = [i for i, _ in numbers]
+            for mention in self._lexicons[attr.name].find(
+                document, tokens
+            ):
+                span = (mention.start_token, mention.end_token)
+                for pattern in patterns:
+                    hit = pattern.apply(texts, span, indices)
+                    if hit is None:
+                        continue
+                    return NumericExtraction(
+                        attribute=attr.name,
+                        value=by_index[hit],
+                        method=Method.PATTERN,
+                        sentence=document.span_text(sentence),
+                    )
+        return None
+
+    @staticmethod
+    def _numbers(
+        attr: NumericAttribute,
+        document: Document,
+        sentence: Annotation,
+        tokens: list[Annotation],
+    ) -> list[tuple[int, float | tuple[float, float]]]:
+        token_starts = {t.start: i for i, t in enumerate(tokens)}
+        out: list[tuple[int, float | tuple[float, float]]] = []
+        for number in document.numbers(sentence):
+            index = token_starts.get(number.start)
+            if index is None:
+                continue
+            is_ratio = number.features.get("form") == "ratio"
+            if attr.is_ratio != is_ratio:
+                continue
+            value = (
+                number.features["values"][:2]
+                if is_ratio
+                else number.features["value"]
+            )
+            out.append((index, value))
+        return out

@@ -1,0 +1,260 @@
+"""Command-line interface: the system as an operational tool.
+
+Subcommands mirror the paper's workflow end to end::
+
+    python -m repro generate --count 50 --output notes/
+    python -m repro extract  --input notes/ --gold notes/gold.json \\
+                             --db study.db
+    python -m repro parse "Blood pressure is 144/90, pulse of 84."
+    python -m repro analyze "She quit smoking five years ago."
+    python -m repro evaluate --experiment smoking
+
+``generate`` writes ASCII record files plus a ``gold.json`` standing
+in for the medical student's manual coding; ``extract`` trains the
+categorical models on that gold and fills a SQLite research database;
+``parse`` prints the link grammar arc diagram; ``evaluate`` reruns a
+paper experiment from scratch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ParseFailure, ReproError
+from repro.eval import (
+    numeric_experiment,
+    paper_cohort,
+    smoking_experiment,
+    table1_experiment,
+)
+from repro.extraction.pipeline import RecordExtractor
+from repro.linkgrammar.parser import LinkGrammarParser
+from repro.nlp.pipeline import analyze
+from repro.records.loader import load_records, save_records
+from repro.storage.db import ResultStore
+from repro.synth.generator import CohortSpec, RecordGenerator
+from repro.synth.gold import GoldAnnotations
+from repro.synth.styles import DictationStyle
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Clinical record information extraction "
+                    "(Zhou et al., ICDE 2005 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser(
+        "generate", help="generate a synthetic cohort of record files"
+    )
+    generate.add_argument("--count", type=int, default=50)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument(
+        "--style", choices=["consistent", "varied"], default="consistent"
+    )
+    generate.add_argument(
+        "--level", type=float, default=0.5,
+        help="variability level for --style varied",
+    )
+    generate.add_argument("--output", required=True, type=Path)
+
+    extract = sub.add_parser(
+        "extract", help="extract all attributes into a SQLite database"
+    )
+    extract.add_argument("--input", required=True, type=Path)
+    extract.add_argument("--db", required=True, type=Path)
+    extract.add_argument(
+        "--gold", type=Path, default=None,
+        help="gold.json used to train the categorical classifiers; "
+             "without it categorical fields are skipped",
+    )
+    extract.add_argument(
+        "--models", type=Path, default=None,
+        help="directory of saved categorical models (alternative to "
+             "--gold); with --gold, trained models are saved there",
+    )
+    extract.add_argument(
+        "--csv", type=Path, default=None,
+        help="also export one wide CSV row per patient",
+    )
+
+    parse_cmd = sub.add_parser(
+        "parse", help="print the link grammar diagram of a sentence"
+    )
+    parse_cmd.add_argument("sentence")
+    parse_cmd.add_argument(
+        "--all", action="store_true", help="show every linkage"
+    )
+
+    analyze_cmd = sub.add_parser(
+        "analyze", help="tokenize/tag/number-annotate a sentence"
+    )
+    analyze_cmd.add_argument("text")
+
+    evaluate = sub.add_parser(
+        "evaluate", help="re-run a paper experiment"
+    )
+    evaluate.add_argument(
+        "--experiment",
+        choices=["numeric", "table1", "smoking", "all"],
+        default="smoking",
+    )
+    evaluate.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+# ------------------------------------------------------------ commands
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    style = (
+        DictationStyle.consistent()
+        if args.style == "consistent"
+        else DictationStyle.varied(args.level)
+    )
+    generator = RecordGenerator(style=style, seed=args.seed)
+    if args.count == 50:
+        spec = CohortSpec.paper()
+    else:
+        never = max(args.count - 2 - args.count // 4, 0)
+        spec = CohortSpec(
+            size=args.count,
+            smoking_counts={
+                "never": never,
+                "current": args.count // 4,
+                "former": 1,
+                None: 1,
+            },
+        )
+    records, golds = generator.generate_cohort(spec)
+    paths = save_records(records, args.output)
+    gold_path = args.output / "gold.json"
+    gold_path.write_text(
+        json.dumps([g.to_dict() for g in golds], indent=1)
+    )
+    print(f"wrote {len(paths)} records and gold.json to {args.output}")
+    return 0
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    records = list(load_records(args.input))
+    extractor = RecordExtractor()
+    if args.gold is None and args.models is not None:
+        loaded = extractor.load_models(args.models)
+        print(f"loaded {loaded} categorical models from {args.models}")
+    if args.gold is not None:
+        golds_by_id = {
+            g.patient_id: g
+            for g in (
+                GoldAnnotations.from_dict(d)
+                for d in json.loads(args.gold.read_text())
+            )
+        }
+        paired = [
+            (r, golds_by_id[r.patient_id])
+            for r in records
+            if r.patient_id in golds_by_id
+        ]
+        extractor.train_categorical(
+            [r for r, _ in paired], [g for _, g in paired]
+        )
+        if args.models is not None:
+            extractor.save_models(args.models)
+            print(f"saved categorical models to {args.models}")
+    store = ResultStore(args.db)
+    results = extractor.extract_all(records)
+    store.save_all(results)
+    if args.csv is not None:
+        store.export_csv(args.csv)
+        print(f"exported CSV to {args.csv}")
+    filled = sum(
+        1 for r in results for v in r.numeric.values() if v is not None
+    )
+    print(
+        f"extracted {len(results)} records -> {args.db} "
+        f"({filled} numeric cells, categorical "
+        f"{'on' if extractor.categorical else 'off'})"
+    )
+    return 0
+
+
+def _cmd_parse(args: argparse.Namespace) -> int:
+    document = analyze(args.sentence)
+    tokens = document.tokens()
+    words = [document.span_text(t).lower() for t in tokens]
+    tags = [t.features.get("pos", "NN") for t in tokens]
+    parser = LinkGrammarParser()
+    try:
+        linkages = parser.parse(words, tags)
+    except ParseFailure as failure:
+        print(f"no linkage: {failure.reason}")
+        return 1
+    shown = linkages if args.all else linkages[:1]
+    for index, linkage in enumerate(shown):
+        print(f"linkage {index + 1}/{len(linkages)} "
+              f"(cost {linkage.cost}):")
+        print(linkage.pretty())
+        print()
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    document = analyze(args.text)
+    for sentence in document.sentences():
+        print(f"sentence: {document.span_text(sentence)!r}")
+        for token in document.tokens(sentence):
+            print(
+                f"  {document.span_text(token):16s} "
+                f"{token.features.get('pos', '?'):5s} "
+                f"{token.features['kind'].value}"
+            )
+    for number in document.numbers():
+        print(
+            f"number: {document.span_text(number)!r} -> "
+            f"{number.features.get('values', number.features['value'])}"
+        )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    records, golds = paper_cohort(seed=args.seed)
+    if args.experiment == "all":
+        from repro.eval.report import full_report
+
+        print(full_report(records, golds).render())
+    elif args.experiment == "numeric":
+        result = numeric_experiment(records, golds)
+        for name, p, r in result.rows():
+            print(f"{name:20s} P={p:.1%} R={r:.1%}")
+    elif args.experiment == "table1":
+        for name, (p, r) in table1_experiment(records, golds).items():
+            print(f"{name:36s} P={p:.1%} R={r:.1%}")
+    else:
+        result = smoking_experiment(records, golds)
+        print(result.summary())
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "extract": _cmd_extract,
+    "parse": _cmd_parse,
+    "analyze": _cmd_analyze,
+    "evaluate": _cmd_evaluate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

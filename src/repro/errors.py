@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError``, ``ValueError`` from misuse)
+propagate normally.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TokenizationError(ReproError):
+    """The tokenizer could not produce a token stream for the input."""
+
+
+class TaggingError(ReproError):
+    """The POS tagger failed on a token stream."""
+
+
+class DictionaryError(ReproError):
+    """A link-grammar dictionary entry is malformed."""
+
+
+class ParseFailure(ReproError):
+    """The link grammar parser found no complete linkage for a sentence.
+
+    This is an expected outcome for text fragments (e.g. ``blood
+    pressure: 144/90``); the numeric extractor catches it and falls back
+    to the pattern approach, exactly as the paper prescribes.
+    """
+
+    def __init__(self, words, reason: str = "no complete linkage"):
+        self.words = list(words)
+        self.reason = reason
+        super().__init__(f"{reason}: {' '.join(self.words)!r}")
+
+
+class OntologyError(ReproError):
+    """The ontology store is missing, corrupt, or queried incorrectly."""
+
+
+class SchemaError(ReproError):
+    """An extraction schema definition is inconsistent."""
+
+
+class RecordFormatError(ReproError):
+    """A patient record does not follow the semi-structured format."""
+
+
+class TrainingError(ReproError):
+    """A classifier cannot be trained (e.g. empty or degenerate data)."""
+
+
+class StorageError(ReproError):
+    """The result database rejected an operation."""

@@ -1,0 +1,40 @@
+"""Evaluation harness: the paper's measures and experiment runners."""
+
+from repro.eval.error_analysis import ErrorBreakdown, analyze_term_errors
+from repro.eval.stats import (
+    Interval,
+    accuracy_interval,
+    bootstrap,
+    precision_interval,
+    recall_interval,
+)
+from repro.eval.experiments import (
+    PAPER_COVERAGE,
+    TABLE1_PAPER,
+    NumericExperimentResult,
+    categorical_experiment,
+    numeric_experiment,
+    paper_cohort,
+    paper_ontology,
+    smoking_experiment,
+    table1_experiment,
+)
+
+__all__ = [
+    "ErrorBreakdown",
+    "analyze_term_errors",
+    "Interval",
+    "accuracy_interval",
+    "bootstrap",
+    "precision_interval",
+    "recall_interval",
+    "PAPER_COVERAGE",
+    "TABLE1_PAPER",
+    "NumericExperimentResult",
+    "categorical_experiment",
+    "numeric_experiment",
+    "paper_cohort",
+    "paper_ontology",
+    "smoking_experiment",
+    "table1_experiment",
+]

@@ -1,0 +1,217 @@
+"""Canonical experiment runners for the paper's evaluation (§5).
+
+Each function reproduces one measured artifact and returns structured
+results; ``benchmarks/`` wraps these in pytest-benchmark targets that
+print the same rows the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.extraction.categorical import (
+    CategoricalClassifier,
+    FeatureOptions,
+)
+from repro.extraction.numeric import NumericExtractor
+from repro.extraction.schema import (
+    NUMERIC_ATTRIBUTES,
+    TERMS_ATTRIBUTES,
+    attribute,
+)
+from repro.extraction.terms import TermExtractor
+from repro.ml.crossval import CrossValidationResult, cross_validate
+from repro.ml.metrics import (
+    ExtractionCounts,
+    micro_extraction,
+    score_extraction,
+)
+from repro.ontology.builder import default_ontology
+from repro.ontology.data.vocabulary import (
+    PREDEFINED_MEDICAL,
+    PREDEFINED_SURGICAL,
+)
+from repro.ontology.store import OntologyStore
+from repro.records.model import PatientRecord
+from repro.synth.generator import CohortSpec, RecordGenerator
+from repro.synth.gold import GoldAnnotations
+from repro.synth.styles import DictationStyle
+
+#: Ontology-degradation setting that reproduces Table 1: the long tail
+#: of "other" history terms is 90% covered; the study's predefined
+#: columns are always present.
+PAPER_COVERAGE = 0.9
+PAPER_COVERAGE_SEED = 5
+
+PREDEFINED_NAMES: frozenset[str] = frozenset(PREDEFINED_MEDICAL) | \
+    frozenset(PREDEFINED_SURGICAL)
+
+
+def paper_ontology(
+    coverage: float = PAPER_COVERAGE, seed: int = PAPER_COVERAGE_SEED
+) -> OntologyStore:
+    """The extraction-side ontology with paper-like incompleteness."""
+    return default_ontology().subset(
+        coverage, seed=seed, keep=set(PREDEFINED_NAMES)
+    )
+
+
+def paper_cohort(
+    style: DictationStyle | None = None, seed: int = 42
+) -> tuple[list[PatientRecord], list[GoldAnnotations]]:
+    """The 50-record cohort with the paper's smoking composition."""
+    generator = RecordGenerator(style=style, seed=seed)
+    return generator.generate_cohort(CohortSpec.paper())
+
+
+# ------------------------------------------------------------- numeric
+
+@dataclass
+class NumericExperimentResult:
+    """Per-attribute and overall numeric extraction P/R."""
+
+    per_attribute: dict[str, ExtractionCounts] = field(
+        default_factory=dict
+    )
+    methods: dict[str, int] = field(default_factory=dict)
+
+    def precision(self, name: str) -> float:
+        return self.per_attribute[name].precision()
+
+    def recall(self, name: str) -> float:
+        return self.per_attribute[name].recall()
+
+    def overall(self) -> tuple[float, float]:
+        return micro_extraction(list(self.per_attribute.values()))
+
+    def rows(self) -> list[tuple[str, float, float]]:
+        return [
+            (name, counts.precision(), counts.recall())
+            for name, counts in self.per_attribute.items()
+        ]
+
+
+def numeric_experiment(
+    records: list[PatientRecord],
+    golds: list[GoldAnnotations],
+    extractor: NumericExtractor | None = None,
+) -> NumericExperimentResult:
+    """§5 in-text result: P = R = 100% on all eight numeric attributes.
+
+    A value counts as correct only when it equals the gold exactly
+    (both components for blood pressure).
+    """
+    extractor = extractor or NumericExtractor()
+    result = NumericExperimentResult(
+        per_attribute={
+            a.name: ExtractionCounts() for a in NUMERIC_ATTRIBUTES
+        }
+    )
+    for record, gold in zip(records, golds):
+        extracted = extractor.extract_record(record)
+        for attr in NUMERIC_ATTRIBUTES:
+            counts = result.per_attribute[attr.name]
+            expected = gold.numeric.get(attr.name)
+            got = extracted.get(attr.name)
+            if expected is not None:
+                counts.tinst += 1
+            if got is None:
+                continue
+            counts.etotal += 1
+            result.methods[got.method.value] = (
+                result.methods.get(got.method.value, 0) + 1
+            )
+            value = got.value
+            target = (
+                tuple(expected)
+                if isinstance(expected, (tuple, list))
+                else expected
+            )
+            if value == target:
+                counts.etrue += 1
+    return result
+
+
+# --------------------------------------------------------------- terms
+
+#: Table 1 row order and the paper's reported numbers.
+TABLE1_PAPER: dict[str, tuple[float, float]] = {
+    "predefined_past_medical_history": (0.967, 0.967),
+    "other_past_medical_history": (0.761, 0.864),
+    "predefined_past_surgical_history": (0.778, 0.350),
+    "other_past_surgical_history": (0.620, 0.750),
+}
+
+
+def table1_experiment(
+    records: list[PatientRecord],
+    golds: list[GoldAnnotations],
+    ontology: OntologyStore | None = None,
+    use_synonyms: bool = False,
+) -> dict[str, tuple[float, float]]:
+    """Table 1: medical-term extraction P/R for the four attributes."""
+    extractor = TermExtractor(
+        ontology=ontology or paper_ontology(),
+        use_synonyms=use_synonyms,
+    )
+    per: dict[str, list[ExtractionCounts]] = {
+        a.name: [] for a in TERMS_ATTRIBUTES
+    }
+    for record, gold in zip(records, golds):
+        extracted = extractor.extract_record(record)
+        for name, counts in per.items():
+            counts.append(
+                score_extraction(extracted[name], gold.terms[name])
+            )
+    return {
+        name: micro_extraction(counts) for name, counts in per.items()
+    }
+
+
+# ---------------------------------------------------------- categorical
+
+def categorical_experiment(
+    attribute_name: str,
+    records: list[PatientRecord],
+    golds: list[GoldAnnotations],
+    options: FeatureOptions | None = None,
+    k: int = 5,
+    repetitions: int = 10,
+    seed: int = 0,
+) -> CrossValidationResult:
+    """The §5 protocol: repeated shuffled k-fold CV over one attribute.
+
+    Records without gold information for the attribute are excluded,
+    as the paper excludes its five subjects without smoking data.
+    """
+    attr = attribute(attribute_name)
+    classifier = CategoricalClassifier(attr, options=options)
+    texts: list[str] = []
+    labels: list[str] = []
+    for record, gold in zip(records, golds):
+        label = gold.categorical.get(attribute_name)
+        text = record.section_text(attr.section)
+        if label is None or not text:
+            continue
+        texts.append(text)
+        labels.append(label)
+    dataset = classifier.dataset(texts, labels)
+    return cross_validate(
+        dataset, k=k, repetitions=repetitions, seed=seed
+    )
+
+
+def smoking_experiment(
+    records: list[PatientRecord],
+    golds: list[GoldAnnotations],
+    seed: int = 0,
+) -> CrossValidationResult:
+    """§5's headline categorical result: avg P(R) 92.2%, 4-7 features."""
+    return categorical_experiment(
+        "smoking",
+        records,
+        golds,
+        options=FeatureOptions.smoking(),
+        seed=seed,
+    )

@@ -1,0 +1,72 @@
+"""Core extraction library — the paper's primary contribution.
+
+Three information types, three methods (§3):
+
+* numeric fields — :class:`~repro.extraction.numeric.NumericExtractor`
+  (link-grammar shortest-distance association, pattern fallback);
+* medical terms — :class:`~repro.extraction.terms.TermExtractor`
+  (POS patterns + normalized ontology lookup);
+* categorical fields —
+  :class:`~repro.extraction.categorical.CategoricalClassifier`
+  (NLP Boolean features + ID3).
+"""
+
+from repro.extraction.categorical import (
+    CategoricalClassifier,
+    FeatureOptions,
+    SentenceFeatureExtractor,
+)
+from repro.extraction.features import FeatureLexicon, FeatureMention
+from repro.extraction.medications import (
+    MedicationExtractor,
+    MedicationList,
+)
+from repro.extraction.numeric import (
+    Method,
+    NumericExtraction,
+    NumericExtractor,
+)
+from repro.extraction.pipeline import ExtractionResult, RecordExtractor
+from repro.extraction.schema import (
+    ALL_ATTRIBUTES,
+    CATEGORICAL_ATTRIBUTES,
+    FIELDS,
+    NUMERIC_ATTRIBUTES,
+    TERMS_ATTRIBUTES,
+    AttributeKind,
+    CategoricalAttribute,
+    NumericAttribute,
+    TermsAttribute,
+    attribute,
+    validate_schema,
+)
+from repro.extraction.terms import POS_PATTERNS, TermExtractor, TermHit
+
+__all__ = [
+    "CategoricalClassifier",
+    "FeatureOptions",
+    "SentenceFeatureExtractor",
+    "FeatureLexicon",
+    "FeatureMention",
+    "MedicationExtractor",
+    "MedicationList",
+    "Method",
+    "NumericExtraction",
+    "NumericExtractor",
+    "ExtractionResult",
+    "RecordExtractor",
+    "ALL_ATTRIBUTES",
+    "CATEGORICAL_ATTRIBUTES",
+    "FIELDS",
+    "NUMERIC_ATTRIBUTES",
+    "TERMS_ATTRIBUTES",
+    "AttributeKind",
+    "CategoricalAttribute",
+    "NumericAttribute",
+    "TermsAttribute",
+    "attribute",
+    "validate_schema",
+    "POS_PATTERNS",
+    "TermExtractor",
+    "TermHit",
+]

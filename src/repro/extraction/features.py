@@ -1,0 +1,76 @@
+"""Feature (field keyword) identification in sentences (§3.1).
+
+"One straightforward approach is an exact text search of the feature
+name.  In order to improve the recall of feature identification, we
+further introduce target synonyms and [inflected] variants of the
+feature and its synonyms."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.extraction.schema import NumericAttribute
+from repro.morphology.inflector import variants
+from repro.nlp.document import Annotation, Document
+
+
+@dataclass(frozen=True)
+class FeatureMention:
+    """A feature keyword occurrence: token index span [start, end)."""
+
+    attribute: str
+    start_token: int
+    end_token: int
+    surface: str
+
+    @property
+    def head_token(self) -> int:
+        """Index of the phrase head (last token of the mention)."""
+        return self.end_token - 1
+
+
+class FeatureLexicon:
+    """Expanded surface forms for a numeric attribute's feature.
+
+    Expansion happens once: keyword + synonyms, each with inflected
+    variants, stored as lowercase word tuples for token matching.
+    """
+
+    def __init__(self, attribute: NumericAttribute) -> None:
+        self.attribute = attribute
+        forms: list[tuple[str, ...]] = []
+        for base in (attribute.keyword, *attribute.synonyms):
+            for variant in variants(base, pos="noun"):
+                words = tuple(variant.split())
+                if words and words not in forms:
+                    forms.append(words)
+        # Longest first so "blood pressure" beats "pressure".
+        self.forms = sorted(forms, key=len, reverse=True)
+
+    def find(
+        self, document: Document, tokens: list[Annotation] | None = None
+    ) -> list[FeatureMention]:
+        """All mentions over the document's (or given) token list."""
+        tokens = document.tokens() if tokens is None else tokens
+        texts = [document.span_text(t).lower() for t in tokens]
+        mentions: list[FeatureMention] = []
+        i = 0
+        while i < len(texts):
+            matched = False
+            for form in self.forms:
+                if tuple(texts[i:i + len(form)]) == form:
+                    mentions.append(
+                        FeatureMention(
+                            attribute=self.attribute.name,
+                            start_token=i,
+                            end_token=i + len(form),
+                            surface=" ".join(form),
+                        )
+                    )
+                    i += len(form)
+                    matched = True
+                    break
+            if not matched:
+                i += 1
+        return mentions

@@ -1,0 +1,52 @@
+"""Medication and allergy list extraction (extension).
+
+The paper's schema stops at the 24 study attributes, but its record
+format carries two more coded lists — ``Medications`` and
+``Allergies`` — that the same §3.2 machinery (POS candidates +
+ontology lookup, here restricted to pharmacologic concepts) extracts
+directly.  This module is the natural "choose an appropriate medical
+database" extension §6 gestures at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.extraction.terms import TermExtractor
+from repro.ontology.concept import SemanticType
+from repro.records.model import PatientRecord
+
+
+@dataclass(frozen=True)
+class MedicationList:
+    """Coded medication/allergy content of one record."""
+
+    patient_id: str
+    medications: tuple[str, ...]
+    allergies: tuple[str, ...]
+
+
+class MedicationExtractor:
+    """Extracts drug concepts from the Medications/Allergies sections."""
+
+    def __init__(self, terms: TermExtractor | None = None) -> None:
+        self.terms = terms or TermExtractor()
+
+    def extract_record(self, record: PatientRecord) -> MedicationList:
+        return MedicationList(
+            patient_id=record.patient_id,
+            medications=self._drugs(record.section_text("Medications")),
+            allergies=self._drugs(record.section_text("Allergies")),
+        )
+
+    def _drugs(self, text: str) -> tuple[str, ...]:
+        if not text:
+            return ()
+        hits = self.terms.extract_terms(
+            text, semantic_types={SemanticType.DRUG}
+        )
+        seen: list[str] = []
+        for hit in hits:
+            if hit.concept_name not in seen:
+                seen.append(hit.concept_name)
+        return tuple(seen)

@@ -1,0 +1,413 @@
+"""Numeric field extraction (§3.1): link-grammar association with
+pattern fallback.
+
+The pipeline per attribute and sentence:
+
+1. identify feature mentions (keyword + synonyms + inflected variants);
+2. annotate numbers (done by the NLP pipeline);
+3. **associate**: parse the sentence with the link grammar parser,
+   convert the linkage to a weighted graph, and pick the number at the
+   shortest distance from the feature head ("the association of
+   feature and number in a sentence is equivalent to searching for the
+   node (feature) with the shortest distance from a fixed node");
+4. when the parser fails — fragments like ``blood pressure: 144/90`` —
+   fall back to the linguistic patterns ``CONCEPT is NUMBER``,
+   ``CONCEPT of NUMBER``, ``CONCEPT, NUMBER``, ``CONCEPT: NUMBER``;
+5. validate the value against the attribute's plausible range.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ParseFailure
+from repro.extraction.features import FeatureLexicon, FeatureMention
+from repro.extraction.schema import (
+    NUMERIC_ATTRIBUTES,
+    NumericAttribute,
+)
+from repro.linkgrammar.distance import ASSOCIATION_WEIGHTS, nearest_word
+from repro.linkgrammar.linkage import Linkage
+from repro.linkgrammar.parser import LinkGrammarParser
+from repro.nlp.document import Annotation, Document
+from repro.nlp.pipeline import Pipeline, default_pipeline
+from repro.records.model import PatientRecord
+
+#: Words the patterns allow between the feature and its number.
+_PATTERN_GAP_WORDS = frozenset(
+    {"is", "was", "are", "were", "of", ",", ":", "a", "an", "about",
+     "at", "approximately", "the"}
+)
+_PATTERN_WINDOW = 4  # max gap tokens between feature end and number
+
+
+class Method(str, Enum):
+    """How a value was associated with its feature."""
+
+    REGEX = "regex"          # attribute-specific surface pattern
+    LINKAGE = "linkage"      # link-grammar shortest distance
+    PATTERN = "pattern"      # CONCEPT is/of/,/: NUMBER fallback
+    PROXIMITY = "proximity"  # nearest number by token distance
+
+
+@dataclass(frozen=True)
+class NumericExtraction:
+    """One extracted numeric value with provenance."""
+
+    attribute: str
+    value: float | tuple[float, float]
+    method: Method
+    sentence: str
+
+
+@dataclass(frozen=True)
+class CandidateDistance:
+    """One candidate number and its distance from the feature."""
+
+    value: float | tuple[float, float]
+    token_index: int
+    graph_distance: float | None  # None when no linkage exists
+
+
+@dataclass(frozen=True)
+class AssociationExplanation:
+    """Audit trail for one feature→number association decision."""
+
+    attribute: str
+    sentence: str
+    feature_surface: str
+    parsed: bool
+    candidates: tuple[CandidateDistance, ...]
+    chosen: float | tuple[float, float] | None
+    method: Method | None
+
+    def render(self) -> str:
+        lines = [
+            f"{self.attribute}: {self.sentence!r}",
+            f"  feature: {self.feature_surface!r}  "
+            f"parsed: {self.parsed}",
+        ]
+        for candidate in self.candidates:
+            distance = (
+                f"{candidate.graph_distance:.2f}"
+                if candidate.graph_distance is not None
+                else "-"
+            )
+            marker = " <== chosen" if (
+                candidate.value == self.chosen
+            ) else ""
+            lines.append(
+                f"  candidate {candidate.value} "
+                f"(token {candidate.token_index}, "
+                f"distance {distance}){marker}"
+            )
+        lines.append(
+            f"  method: {self.method.value if self.method else 'none'}"
+        )
+        return "\n".join(lines)
+
+
+class NumericExtractor:
+    """Extracts the schema's eight numeric attributes from records."""
+
+    def __init__(
+        self,
+        attributes: tuple[NumericAttribute, ...] = NUMERIC_ATTRIBUTES,
+        parser: LinkGrammarParser | None = None,
+        pipeline: Pipeline | None = None,
+        use_linkage: bool = True,
+        use_patterns: bool = True,
+        use_proximity: bool = True,
+    ) -> None:
+        self.attributes = attributes
+        self.parser = parser or LinkGrammarParser()
+        self.pipeline = pipeline or default_pipeline()
+        self.use_linkage = use_linkage
+        self.use_patterns = use_patterns
+        self.use_proximity = use_proximity
+        self._lexicons = {
+            attr.name: FeatureLexicon(attr) for attr in attributes
+        }
+        self._linkage_cache: dict[str, Linkage | None] = {}
+
+    # ------------------------------------------------------------ public
+
+    def extract_record(
+        self, record: PatientRecord
+    ) -> dict[str, NumericExtraction | None]:
+        """All numeric attributes of one record (None when absent)."""
+        self._linkage_cache.clear()
+        results: dict[str, NumericExtraction | None] = {}
+        for attr in self.attributes:
+            text = record.section_text(attr.section)
+            results[attr.name] = (
+                self.extract_attribute(attr, text) if text else None
+            )
+        return results
+
+    def extract_attribute(
+        self, attr: NumericAttribute, text: str
+    ) -> NumericExtraction | None:
+        """Extract one attribute from a section's free text."""
+        for pattern in attr.regex_patterns:
+            match = re.search(pattern, text, re.IGNORECASE)
+            if match:
+                value = float(match.group(1))
+                if self._in_range(attr, value):
+                    return NumericExtraction(
+                        attr.name, value, Method.REGEX, match.group(0)
+                    )
+        document = self.pipeline.process_text(text)
+        for sentence in document.sentences():
+            found = self._extract_from_sentence(attr, document, sentence)
+            if found is not None:
+                return found
+        return None
+
+    def explain_attribute(
+        self, attr: NumericAttribute, text: str
+    ) -> AssociationExplanation | None:
+        """Audit one attribute's association over *text*.
+
+        Returns the decision trail for the first sentence carrying a
+        feature mention with candidate numbers, or ``None`` when no
+        such sentence exists.
+        """
+        document = self.pipeline.process_text(text)
+        for sentence in document.sentences():
+            tokens = document.tokens(sentence)
+            mentions = self._lexicons[attr.name].find(document, tokens)
+            numbers = self._candidate_numbers(
+                attr, document, sentence, tokens
+            )
+            if not mentions or not numbers:
+                continue
+            mention = mentions[0]
+            sentence_text = document.span_text(sentence)
+            linkage = self._parse_cached(document, tokens, sentence_text)
+            distances: dict[int, float] = {}
+            if linkage is not None:
+                token_to_pos = {
+                    tok: pos
+                    for pos, tok in enumerate(linkage.token_map)
+                    if tok is not None
+                }
+                feature_pos = token_to_pos.get(mention.head_token)
+                if feature_pos is not None:
+                    from repro.linkgrammar.distance import (
+                        linkage_distances,
+                    )
+
+                    all_distances = linkage_distances(
+                        linkage, feature_pos, ASSOCIATION_WEIGHTS
+                    )
+                    distances = {
+                        tok: all_distances[pos]
+                        for tok, pos in token_to_pos.items()
+                        if pos in all_distances
+                    }
+            extraction = self._extract_from_sentence(
+                attr, document, sentence
+            )
+            return AssociationExplanation(
+                attribute=attr.name,
+                sentence=sentence_text,
+                feature_surface=mention.surface,
+                parsed=linkage is not None,
+                candidates=tuple(
+                    CandidateDistance(
+                        value=value,
+                        token_index=index,
+                        graph_distance=distances.get(index),
+                    )
+                    for index, value in numbers
+                ),
+                chosen=extraction.value if extraction else None,
+                method=extraction.method if extraction else None,
+            )
+        return None
+
+    # --------------------------------------------------- per sentence
+
+    def _extract_from_sentence(
+        self,
+        attr: NumericAttribute,
+        document: Document,
+        sentence: Annotation,
+    ) -> NumericExtraction | None:
+        tokens = document.tokens(sentence)
+        mentions = self._lexicons[attr.name].find(document, tokens)
+        if not mentions:
+            return None
+        numbers = self._candidate_numbers(attr, document, sentence, tokens)
+        if not numbers:
+            return None
+        sentence_text = document.span_text(sentence)
+
+        for mention in mentions:
+            if self.use_linkage:
+                value = self._associate_by_linkage(
+                    document, tokens, mention, numbers, sentence_text
+                )
+                if value is not None and self._value_ok(attr, value):
+                    return NumericExtraction(
+                        attr.name, value, Method.LINKAGE, sentence_text
+                    )
+                if value is not None:
+                    continue  # associated but implausible: next mention
+            if self.use_patterns:
+                texts = [document.span_text(t).lower() for t in tokens]
+                value = self._associate_by_pattern(texts, mention, numbers)
+                if value is not None and self._value_ok(attr, value):
+                    return NumericExtraction(
+                        attr.name, value, Method.PATTERN, sentence_text
+                    )
+            if self.use_proximity:
+                value = self._associate_by_proximity(mention, numbers)
+                if value is not None and self._value_ok(attr, value):
+                    return NumericExtraction(
+                        attr.name, value, Method.PROXIMITY,
+                        sentence_text,
+                    )
+        return None
+
+    def _candidate_numbers(
+        self,
+        attr: NumericAttribute,
+        document: Document,
+        sentence: Annotation,
+        tokens: list[Annotation],
+    ) -> list[tuple[int, float | tuple[float, float]]]:
+        """(token index, value) pairs for numbers matching the shape."""
+        token_starts = {t.start: i for i, t in enumerate(tokens)}
+        out: list[tuple[int, float | tuple[float, float]]] = []
+        for number in document.numbers(sentence):
+            index = token_starts.get(number.start)
+            if index is None:
+                continue
+            is_ratio = number.features.get("form") == "ratio"
+            if attr.is_ratio != is_ratio:
+                continue
+            value = (
+                number.features["values"][:2]
+                if is_ratio
+                else number.features["value"]
+            )
+            out.append((index, value))
+        return out
+
+    # ------------------------------------------------------ association
+
+    def _associate_by_linkage(
+        self,
+        document: Document,
+        tokens: list[Annotation],
+        mention: FeatureMention,
+        numbers: list[tuple[int, float | tuple[float, float]]],
+        sentence_text: str,
+    ) -> float | tuple[float, float] | None:
+        linkage = self._parse_cached(document, tokens, sentence_text)
+        if linkage is None:
+            return None
+        token_to_pos = {
+            tok_idx: pos
+            for pos, tok_idx in enumerate(linkage.token_map)
+            if tok_idx is not None
+        }
+        feature_pos = token_to_pos.get(mention.head_token)
+        candidates = {
+            token_to_pos[i]: value
+            for i, value in numbers
+            if i in token_to_pos
+        }
+        if feature_pos is None or not candidates:
+            return None
+        best, distance = nearest_word(
+            linkage,
+            feature_pos,
+            list(candidates),
+            weights=ASSOCIATION_WEIGHTS,
+        )
+        if best is None or math.isinf(distance):
+            return None
+        return candidates[best]
+
+    def _parse_cached(
+        self,
+        document: Document,
+        tokens: list[Annotation],
+        sentence_text: str,
+    ) -> Linkage | None:
+        if sentence_text in self._linkage_cache:
+            return self._linkage_cache[sentence_text]
+        words = [document.span_text(t) for t in tokens]
+        tags = [t.features.get("pos", "NN") for t in tokens]
+        try:
+            linkage = self.parser.parse_one(
+                [w.lower() for w in words], tags
+            )
+        except ParseFailure:
+            linkage = None
+        self._linkage_cache[sentence_text] = linkage
+        return linkage
+
+    def _associate_by_pattern(
+        self,
+        texts: list[str],
+        mention: FeatureMention,
+        numbers: list[tuple[int, float | tuple[float, float]]],
+    ) -> float | tuple[float, float] | None:
+        """CONCEPT is/of/,/: NUMBER — a number shortly after the feature.
+
+        The gap may only contain pattern words ("is", "of", ",", ":",
+        articles); any other word breaks the pattern.
+        """
+        by_index = dict(numbers)
+        for index in range(
+            mention.end_token,
+            min(mention.end_token + _PATTERN_WINDOW + 1, len(texts)),
+        ):
+            if index in by_index:
+                return by_index[index]
+            if texts[index] not in _PATTERN_GAP_WORDS:
+                return None
+        return None
+
+    def _associate_by_proximity(
+        self,
+        mention: FeatureMention,
+        numbers: list[tuple[int, float | tuple[float, float]]],
+    ) -> float | tuple[float, float] | None:
+        """Nearest number by token distance, rightward ties first."""
+        if not numbers:
+            return None
+        best = min(
+            numbers,
+            key=lambda pair: (
+                abs(pair[0] - mention.head_token),
+                0 if pair[0] > mention.head_token else 1,
+            ),
+        )
+        return best[1]
+
+    # ------------------------------------------------------- validation
+
+    @staticmethod
+    def _in_range(attr: NumericAttribute, value: float) -> bool:
+        return attr.minimum <= value <= attr.maximum
+
+    def _value_ok(
+        self, attr: NumericAttribute, value
+    ) -> bool:
+        if attr.is_ratio:
+            if not isinstance(value, tuple) or len(value) != 2:
+                return False
+            systolic, diastolic = value
+            return (
+                self._in_range(attr, systolic)
+                and diastolic < systolic
+            )
+        return isinstance(value, float) and self._in_range(attr, value)

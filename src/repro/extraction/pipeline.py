@@ -1,0 +1,130 @@
+"""End-to-end record extraction (the paper's Figure 2 architecture).
+
+A :class:`RecordExtractor` wires the three method-specific extractors
+over split records: numeric fields through link-grammar association,
+term fields through POS patterns + ontology, categorical fields through
+trained ID3 classifiers.  Results go to
+:class:`~repro.storage.db.ResultStore` (the Access-database stand-in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import TrainingError
+from repro.extraction.categorical import CategoricalClassifier
+from repro.extraction.numeric import NumericExtraction, NumericExtractor
+from repro.extraction.schema import (
+    CATEGORICAL_ATTRIBUTES,
+    CategoricalAttribute,
+)
+from repro.extraction.terms import TermExtractor
+from repro.records.model import PatientRecord
+from repro.synth.gold import GoldAnnotations
+
+
+@dataclass
+class ExtractionResult:
+    """Everything extracted from one record."""
+
+    patient_id: str
+    numeric: dict[str, NumericExtraction | None] = field(
+        default_factory=dict
+    )
+    terms: dict[str, list[str]] = field(default_factory=dict)
+    categorical: dict[str, str | None] = field(default_factory=dict)
+
+    def numeric_values(self) -> dict[str, Any]:
+        """Attribute → plain value (no provenance)."""
+        return {
+            name: (extraction.value if extraction else None)
+            for name, extraction in self.numeric.items()
+        }
+
+
+class RecordExtractor:
+    """Full-record extraction with optional categorical models."""
+
+    def __init__(
+        self,
+        numeric: NumericExtractor | None = None,
+        terms: TermExtractor | None = None,
+        categorical: dict[str, CategoricalClassifier] | None = None,
+    ) -> None:
+        self.numeric = numeric or NumericExtractor()
+        self.terms = terms or TermExtractor()
+        self.categorical = dict(categorical or {})
+
+    def train_categorical(
+        self,
+        records: list[PatientRecord],
+        golds: list[GoldAnnotations],
+        attributes: tuple[CategoricalAttribute, ...] =
+        CATEGORICAL_ATTRIBUTES,
+    ) -> None:
+        """Fit one ID3 classifier per categorical attribute.
+
+        Records whose gold label is ``None`` (no information dictated)
+        are skipped for that attribute, as the paper does with its
+        five subjects lacking smoking information.
+        """
+        if len(records) != len(golds):
+            raise ValueError(
+                f"{len(records)} records vs {len(golds)} golds"
+            )
+        for attr in attributes:
+            texts: list[str] = []
+            labels: list[str] = []
+            for record, gold in zip(records, golds):
+                label = gold.categorical.get(attr.name)
+                text = record.section_text(attr.section)
+                if label is None or not text:
+                    continue
+                texts.append(text)
+                labels.append(label)
+            if not texts:
+                raise TrainingError(
+                    f"no training data for {attr.name!r}"
+                )
+            classifier = CategoricalClassifier(attr)
+            classifier.fit(texts, labels)
+            self.categorical[attr.name] = classifier
+
+    def save_models(self, directory) -> list:
+        """Write every trained categorical model to *directory*."""
+        from pathlib import Path
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = []
+        for name, classifier in sorted(self.categorical.items()):
+            path = directory / f"{name}.json"
+            classifier.save(path)
+            paths.append(path)
+        return paths
+
+    def load_models(self, directory) -> int:
+        """Load all ``*.json`` models from *directory*; returns count."""
+        from pathlib import Path
+
+        count = 0
+        for path in sorted(Path(directory).glob("*.json")):
+            classifier = CategoricalClassifier.load(path)
+            self.categorical[classifier.attribute.name] = classifier
+            count += 1
+        return count
+
+    def extract(self, record: PatientRecord) -> ExtractionResult:
+        """Extract every attribute the extractor knows how to handle."""
+        result = ExtractionResult(patient_id=record.patient_id)
+        result.numeric = self.numeric.extract_record(record)
+        result.terms = self.terms.extract_record(record)
+        for name, classifier in self.categorical.items():
+            result.categorical[name] = classifier.predict_record(record)
+        return result
+
+    def extract_all(
+        self, records: list[PatientRecord]
+    ) -> list[ExtractionResult]:
+        return [self.extract(record) for record in records]

@@ -1,0 +1,319 @@
+"""The study's extraction schema: 18 fields, 24 attributes (§5).
+
+"The task is to extract eighteen fields from the text.  Some fields
+contain more than one attribute.  The extraction of twenty-four
+attributes in total is required, among which are four … multi-valued
+medical terms, eight numeric attributes, and twelve categorical
+attributes.  Among the twelve categorical attributes, six are binary
+classifications."
+
+The paper does not enumerate the fields, so this module reconstructs a
+schema with exactly that arity from the Appendix record and the breast-
+cancer study the paper describes.  Every attribute carries the metadata
+the three extractors need: which record section it lives in, the
+feature keyword and synonyms (numeric), the semantic types and
+predefined-term list (terms), or the label set (categorical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import SchemaError
+from repro.ontology.concept import SemanticType
+from repro.ontology.data.vocabulary import (
+    PREDEFINED_MEDICAL,
+    PREDEFINED_SURGICAL,
+)
+
+
+class AttributeKind(str, Enum):
+    NUMERIC = "numeric"
+    TERMS = "terms"
+    CATEGORICAL = "categorical"
+
+
+@dataclass(frozen=True)
+class NumericAttribute:
+    """A numeric field: keyword, synonyms, expected range, ratio flag.
+
+    ``regex_patterns`` are attribute-specific surface patterns tried
+    before keyword association — the age of "a 50-year-old woman" is
+    dictated fused into one token and has no free-standing keyword.
+    Each pattern must expose one capturing group holding the value.
+    """
+
+    name: str
+    section: str
+    keyword: str
+    synonyms: tuple[str, ...] = ()
+    minimum: float = 0.0
+    maximum: float = 1e9
+    is_ratio: bool = False  # blood pressure 144/90
+    regex_patterns: tuple[str, ...] = ()
+
+    kind: AttributeKind = AttributeKind.NUMERIC
+
+
+@dataclass(frozen=True)
+class TermsAttribute:
+    """A multi-valued medical-term field."""
+
+    name: str
+    section: str
+    semantic_types: tuple[SemanticType, ...]
+    predefined: tuple[str, ...] = ()  # preferred names of fixed columns
+    predefined_only: bool = False     # True: keep only predefined hits
+
+    kind: AttributeKind = AttributeKind.TERMS
+
+
+@dataclass(frozen=True)
+class CategoricalAttribute:
+    """A categorical field with a fixed label set."""
+
+    name: str
+    section: str
+    labels: tuple[str, ...]
+    numeric_thresholds: tuple[float, ...] = ()  # §3.3 numeric Booleans
+
+    kind: AttributeKind = AttributeKind.CATEGORICAL
+
+    @property
+    def is_binary(self) -> bool:
+        return len(self.labels) == 2
+
+
+# ----------------------------------------------------------- the schema
+
+NUMERIC_ATTRIBUTES: tuple[NumericAttribute, ...] = (
+    NumericAttribute(
+        name="age",
+        section="History of Present Illness",
+        keyword="age",
+        synonyms=("years old", "year old"),
+        minimum=18, maximum=100,
+        regex_patterns=(
+            r"\b(\d+)[- ]year[- ]old\b",
+            r"\b(\d+) years? old\b",
+            r"\bage (\d+)\b",
+        ),
+    ),
+    NumericAttribute(
+        name="menarche_age",
+        section="GYN History",
+        keyword="menarche",
+        synonyms=("menarche at age", "first period"),
+        minimum=8, maximum=20,
+    ),
+    NumericAttribute(
+        name="gravida",
+        section="GYN History",
+        keyword="gravida",
+        synonyms=("pregnancy", "number of pregnancies"),
+        minimum=0, maximum=15,
+    ),
+    NumericAttribute(
+        name="para",
+        section="GYN History",
+        keyword="para",
+        synonyms=("live birth", "number of live births"),
+        minimum=0, maximum=15,
+    ),
+    NumericAttribute(
+        name="blood_pressure",
+        section="Vitals",
+        keyword="blood pressure",
+        synonyms=("bp",),
+        minimum=60, maximum=260, is_ratio=True,
+    ),
+    NumericAttribute(
+        name="pulse",
+        section="Vitals",
+        keyword="pulse",
+        synonyms=("heart rate", "hr"),
+        minimum=30, maximum=200,
+    ),
+    NumericAttribute(
+        name="temperature",
+        section="Vitals",
+        keyword="temperature",
+        synonyms=("temp",),
+        minimum=94, maximum=107,
+    ),
+    NumericAttribute(
+        name="weight",
+        section="Vitals",
+        keyword="weight",
+        synonyms=("wt", "weighs"),
+        minimum=70, maximum=450,
+    ),
+)
+
+TERMS_ATTRIBUTES: tuple[TermsAttribute, ...] = (
+    TermsAttribute(
+        name="predefined_past_medical_history",
+        section="Past Medical History",
+        semantic_types=(SemanticType.DISEASE, SemanticType.NEOPLASM),
+        predefined=PREDEFINED_MEDICAL,
+        predefined_only=True,
+    ),
+    TermsAttribute(
+        name="other_past_medical_history",
+        section="Past Medical History",
+        semantic_types=(SemanticType.DISEASE, SemanticType.NEOPLASM),
+        predefined=PREDEFINED_MEDICAL,
+        predefined_only=False,
+    ),
+    TermsAttribute(
+        name="predefined_past_surgical_history",
+        section="Past Surgical History",
+        semantic_types=(SemanticType.PROCEDURE,),
+        predefined=PREDEFINED_SURGICAL,
+        predefined_only=True,
+    ),
+    TermsAttribute(
+        name="other_past_surgical_history",
+        section="Past Surgical History",
+        semantic_types=(SemanticType.PROCEDURE,),
+        predefined=PREDEFINED_SURGICAL,
+        predefined_only=False,
+    ),
+)
+
+SMOKING_LABELS = ("never", "former", "current")
+ALCOHOL_LABELS = ("never", "social", "one_two_per_week",
+                  "over_two_per_week")
+
+CATEGORICAL_ATTRIBUTES: tuple[CategoricalAttribute, ...] = (
+    CategoricalAttribute(
+        name="smoking",
+        section="Social History",
+        labels=SMOKING_LABELS,
+    ),
+    CategoricalAttribute(
+        name="alcohol_use",
+        section="Social History",
+        labels=ALCOHOL_LABELS,
+        numeric_thresholds=(2.0,),  # §3.3's proposed numeric Booleans
+    ),
+    CategoricalAttribute(
+        name="drug_use",
+        section="Social History",
+        labels=("never", "former", "current"),
+    ),
+    CategoricalAttribute(
+        name="shape",
+        section="Physical Examination",
+        labels=("thin", "normal", "overweight", "obese"),
+    ),
+    CategoricalAttribute(
+        name="menopausal_status",
+        section="GYN History",
+        labels=("premenopausal", "perimenopausal", "postmenopausal"),
+    ),
+    CategoricalAttribute(
+        name="exercise_level",
+        section="Social History",
+        labels=("none", "occasional", "regular"),
+    ),
+    CategoricalAttribute(
+        name="previous_breast_biopsy",
+        section="History of Present Illness",
+        labels=("no", "yes"),
+    ),
+    CategoricalAttribute(
+        name="family_history_breast_cancer",
+        section="Family History",
+        labels=("no", "yes"),
+    ),
+    CategoricalAttribute(
+        name="hormone_replacement",
+        section="GYN History",
+        labels=("no", "yes"),
+    ),
+    CategoricalAttribute(
+        name="breast_pain",
+        section="Review of Systems",
+        labels=("no", "yes"),
+    ),
+    CategoricalAttribute(
+        name="nipple_discharge",
+        section="Review of Systems",
+        labels=("no", "yes"),
+    ),
+    CategoricalAttribute(
+        name="regular_mammograms",
+        section="History of Present Illness",
+        labels=("no", "yes"),
+    ),
+)
+
+ALL_ATTRIBUTES = (
+    NUMERIC_ATTRIBUTES + TERMS_ATTRIBUTES + CATEGORICAL_ATTRIBUTES
+)
+
+#: The 18 fields: groups of attributes extracted together.
+FIELDS: dict[str, tuple[str, ...]] = {
+    "age": ("age",),
+    "gyn_history": ("menarche_age", "gravida", "para"),
+    "vitals": ("blood_pressure", "pulse", "temperature", "weight"),
+    "past_medical_history": (
+        "predefined_past_medical_history",
+        "other_past_medical_history",
+    ),
+    "past_surgical_history": (
+        "predefined_past_surgical_history",
+        "other_past_surgical_history",
+    ),
+    "smoking": ("smoking",),
+    "alcohol_use": ("alcohol_use",),
+    "drug_use": ("drug_use",),
+    "shape": ("shape",),
+    "menopausal_status": ("menopausal_status",),
+    "exercise_level": ("exercise_level",),
+    "previous_breast_biopsy": ("previous_breast_biopsy",),
+    "family_history_breast_cancer": ("family_history_breast_cancer",),
+    "hormone_replacement": ("hormone_replacement",),
+    "breast_pain": ("breast_pain",),
+    "nipple_discharge": ("nipple_discharge",),
+    "regular_mammograms": ("regular_mammograms",),
+    "chief_complaint": (),  # free text, not an extraction target
+}
+
+
+def attribute(name: str):
+    """Look an attribute definition up by name."""
+    for attr in ALL_ATTRIBUTES:
+        if attr.name == name:
+            return attr
+    raise SchemaError(f"unknown attribute {name!r}")
+
+
+def validate_schema() -> None:
+    """Check the paper's arithmetic: 18 fields, 24 attributes, 6 binary."""
+    if len(FIELDS) != 18:
+        raise SchemaError(f"expected 18 fields, have {len(FIELDS)}")
+    if len(ALL_ATTRIBUTES) != 24:
+        raise SchemaError(
+            f"expected 24 attributes, have {len(ALL_ATTRIBUTES)}"
+        )
+    if len(NUMERIC_ATTRIBUTES) != 8:
+        raise SchemaError("expected 8 numeric attributes")
+    if len(TERMS_ATTRIBUTES) != 4:
+        raise SchemaError("expected 4 term attributes")
+    if len(CATEGORICAL_ATTRIBUTES) != 12:
+        raise SchemaError("expected 12 categorical attributes")
+    binary = sum(1 for a in CATEGORICAL_ATTRIBUTES if a.is_binary)
+    if binary != 6:
+        raise SchemaError(f"expected 6 binary attributes, have {binary}")
+    names = [a.name for a in ALL_ATTRIBUTES]
+    if len(names) != len(set(names)):
+        raise SchemaError("duplicate attribute names")
+    grouped = [name for group in FIELDS.values() for name in group]
+    if sorted(grouped) != sorted(names):
+        raise SchemaError("FIELDS does not cover attributes exactly")
+
+
+validate_schema()

@@ -1,0 +1,64 @@
+"""Link grammar substrate (Sleator & Temperley parser substitute).
+
+Implements the parser the paper drives through JNI: a connector-based
+dictionary, the O(n³) region-recurrence parser, linkage extraction, the
+linkage→weighted-graph conversion and shortest word-pair distances used
+to associate features with numbers, and constituent-role derivation for
+the categorical feature extractor.
+"""
+
+from repro.linkgrammar.connectors import (
+    Connector,
+    connectors_match,
+    link_label,
+    parse_connector,
+)
+from repro.linkgrammar.constituents import Role, assign_roles, head_words
+from repro.linkgrammar.diagram import render
+from repro.linkgrammar.dictionary import (
+    LEFT_WALL,
+    Dictionary,
+    default_dictionary,
+)
+from repro.linkgrammar.distance import (
+    ASSOCIATION_WEIGHTS,
+    linkage_distances,
+    nearest_word,
+    word_distance,
+)
+from repro.linkgrammar.expressions import (
+    Disjunct,
+    expression_to_disjuncts,
+    parse_expression,
+)
+from repro.linkgrammar.linkage import Link, Linkage, LinkWeights
+from repro.linkgrammar.parser import LinkGrammarParser, parse
+from repro.linkgrammar.tree import Tree, constituent_tree
+
+__all__ = [
+    "Connector",
+    "connectors_match",
+    "link_label",
+    "parse_connector",
+    "Role",
+    "assign_roles",
+    "head_words",
+    "LEFT_WALL",
+    "Dictionary",
+    "default_dictionary",
+    "ASSOCIATION_WEIGHTS",
+    "linkage_distances",
+    "nearest_word",
+    "word_distance",
+    "Disjunct",
+    "expression_to_disjuncts",
+    "parse_expression",
+    "Link",
+    "Linkage",
+    "LinkWeights",
+    "LinkGrammarParser",
+    "parse",
+    "render",
+    "Tree",
+    "constituent_tree",
+]

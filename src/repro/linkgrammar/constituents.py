@@ -1,0 +1,131 @@
+"""Sentence-constituent roles derived from a linkage.
+
+The paper's categorical feature extractor (§3.3 option 2) lets the user
+select "one or multiple sentence constituents: subject, verb, object,
+and supplement".  The real parser emits a constituent tree; for the
+feature extractor's purposes a per-word role assignment is what is
+consumed, so this module derives roles directly from the link
+structure:
+
+* **verb** — targets of S links, plus the auxiliary/participle chain
+  reached over PP/Pg/Pv/I/N links and pre-verb adverbs (E);
+* **subject** — the S link's left word and its modifier subtree;
+* **object** — subtrees of O/Pa complements of a verb word;
+* **supplement** — subtrees hanging off MV/EB/TA links (post-verbal
+  modifiers, time adjuncts);
+* **other** — anything left (wall, connectives, fragment heads).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.linkgrammar.linkage import Link, Linkage
+
+# Links that extend a noun-phrase / modifier subtree.
+_PHRASE_LINKS = {"A", "AN", "D", "Dn", "NM", "M", "J", "CJ", "R", "TA"}
+_VERB_CHAIN_LINKS = {"PP", "Pg", "Pv", "I", "N", "TO"}
+
+
+class Role(str, Enum):
+    SUBJECT = "subject"
+    VERB = "verb"
+    OBJECT = "object"
+    SUPPLEMENT = "supplement"
+    OTHER = "other"
+
+
+def _base(label: str) -> str:
+    """Link label without subscripts: ``Ss`` → ``S``, ``CJl`` → ``CJ``."""
+    head = ""
+    for ch in label:
+        if ch.isupper():
+            head += ch
+        else:
+            break
+    return head
+
+
+def _grow(
+    linkage: Linkage, seeds: set[int], allowed: set[str],
+    claimed: set[int],
+) -> set[int]:
+    """Flood-fill from *seeds* over links whose base label is allowed."""
+    frontier = list(seeds)
+    grown = set(seeds)
+    while frontier:
+        word = frontier.pop()
+        for link in linkage.links_of(word):
+            if _base(link.label) not in allowed:
+                continue
+            other = linkage.neighbor(link, word)
+            if other in grown or other in claimed or other == 0:
+                continue
+            grown.add(other)
+            frontier.append(other)
+    return grown
+
+
+def assign_roles(linkage: Linkage) -> dict[int, Role]:
+    """Map every linkage position (wall included) to a :class:`Role`."""
+    roles: dict[int, Role] = {
+        i: Role.OTHER for i in range(len(linkage.words))
+    }
+    s_links = [l for l in linkage.links if _base(l.label) == "S"]
+    verb_seeds = {l.right for l in s_links}
+    verbs = _grow(linkage, set(verb_seeds), _VERB_CHAIN_LINKS, set())
+    # Pre-verb adverbs belong to the verb group.
+    for word in list(verbs):
+        for link in linkage.links_of(word):
+            if _base(link.label) == "E":
+                verbs.add(linkage.neighbor(link, word))
+
+    subject_seeds = {l.left for l in s_links}
+    subjects = _grow(linkage, subject_seeds, _PHRASE_LINKS, verbs)
+
+    object_seeds: set[int] = set()
+    supplement_seeds: set[int] = set()
+    for link in linkage.links:
+        base = _base(link.label)
+        if link.left in verbs and base in {"O", "P"} or (
+            link.left in verbs and base in {"Pa", "Pg", "Pv"}
+        ):
+            if link.right not in verbs:
+                object_seeds.add(link.right)
+        if link.left in verbs and base in {"MV", "EB"}:
+            supplement_seeds.add(link.right)
+    claimed = verbs | subjects
+    objects = _grow(linkage, object_seeds - claimed, _PHRASE_LINKS, claimed)
+    claimed |= objects
+    supplements = _grow(
+        linkage, supplement_seeds - claimed, _PHRASE_LINKS, claimed
+    )
+
+    for word in subjects:
+        roles[word] = Role.SUBJECT
+    for word in objects:
+        roles[word] = Role.OBJECT
+    for word in supplements:
+        roles[word] = Role.SUPPLEMENT
+    for word in verbs:
+        roles[word] = Role.VERB
+    roles[0] = Role.OTHER
+    return roles
+
+
+def head_words(linkage: Linkage) -> set[int]:
+    """Positions that head a noun or adjective phrase.
+
+    §3.3 option 3 ("head noun or head adjective only"): a word is a
+    head when no A/AN/D/Dn link leaves it *rightward* to a governing
+    word — i.e. it is the governed end of its phrase links.
+    """
+    heads: set[int] = set()
+    for index in range(1, len(linkage.words)):
+        is_modifier = any(
+            link.left == index and _base(link.label) in {"A", "AN", "D", "Dn"}
+            for link in linkage.links
+        )
+        if not is_modifier:
+            heads.add(index)
+    return heads

@@ -1,0 +1,112 @@
+"""ASCII linkage diagrams in the style of the original parser.
+
+The real Link Grammar Parser prints linkages as arcs drawn above the
+sentence::
+
+        +-------O-------+
+    +-Ss-+    +----Dn---+
+    |    |    |         |
+    she  is   a      smoker
+
+:func:`render` reproduces that presentation: links become arcs whose
+height reflects nesting (planarity guarantees arcs never cross), with
+the link label centered on the arc.
+"""
+
+from __future__ import annotations
+
+from repro.linkgrammar.linkage import Link, Linkage
+
+
+def _arc_heights(links: list[Link]) -> dict[Link, int]:
+    """Assign each link a height so nested arcs stack upward."""
+    heights: dict[Link, int] = {}
+    for link in sorted(links, key=lambda l: (l.right - l.left, l.left)):
+        inner = [
+            other
+            for other in links
+            if other is not link
+            and link.left <= other.left
+            and other.right <= link.right
+            and other in heights
+        ]
+        heights[link] = 1 + max(
+            (heights[o] for o in inner), default=0
+        )
+    return heights
+
+
+def render(linkage: Linkage, include_wall: bool = True) -> str:
+    """Render a linkage as an ASCII arc diagram.
+
+    With ``include_wall=False`` the LEFT-WALL column and its links are
+    omitted, which reads better for fragments.
+    """
+    words = list(linkage.words)
+    links = list(linkage.links)
+    if include_wall:
+        words[0] = "LEFT-WALL"
+    else:
+        words = words[1:]
+        links = [
+            Link(l.left - 1, l.right - 1, l.label)
+            for l in links
+            if l.left != 0
+        ]
+
+    # Column layout: words separated by two spaces; each word's anchor
+    # column is its center.
+    starts: list[int] = []
+    cursor = 0
+    for word in words:
+        starts.append(cursor)
+        cursor += len(word) + 2
+    width = max(cursor - 2, 1)
+    anchors = [
+        starts[i] + max(len(words[i]) // 2, 0) for i in range(len(words))
+    ]
+
+    heights = _arc_heights(links)
+    max_height = max(heights.values(), default=0)
+
+    # Each arc of height h occupies rows; rows counted from the words
+    # upward: row r is drawn at height r.
+    grid_rows = 2 * max_height
+    grid = [
+        [" "] * width for _ in range(grid_rows)
+    ]
+
+    def put(row: int, col: int, ch: str) -> None:
+        if 0 <= row < grid_rows and 0 <= col < width:
+            grid[row][col] = ch
+
+    # Verticals first, then bars: a bar crossing a taller arc's
+    # vertical overwrites it, giving the continuous horizontals the
+    # real parser prints.
+    for link in links:
+        top = 2 * heights[link] - 1
+        for row in range(0, top):
+            put(row, anchors[link.left], "|")
+            put(row, anchors[link.right], "|")
+    for link in links:
+        top = 2 * heights[link] - 1
+        left_col = anchors[link.left]
+        right_col = anchors[link.right]
+        put(top, left_col, "+")
+        put(top, right_col, "+")
+        for col in range(left_col + 1, right_col):
+            put(top, col, "-")
+        label = link.label
+        mid = (left_col + right_col) // 2 - len(label) // 2
+        for k, ch in enumerate(label):
+            put(top, mid + k, ch)
+
+    lines = [
+        "".join(grid[row]).rstrip()
+        for row in range(grid_rows - 1, -1, -1)
+    ]
+    word_line = ""
+    for i, word in enumerate(words):
+        word_line += " " * (starts[i] - len(word_line)) + word
+    lines.append(word_line)
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Link grammar dictionary: word → disjunct list.
+
+Loads :mod:`repro.linkgrammar.lexicon_data`, substitutes macros, expands
+expressions into disjuncts once, and serves lookups.  Unknown words fall
+back to a tag-default expression (the caller supplies POS tags from the
+NLP pipeline), mirroring how the real parser handles unknown words with
+generic noun/verb/adjective entries.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DictionaryError
+from repro.linkgrammar.expressions import Disjunct, expression_to_disjuncts
+from repro.linkgrammar.lexicon_data import (
+    ENTRIES,
+    MACROS,
+    NUMBER_EXPR,
+    TAG_DEFAULTS,
+)
+
+LEFT_WALL = "###LEFT-WALL###"
+
+
+def _substitute_macros(expression: str) -> str:
+    """Textually expand ``<name>`` macros (macros may nest one level)."""
+    for _ in range(3):
+        if "<" not in expression:
+            return expression
+        for name, body in MACROS.items():
+            expression = expression.replace(name, f"({body})")
+    if "<" in expression:
+        raise DictionaryError(
+            f"unresolved macro in expression: {expression!r}"
+        )
+    return expression
+
+
+class Dictionary:
+    """Expanded dictionary with tag-based fallbacks for unknown words."""
+
+    def __init__(
+        self,
+        entries: list[tuple[str, str]] | None = None,
+        tag_defaults: list[tuple[str, str]] | None = None,
+    ) -> None:
+        self._words: dict[str, list[Disjunct]] = {}
+        self._tag_defaults: list[tuple[str, list[Disjunct]]] = []
+        self._expression_cache: dict[str, list[Disjunct]] = {}
+        for words, expression in entries if entries is not None else ENTRIES:
+            disjuncts = self._expand(expression)
+            for word in words.split():
+                # A word listed under several entries (e.g. "smoked" as
+                # finite verb and as past participle) gets the union of
+                # their disjuncts.
+                existing = self._words.setdefault(word.lower(), [])
+                seen = {
+                    (d.left, d.right) for d in existing
+                }
+                existing.extend(
+                    d for d in disjuncts if (d.left, d.right) not in seen
+                )
+        for tag, expression in (
+            tag_defaults if tag_defaults is not None else TAG_DEFAULTS
+        ):
+            self._tag_defaults.append((tag, self._expand(expression)))
+        self._number_disjuncts = self._expand(NUMBER_EXPR)
+
+    def _expand(self, expression: str) -> list[Disjunct]:
+        cached = self._expression_cache.get(expression)
+        if cached is None:
+            cached = expression_to_disjuncts(_substitute_macros(expression))
+            self._expression_cache[expression] = cached
+        return cached
+
+    def __contains__(self, word: str) -> bool:
+        return word.lower() in self._words
+
+    def add(self, words: str, expression: str) -> None:
+        """Add or override entries at runtime (tests, extensions)."""
+        disjuncts = self._expand(expression)
+        for word in words.split():
+            self._words[word.lower()] = disjuncts
+
+    def disjuncts(
+        self, word: str, tag: str | None = None
+    ) -> list[Disjunct]:
+        """Disjuncts for *word*; falls back on the POS-tag default.
+
+        Returns an empty list when the word is unknown and no tag
+        default applies — the parser then fails the sentence, which is
+        the behaviour the paper relies on for fragments.
+        """
+        found = self._words.get(word.lower())
+        if found is not None:
+            return found
+        if tag == "CD" or _looks_numeric(word):
+            return self._number_disjuncts
+        if tag:
+            for prefix, disjuncts in self._tag_defaults:
+                if tag == prefix or (
+                    len(prefix) <= len(tag) and tag.startswith(prefix)
+                ):
+                    return disjuncts
+        return []
+
+
+def _looks_numeric(word: str) -> bool:
+    return bool(word) and word[0].isdigit()
+
+
+_default: Dictionary | None = None
+
+
+def default_dictionary() -> Dictionary:
+    """Process-wide shared dictionary (expansion is not free)."""
+    global _default
+    if _default is None:
+        _default = Dictionary()
+    return _default

@@ -1,0 +1,93 @@
+"""Shortest word-pair distance over the linkage graph (§3.1).
+
+The paper's association rule: "the shortest distance between any word
+pair is a good measure of the semantic relationship of the word pair …
+the association of feature and number in a sentence is equivalent to
+searching for the node (feature) with the shortest distance from a
+fixed node (number) in a (weighted) graph."
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from repro.linkgrammar.linkage import Linkage, LinkWeights
+
+#: Edge weights for the feature–number association application (§3.1).
+#: Coordination separates conjuncts, so crossing a CJ edge is expensive;
+#: modifier and numeric links bind tightly, so they are cheap.  With
+#: these weights "pulse of 84" puts 84 at distance 1.0 from "pulse"
+#: while the conjoined reading "pulse … 144/90" costs 4.0.
+ASSOCIATION_WEIGHTS = LinkWeights(
+    default=1.0,
+    overrides={
+        "CJ": 2.0,   # coordination chain: crossing leaves the conjunct
+        "M": 0.5,    # noun → prepositional modifier
+        "J": 0.5,    # preposition → object
+        "NM": 0.5,   # numeric apposition ("age 10")
+        "Dn": 0.5,   # numeric determiner ("154 pounds")
+        "TA": 0.5,   # time apposition ("five years ago")
+    },
+)
+
+
+def linkage_distances(
+    linkage: Linkage,
+    source: int,
+    weights: LinkWeights | None = None,
+) -> dict[int, float]:
+    """Shortest distance from word *source* to every word.
+
+    Word indices are linkage positions (wall = 0).  Unreachable words
+    (none, in a valid linkage) map to ``math.inf``.
+    """
+    graph = linkage.graph(weights=weights, include_wall=True)
+    lengths = nx.single_source_dijkstra_path_length(
+        graph, source, weight="weight"
+    )
+    return {
+        node: lengths.get(node, math.inf) for node in graph.nodes
+    }
+
+
+def word_distance(
+    linkage: Linkage,
+    a: int,
+    b: int,
+    weights: LinkWeights | None = None,
+) -> float:
+    """Shortest distance between linkage positions *a* and *b*."""
+    if a == b:
+        return 0.0
+    graph = linkage.graph(weights=weights, include_wall=True)
+    try:
+        return nx.dijkstra_path_length(graph, a, b, weight="weight")
+    except nx.NetworkXNoPath:
+        return math.inf
+
+
+def nearest_word(
+    linkage: Linkage,
+    source: int,
+    candidates: list[int],
+    weights: LinkWeights | None = None,
+) -> tuple[int | None, float]:
+    """The candidate position closest to *source*, with its distance.
+
+    Ties break toward the earlier (leftmost) candidate, matching how a
+    reader resolves "pulse of 84, temperature of 98.3" ambiguities.
+    Returns ``(None, inf)`` when no candidate is reachable.
+    """
+    if not candidates:
+        return None, math.inf
+    distances = linkage_distances(linkage, source, weights)
+    best: int | None = None
+    best_distance = math.inf
+    for candidate in sorted(candidates):
+        d = distances.get(candidate, math.inf)
+        if d < best_distance:
+            best = candidate
+            best_distance = d
+    return best, best_distance

@@ -1,0 +1,230 @@
+"""Dictionary expression language and disjunct expansion.
+
+Link grammar dictionary entries are boolean formulas over connectors::
+
+    {@A-} & Ds- & (Ss+ or SIs-) & {@M+}
+
+with the operators
+
+``&``
+    ordered conjunction — both sides must be satisfied, and expression
+    order encodes proximity (connectors written earlier connect to
+    *nearer* words);
+``or``
+    alternation;
+``{e}``
+    optionality — ``(e or ())``;
+``[e]``
+    cost — satisfying ``e`` adds 1 to the disjunct cost, used to rank
+    linkages (lower total cost first);
+``(e)``
+    grouping.
+
+An expression expands into a set of **disjuncts**.  A disjunct is one
+concrete way to satisfy the word: an ordered tuple of left connectors,
+an ordered tuple of right connectors, and a cost.  Both tuples are
+stored *farthest-first*, the order the parser's region recursion
+consumes them (the head connector of a boundary list always links to
+the farthest word, see :mod:`repro.linkgrammar.parser`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import DictionaryError
+from repro.linkgrammar.connectors import Connector, parse_connector
+
+
+@dataclass(frozen=True)
+class Disjunct:
+    """One way a word can link: ordered connector tuples plus cost.
+
+    ``left`` and ``right`` are farthest-first: ``left[0]`` links to the
+    farthest word on the left, ``right[0]`` to the farthest word on the
+    right.
+    """
+
+    left: tuple[Connector, ...]
+    right: tuple[Connector, ...]
+    cost: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        l = " ".join(str(c) for c in reversed(self.left))
+        r = " ".join(str(c) for c in self.right)
+        return f"({l} | {r})[{self.cost}]"
+
+
+# ------------------------------------------------------------------ AST
+
+@dataclass(frozen=True)
+class _Conn:
+    connector: Connector
+
+
+@dataclass(frozen=True)
+class _And:
+    parts: tuple
+
+
+@dataclass(frozen=True)
+class _Or:
+    parts: tuple
+
+
+@dataclass(frozen=True)
+class _Cost:
+    inner: object
+
+
+@dataclass(frozen=True)
+class _Empty:
+    pass
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<lbrace>\{)|(?P<rbrace>\})|(?P<lbrack>\[)|(?P<rbrack>\])"
+    r"|(?P<lparen>\()|(?P<rparen>\))|(?P<amp>&)|(?P<or>\bor\b)"
+    r"|(?P<conn>@?[A-Z]+[a-z*]*[+-])|(?P<empty>\(\)))"
+)
+
+
+class _Tokens:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.items: list[tuple[str, str]] = []
+        pos = 0
+        while pos < len(text):
+            if text[pos].isspace():
+                pos += 1
+                continue
+            match = _TOKEN_RE.match(text, pos)
+            if match is None or match.start() != pos:
+                raise DictionaryError(
+                    f"cannot tokenize expression at {text[pos:pos+15]!r}"
+                )
+            kind = match.lastgroup or ""
+            self.items.append((kind, match.group().strip()))
+            pos = match.end()
+        self.index = 0
+
+    def peek(self) -> str:
+        return self.items[self.index][0] if self.index < len(self.items) \
+            else "eof"
+
+    def next(self) -> tuple[str, str]:
+        if self.index >= len(self.items):
+            raise DictionaryError(f"unexpected end of expression: "
+                                  f"{self.text!r}")
+        item = self.items[self.index]
+        self.index += 1
+        return item
+
+
+def parse_expression(text: str):
+    """Parse an expression string into an AST."""
+    tokens = _Tokens(text)
+    ast = _parse_or(tokens)
+    if tokens.peek() != "eof":
+        raise DictionaryError(
+            f"trailing input in expression {text!r} at token "
+            f"{tokens.items[tokens.index]}"
+        )
+    return ast
+
+
+def _parse_or(tokens: _Tokens):
+    parts = [_parse_and(tokens)]
+    while tokens.peek() == "or":
+        tokens.next()
+        parts.append(_parse_and(tokens))
+    return parts[0] if len(parts) == 1 else _Or(tuple(parts))
+
+
+def _parse_and(tokens: _Tokens):
+    parts = [_parse_unary(tokens)]
+    while tokens.peek() == "amp":
+        tokens.next()
+        parts.append(_parse_unary(tokens))
+    return parts[0] if len(parts) == 1 else _And(tuple(parts))
+
+
+def _parse_unary(tokens: _Tokens):
+    kind, text = tokens.next()
+    if kind == "conn":
+        return _Conn(parse_connector(text))
+    if kind == "lparen":
+        if tokens.peek() == "rparen":  # "()" empty expression
+            tokens.next()
+            return _Empty()
+        inner = _parse_or(tokens)
+        _expect(tokens, "rparen")
+        return inner
+    if kind == "lbrace":
+        inner = _parse_or(tokens)
+        _expect(tokens, "rbrace")
+        return _Or((inner, _Empty()))
+    if kind == "lbrack":
+        inner = _parse_or(tokens)
+        _expect(tokens, "rbrack")
+        return _Cost(inner)
+    raise DictionaryError(f"unexpected token {text!r} in expression")
+
+
+def _expect(tokens: _Tokens, kind: str) -> None:
+    got, text = tokens.next()
+    if got != kind:
+        raise DictionaryError(f"expected {kind}, got {text!r}")
+
+
+# ----------------------------------------------------------- expansion
+
+def _expand(node) -> Iterator[tuple[tuple[Connector, ...], int]]:
+    """Yield (connector sequence in expression order, cost) pairs."""
+    if isinstance(node, _Empty):
+        yield (), 0
+    elif isinstance(node, _Conn):
+        yield (node.connector,), 0
+    elif isinstance(node, _Cost):
+        for seq, cost in _expand(node.inner):
+            yield seq, cost + 1
+    elif isinstance(node, _Or):
+        for part in node.parts:
+            yield from _expand(part)
+    elif isinstance(node, _And):
+        combos: list[tuple[tuple[Connector, ...], int]] = [((), 0)]
+        for part in node.parts:
+            expanded = list(_expand(part))
+            combos = [
+                (seq + pseq, cost + pcost)
+                for seq, cost in combos
+                for pseq, pcost in expanded
+            ]
+        yield from combos
+    else:  # pragma: no cover - defensive
+        raise DictionaryError(f"unknown AST node {node!r}")
+
+
+def expression_to_disjuncts(text: str) -> list[Disjunct]:
+    """Expand an expression string into its disjuncts.
+
+    Connector sequences preserve expression order (nearest-first); the
+    returned disjunct tuples are reversed into the farthest-first order
+    the parser consumes.  Duplicate disjuncts keep their lowest cost.
+    """
+    ast = parse_expression(text)
+    best: dict[tuple, int] = {}
+    for seq, cost in _expand(ast):
+        lefts = tuple(c for c in seq if c.direction == "-")
+        rights = tuple(c for c in seq if c.direction == "+")
+        key = (tuple(reversed(lefts)), tuple(reversed(rights)))
+        if key not in best or cost < best[key]:
+            best[key] = cost
+    return [
+        Disjunct(left=left, right=right, cost=cost)
+        for (left, right), cost in sorted(
+            best.items(), key=lambda kv: (kv[1], repr(kv[0]))
+        )
+    ]

@@ -1,0 +1,223 @@
+"""Link grammar dictionary for clinical dictation English.
+
+A compact dictionary in the spirit of Sleator & Temperley's
+``4.0.dict``, sized to the sentence shapes of transcribed consultation
+notes.  Entries map surface words to connector expressions (see
+:mod:`repro.linkgrammar.expressions` for the syntax).
+
+Connector inventory
+-------------------
+
+====  ==============================================================
+Wd    LEFT-WALL to the head of a declarative sentence
+S     subject noun/pronoun to finite verb (Ss singular, Sp plural)
+O     verb to object
+I     auxiliary (do/to) to infinitive verb
+PP    have to past participle
+Pa    be to predicate adjective
+Pg    be to gerund
+Pv    be to passive participle
+E     pre-verb adverb to verb
+EB    be-verb to post-adverb ("is currently")
+N     "not" after do/have/be
+MV    verb to post-verbal modifier (PP, adverb, "ago"-phrase)
+M     noun/adjective to trailing prepositional modifier
+J     preposition to its object
+D     determiner to noun
+Dn    numeric determiner to noun ("154 pounds", "five years")
+A     attributive adjective to noun (multi)
+AN    noun modifier to noun ("blood pressure", multi)
+NM    noun to numeric apposition ("age 10", "gravida 4")
+TA    time noun to "ago"
+R     noun to relative pronoun ("woman who underwent …")
+TO    verb to "to"
+CJ    chain coordination through "," / "and" / "or"
+====  ==============================================================
+
+Class macros (``<name>``) keep entries readable; they are substituted
+textually by the dictionary loader.  Tag-default entries give unknown
+words a sensible expression from their POS tag, which is how the parser
+stays total over the synthetic corpus without a 60k-word dictionary.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------- macros
+
+MACROS: dict[str, str] = {
+    # Noun left side: modifiers nearest-first.  Numeric determiners sit
+    # between adjectives and articles ("a 50-year-old woman").
+    "<noun-left>": "{@AN-} & {@A-} & {Dn-} & {D-}",
+    # Noun right trailers, nearest-first: numeric apposition, PP
+    # modifier, relative pronoun, conjunction hook.
+    "<noun-right>": "{NM+} & {M+} & {R+} & {CJl+}",
+    # Noun roles: exactly one structural function.  A main-clause
+    # subject carries both the wall link and the S link; a verbless
+    # fragment head carries the wall link alone.
+    # (CJr- & S+) lets a noun start a conjoined clause: "temperature is
+    # 98.3 and weight is 154 pounds".
+    "<noun-role-s>": "(({Wd-} & Ss+) or (CJr- & Ss+) or Wd- or O- or J- "
+                     "or CJr- or AN+)",
+    "<noun-role-p>": "(({Wd-} & Sp+) or (CJr- & Sp+) or Wd- or O- or J- "
+                     "or CJr- or AN+)",
+    # Verb trailers.
+    "<verb-right>": "{O+} & {TO+} & {@MV+}",
+    # Unit nouns ("years", "pounds") also head time appositions.
+    "<unit-role>": "(TA+ or J- or O- or CJr- or Wd-)",
+}
+
+SINGULAR_NOUN = "<noun-left> & <noun-right> & <noun-role-s>"
+PLURAL_NOUN = "<noun-left> & <noun-right> & <noun-role-p>"
+# TA+ appears both as an optional trailer (so "about a year ago" can
+# give "year" a J- role AND the link to "ago") and as a standalone role
+# (bare time adjuncts: "five years ago").
+UNIT_NOUN = ("{Dn-} & {@AN-} & {@A-} & {D-} & {M+} & {TA+} & {CJl+} "
+             "& <unit-role>")
+NUMBER_EXPR = (
+    "Dn+ or [NM- & {CJl+}] or [(Wd- or O- or J- or CJr-) & {M+} & {CJl+}]"
+)
+PRONOUN_S = "({Wd-} & Ss+ & {CJl+}) or ((Wd- or O- or J- or CJr-) & {CJl+})"
+PRONOUN_P = "({Wd-} & Sp+ & {CJl+}) or ((Wd- or O- or J- or CJr-) & {CJl+})"
+ADJECTIVE = "A+ or (Pa- & {M+} & {CJl+}) or (CJr- & {M+} & {CJl+})"
+ADVERB = "E+ or EB- or MV- or (Wd- & {CJl+})"
+PREPOSITION = "(M- or MV-) & J+"
+# Post-modifiers on gerunds carry a cost so adjuncts prefer attaching
+# to the finite verb ("quit smoking five years ago" → MV on "quit").
+GERUND = "(AN+ or Pg- or O- or J- or Wd- or CJr-) & {O+} & {[@MV+]}"
+PAST_PARTICIPLE = "{@E-} & (PP- or Pv-) & <verb-right>"
+
+TRANSITIVE = "{@E-} & (Ss- or Sp- or I-) & <verb-right>"
+BE_VERB = (
+    "{@E-} & (Ss- or Sp-) & {@EB+} & {Pa+ or O+ or Pg+ or Pv+} & {@MV+}"
+)
+HAVE_VERB = "{@E-} & (Ss- or Sp-) & {N+} & (PP+ or O+) & {@MV+}"
+DO_VERB = "{@E-} & (Ss- or Sp-) & {N+} & I+ & {@MV+}"
+MODAL = "(Ss- or Sp-) & {N+} & I+ & {@MV+}"
+
+# -------------------------------------------------------------- entries
+# word(s) -> expression; later entries never override earlier ones.
+
+ENTRIES: list[tuple[str, str]] = [
+    # Walls and structural words -------------------------------------
+    ("###LEFT-WALL###", "Wd+"),
+    ("the a an this that these those any no some each every another",
+     "D+"),
+    ("her his my their its your our", "D+"),
+    ("she he it", PRONOUN_S),
+    ("they we you i", PRONOUN_P),
+    ("one two three four five six seven eight nine ten eleven twelve "
+     "thirteen fourteen fifteen sixteen seventeen eighteen nineteen "
+     "twenty thirty forty fifty sixty seventy eighty ninety hundred "
+     "thousand half several", "Dn+ or " + NUMBER_EXPR),
+    ("who", "R- & (Ss+ or Sp+)"),
+    ("not", "N- or E+"),
+    ("never always currently recently formerly occasionally "
+     "previously rarely socially still already often sometimes "
+     "usually frequently daily weekly monthly nightly", ADVERB),
+    # MV- is optional so "ago" can close a verbless time fragment
+    # ("last menstrual period about a year ago").
+    ("ago", "TA- & {MV-}"),
+    ("to", "TO- & I+"),
+    # "and"/"or" accept CJr- as well so a connective can follow a
+    # connective, as in the serial-comma sequence ", and".
+    (",", "CJl- & CJr+"),
+    ("and or but", "(CJl- or CJr-) & CJr+"),
+
+    # Verbs ------------------------------------------------------------
+    ("is was", BE_VERB),
+    ("are were", BE_VERB),
+    ("be", "I- & {@EB+} & {Pa+ or O+ or Pg+ or Pv+} & {@MV+}"),
+    ("has had have", HAVE_VERB),
+    ("does did do", DO_VERB),
+    ("will would can could may might must should shall", MODAL),
+    ("quit quits denies denied deny reports reported report reveals "
+     "revealed reveal shows showed show underwent undergoes undergo "
+     "admits admitted admit describes described describe notes noted "
+     "note states stated state uses used use takes took take drinks "
+     "drank drink smokes smoked smoke endorses endorsed endorse "
+     "consumes consumed consume continues continued continue stopped "
+     "stops stop started starts start gained gains gain lost loses "
+     "lose weighs weighed weigh measures measured measure includes "
+     "included include presents presented present complains "
+     "complained complain works worked work lives lived live began "
+     "begins begin remains remained remain appears appeared appear "
+     "follows followed follow exercises exercised exercise",
+     TRANSITIVE),
+    ("smoking drinking undergoing working exercising socializing",
+     GERUND),
+    ("smoked quitted drunk undergone taken used stopped started "
+     "gained lost diagnosed treated removed performed noted seen "
+     "elevated married retired employed divorced widowed",
+     PAST_PARTICIPLE),
+
+    # Adjectives --------------------------------------------------------
+    ("significant negative positive normal abnormal overweight obese "
+     "thin current former occasional social heavy light moderate "
+     "mild severe high low regular irregular apparent present "
+     "previous past solid benign malignant unremarkable remarkable "
+     "stable clear soft nontender tender good poor fair healthy "
+     "postoperative midline cervical solitary dominant "
+     "palpable supraclavicular axillary bilateral screening diabetic "
+     "hypertensive menstrual last first live maternal paternal "
+     "medical surgical family breast daily weekly nonalcoholic",
+     ADJECTIVE),
+
+    # Prepositions ------------------------------------------------------
+    ("of", "M- & J+"),
+    ("for with in on at about after before during per since from by "
+     "under over without than", PREPOSITION),
+
+    # Core clinical nouns (singular) -------------------------------------
+    ("pressure pulse temperature weight height age menarche gravida "
+     "para history smoker nonsmoker drinker patient woman man lady "
+     "gentleman complaint mammogram ultrasound biopsy mass lesion "
+     "calcification birth period pregnancy alcohol tobacco smoking "
+     "use abuse pack cigarette cigar beer wine liquor drink glass "
+     "bottle day week month year time consumption habit behavior "
+     "status examination exam distress blood heart disease diabetes "
+     "hypertension depression asthma arthritis cancer surgery "
+     "cholecystectomy appendectomy hysterectomy laminectomy "
+     "lumpectomy mastectomy closure hernia repair section delivery "
+     "birad classification evaluation management referral follow-up "
+     "medication aspirin penicillin latex allergy reaction mother "
+     "father aunt uncle sister brother daughter son grandmother "
+     "grandfather family member review system abdomen chest neck "
+     "head breast axilla node adenopathy lymphadenopathy symmetry "
+     "palpation auscultation murmur wall quadrant nipple discharge "
+     "pain nodule lump cyst swelling area region spot change side "
+     "none", SINGULAR_NOUN),
+    # Plurals -------------------------------------------------------------
+    ("complaints mammograms biopsies masses lesions calcifications "
+     "births pregnancies cigarettes cigars beers drinks glasses "
+     "bottles packs medications allergies members systems breasts "
+     "nodes murmurs symptoms issues concerns occasions holidays "
+     "weekends parties cancers diseases surgeries", PLURAL_NOUN),
+    # Unit nouns ----------------------------------------------------------
+    ("years year days day weeks week months month pounds pound "
+     "kilograms kilogram degrees degree times", UNIT_NOUN),
+]
+
+# Default expressions for unknown words, keyed by Penn tag prefix.
+TAG_DEFAULTS: list[tuple[str, str]] = [
+    ("NNS", PLURAL_NOUN),
+    ("NNP", SINGULAR_NOUN),
+    ("NN", SINGULAR_NOUN),
+    ("VBZ", TRANSITIVE),
+    ("VBD", TRANSITIVE),
+    ("VBP", TRANSITIVE),
+    ("VBG", GERUND),
+    ("VBN", PAST_PARTICIPLE),
+    ("VB", TRANSITIVE),
+    ("JJ", ADJECTIVE),
+    ("RB", ADVERB),
+    ("IN", PREPOSITION),
+    ("DT", "D+"),
+    ("PRP$", "D+"),
+    ("PRP", PRONOUN_S),
+    ("CD", NUMBER_EXPR),
+    (",", "CJl- & CJr+"),
+    ("CC", "CJl- & CJr+"),
+]
+
+#: Words treated as numbers by the parser regardless of dictionary.
+NUMBER_TAGS = frozenset({"CD"})

@@ -1,0 +1,480 @@
+"""The link grammar parser (Sleator & Temperley's algorithm).
+
+A sentence has a valid **linkage** when links can be drawn between
+words such that
+
+1. *satisfaction* — every word uses exactly one of its disjuncts, all
+   of whose connectors are consumed by links, left connectors to
+   earlier words and right connectors to later words, in the distance
+   order the disjunct prescribes;
+2. *planarity* — drawn above the sentence, no two links cross;
+3. *connectivity* — the words and links form a connected graph;
+4. *exclusion* — no two links join the same pair of words.
+
+The algorithm is the memoized region recurrence of the original paper:
+``count(L, R, le, re)`` counts linkages of the words strictly between
+positions ``L`` and ``R`` given the unsatisfied right-pointing
+connectors ``le`` of word ``L`` and left-pointing connectors ``re`` of
+word ``R`` (both farthest-first).  A region is solved by choosing an
+interior word ``W`` and linking it to ``L``, to ``R``, or to both —
+this is what guarantees connectivity.  ``@``-multi-connectors may
+accept further links and therefore optionally stay at the head of
+their list.  Linkages are re-extracted by running the same recurrence
+generatively with the memo table used to prune dead branches.
+
+Fragments like ``blood pressure: 144/90`` have no linkage (the colon
+has no dictionary entry).  The parser raises
+:class:`~repro.errors.ParseFailure`, which the numeric extractor
+catches to fall back on the paper's pattern approach.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from repro.errors import ParseFailure
+from repro.linkgrammar.connectors import (
+    Connector,
+    connectors_match,
+    link_label,
+)  # Connector is used in type aliases and pruning below.
+from repro.linkgrammar.dictionary import (
+    LEFT_WALL,
+    Dictionary,
+    default_dictionary,
+)
+from repro.linkgrammar.expressions import Disjunct
+from repro.linkgrammar.linkage import Link, Linkage
+
+# Terminal punctuation is dropped before parsing (the real parser
+# links it to the wall).  Colons are NOT dropped: they have no
+# dictionary entry, which is precisely why "blood pressure: 144/90"
+# fails to parse and falls back to the pattern approach (§3.1).
+_STRIP_TOKENS = {".", "!", "?", ";"}
+
+ConnList = tuple[Connector, ...]
+
+
+class LinkGrammarParser:
+    """Parses token sequences into cost-ranked linkages."""
+
+    def __init__(
+        self,
+        dictionary: Dictionary | None = None,
+        max_linkages: int = 16,
+        max_words: int = 40,
+    ) -> None:
+        self.dictionary = dictionary or default_dictionary()
+        self.max_linkages = max_linkages
+        self.max_words = max_words
+
+    # ------------------------------------------------------------ public
+
+    def parse(
+        self,
+        words: list[str],
+        tags: list[str] | None = None,
+    ) -> list[Linkage]:
+        """All linkages of *words*, cheapest first.
+
+        *tags* are optional Penn POS tags used for unknown words.
+        Raises :class:`ParseFailure` when no linkage exists.
+        """
+        if not words:
+            raise ParseFailure(words, "empty sentence")
+        kept, token_map = self._strip(words)
+        if not kept:
+            raise ParseFailure(words, "only punctuation")
+        if len(kept) > self.max_words:
+            raise ParseFailure(words, f"longer than {self.max_words} words")
+
+        sentence = [LEFT_WALL] + kept
+        sent_tags = [None] + [
+            tags[token_map[i]] if tags and token_map[i] is not None else None
+            for i in range(len(kept))
+        ]
+        disjuncts = [
+            self.dictionary.disjuncts(word, tag)
+            for word, tag in zip(sentence, sent_tags)
+        ]
+        if any(not d for d in disjuncts):
+            missing = [
+                sentence[i] for i, d in enumerate(disjuncts) if not d
+            ]
+            raise ParseFailure(words, f"no entry for {missing[0]!r}")
+
+        session = _ParseSession(sentence, disjuncts)
+        linkages = session.linkages(self.max_linkages)
+        if not linkages:
+            raise ParseFailure(words, "no complete linkage")
+        result = [
+            Linkage(
+                words=sentence,
+                links=sorted(links),
+                cost=cost,
+                token_map=[None] + token_map,
+            )
+            for links, cost in linkages
+        ]
+        result.sort(key=lambda lk: (lk.cost, lk.links))
+        return result
+
+    def parse_one(
+        self, words: list[str], tags: list[str] | None = None
+    ) -> Linkage:
+        """The cheapest linkage of *words*."""
+        return self.parse(words, tags)[0]
+
+    def can_parse(
+        self, words: list[str], tags: list[str] | None = None
+    ) -> bool:
+        """True when at least one linkage exists."""
+        try:
+            self.parse(words, tags)
+            return True
+        except ParseFailure:
+            return False
+
+    def parse_robust(
+        self,
+        words: list[str],
+        tags: list[str] | None = None,
+        max_skips: int = 1,
+    ) -> tuple[Linkage, list[int]]:
+        """Parse allowing up to *max_skips* words to go unlinked.
+
+        An approximation of the original parser's null-link mode: when
+        no complete linkage exists, tokens are dropped (fewest first,
+        unknown words preferred) until one does.  Returns the linkage
+        plus the indices of the skipped tokens; the linkage's
+        ``token_map`` still refers to the caller's original indices.
+        Raises :class:`ParseFailure` when even skipping does not help.
+
+        The paper's own system never does this — fragments trigger the
+        pattern fallback instead — so nothing in the extraction
+        pipeline calls it; it exists for users who want the robust
+        behaviour of the C parser's ``null`` mode.
+        """
+        try:
+            return self.parse_one(words, tags), []
+        except ParseFailure:
+            pass
+        # Prefer skipping tokens the dictionary cannot place at all.
+        unknown = [
+            i
+            for i, word in enumerate(words)
+            if not self.dictionary.disjuncts(
+                word, tags[i] if tags else None
+            )
+        ]
+        order = unknown + [i for i in range(len(words))
+                           if i not in unknown]
+        for skips in range(1, max_skips + 1):
+            for combo in itertools.combinations(order, skips):
+                kept = [
+                    w for i, w in enumerate(words) if i not in combo
+                ]
+                kept_tags = (
+                    [t for i, t in enumerate(tags) if i not in combo]
+                    if tags
+                    else None
+                )
+                try:
+                    linkage = self.parse_one(kept, kept_tags)
+                except ParseFailure:
+                    continue
+                index_map = [
+                    i for i in range(len(words)) if i not in combo
+                ]
+                linkage.token_map = [
+                    None if tm is None else index_map[tm]
+                    for tm in linkage.token_map
+                ]
+                return linkage, sorted(combo)
+        raise ParseFailure(
+            words, f"no linkage even with {max_skips} null word(s)"
+        )
+
+    # ----------------------------------------------------------- helpers
+
+    @staticmethod
+    def _strip(words: list[str]) -> tuple[list[str], list[int]]:
+        """Drop sentence-final punctuation tokens, keep index mapping."""
+        kept: list[str] = []
+        token_map: list[int] = []
+        for index, word in enumerate(words):
+            if word in _STRIP_TOKENS:
+                continue
+            kept.append(word)
+            token_map.append(index)
+        return kept, token_map
+
+
+class _ParseSession:
+    """One sentence's memo tables and extraction state."""
+
+    def __init__(
+        self, sentence: list[str], disjuncts: list[list[Disjunct]]
+    ) -> None:
+        self.sentence = sentence
+        self.disjuncts = [list(d) for d in disjuncts]
+        self.n = len(sentence)
+        self._count_memo: dict[tuple, int] = {}
+        self._match_memo: dict[tuple[str, str], bool] = {}
+        self._prune()
+
+    def _match(self, plus: Connector, minus: Connector) -> bool:
+        """connectors_match with per-sentence label memoization."""
+        key = (plus.label, minus.label)
+        found = self._match_memo.get(key)
+        if found is None:
+            found = connectors_match(plus, minus)
+            self._match_memo[key] = found
+        return found
+
+    def _prune(self) -> None:
+        """Power pruning: drop disjuncts with unconnectable connectors.
+
+        A disjunct survives only while each of its left connectors can
+        match some right connector available on an earlier word and
+        each right connector some left connector on a later word.
+        Iterates to a fixpoint; typically removes the large majority of
+        tag-default disjuncts and makes the O(n³) recurrence fast.
+        """
+        match_memo: dict[tuple, bool] = {}
+
+        def can_match(plus: Connector, minus: Connector) -> bool:
+            key = (plus.label, minus.label)
+            found = match_memo.get(key)
+            if found is None:
+                found = connectors_match(plus, minus)
+                match_memo[key] = found
+            return found
+
+        changed = True
+        while changed:
+            changed = False
+            rights_before: list[set] = []
+            pool: set = set()
+            for ds in self.disjuncts:
+                rights_before.append(set(pool))
+                for d in ds:
+                    pool.update(d.right)
+            lefts_after: list[set] = [set() for _ in range(self.n)]
+            pool = set()
+            for i in range(self.n - 1, -1, -1):
+                lefts_after[i] = set(pool)
+                for d in self.disjuncts[i]:
+                    pool.update(d.left)
+            for i, ds in enumerate(self.disjuncts):
+                kept = [
+                    d
+                    for d in ds
+                    if all(
+                        any(can_match(r, c) for r in rights_before[i])
+                        for c in d.left
+                    )
+                    and all(
+                        any(can_match(c, l) for l in lefts_after[i])
+                        for c in d.right
+                    )
+                ]
+                if len(kept) != len(ds):
+                    self.disjuncts[i] = kept
+                    changed = True
+
+    # The wall's disjuncts have no left connectors; the virtual right
+    # boundary is position n with an empty connector list.
+
+    def linkages(
+        self, limit: int
+    ) -> list[tuple[frozenset[Link], int]]:
+        found: dict[frozenset[Link], int] = {}
+        for disjunct in self.disjuncts[0]:
+            if disjunct.left:
+                continue
+            if not self._count(0, self.n, disjunct.right, ()):
+                continue
+            for links, cost in self._extract(0, self.n, disjunct.right, ()):
+                key = frozenset(links)
+                if key not in found or cost < found[key]:
+                    found[key] = cost + disjunct.cost
+                if len(found) >= limit:
+                    break
+            if len(found) >= limit:
+                break
+        return list(found.items())
+
+    # ------------------------------------------------------------ count
+
+    def _count(self, L: int, R: int, le: ConnList, re: ConnList) -> int:
+        """Number of linkages of region (L, R) — capped, used to prune."""
+        if R == L + 1:
+            return 1 if not le and not re else 0
+        if not le and not re:
+            return 0
+        key = (L, R, le, re)
+        memo = self._count_memo.get(key)
+        if memo is not None:
+            return memo
+        total = 0
+        le_head = le[0] if le else None
+        re_head = re[0] if re else None
+        for W in range(L + 1, R):
+            for d in self.disjuncts[W]:
+                # Gate: with connectors left on L, this W must take
+                # le's head; otherwise it must take re's head.  Cheap
+                # check before the full case analysis.
+                if le_head is not None:
+                    if not d.left or not self._match(le_head, d.left[0]):
+                        continue
+                else:
+                    if (
+                        re_head is None
+                        or not d.right
+                        or not self._match(d.right[0], re_head)
+                    ):
+                        continue
+                total += self._count_choice(L, R, le, re, W, d)
+                if total > 1_000_000:  # cap to avoid huge ints
+                    self._count_memo[key] = total
+                    return total
+        self._count_memo[key] = total
+        return total
+
+    def _count_choice(
+        self, L: int, R: int, le: ConnList, re: ConnList,
+        W: int, d: Disjunct,
+    ) -> int:
+        left_variants = self._match_variants(le, d.left)
+        right_variants = self._match_variants(d.right, re)
+        leftcount = sum(
+            self._count(L, W, nle, ndl) for nle, ndl in left_variants
+        )
+        rightcount = sum(
+            self._count(W, R, ndr, nre) for ndr, nre in right_variants
+        )
+        total = leftcount * rightcount
+        if leftcount:
+            total += leftcount * self._count(W, R, d.right, re)
+        # The decomposition is unique because W is pinned to the word
+        # that le's head connector links to; only when L has no
+        # connectors left may W instead be the target of re's head.
+        if not le and rightcount:
+            total += self._count(L, W, le, d.left) * rightcount
+        return total
+
+    def _match_variants(
+        self, plus_list: ConnList, minus_list: ConnList
+    ) -> list[tuple[ConnList, ConnList]]:
+        """Successor list pairs after linking the two head connectors.
+
+        ``plus_list`` belongs to the earlier word (pointing right),
+        ``minus_list`` to the later word (pointing left), both
+        farthest-first.  Multi-connectors may stay for further links.
+        """
+        if not plus_list or not minus_list:
+            return []
+        a, b = plus_list[0], minus_list[0]
+        if not self._match(a, b):
+            return []
+        variants = [(plus_list[1:], minus_list[1:])]
+        if a.multi:
+            variants.append((plus_list, minus_list[1:]))
+        if b.multi:
+            variants.append((plus_list[1:], minus_list))
+        if a.multi and b.multi:
+            variants.append((plus_list, minus_list))
+        return variants
+
+    # --------------------------------------------------------- extract
+
+    def _extract(
+        self, L: int, R: int, le: ConnList, re: ConnList
+    ) -> Iterator[tuple[list[Link], int]]:
+        """Generate (links, cost) for region (L, R) — mirrors _count."""
+        if R == L + 1:
+            if not le and not re:
+                yield [], 0
+            return
+        if not le and not re:
+            return
+        le_head = le[0] if le else None
+        re_head = re[0] if re else None
+        for W in range(L + 1, R):
+            for d in self.disjuncts[W]:
+                # Same gate as _count: W must take the forced head.
+                if le_head is not None:
+                    if not d.left or not self._match(le_head, d.left[0]):
+                        continue
+                else:
+                    if (
+                        re_head is None
+                        or not d.right
+                        or not self._match(d.right[0], re_head)
+                    ):
+                        continue
+                yield from self._extract_choice(L, R, le, re, W, d)
+
+    def _extract_choice(
+        self, L: int, R: int, le: ConnList, re: ConnList,
+        W: int, d: Disjunct,
+    ) -> Iterator[tuple[list[Link], int]]:
+        left_variants = self._match_variants(le, d.left)
+        right_variants = self._match_variants(d.right, re)
+        has_left = any(
+            self._count(L, W, nle, ndl) for nle, ndl in left_variants
+        )
+        has_right = any(
+            self._count(W, R, ndr, nre) for ndr, nre in right_variants
+        )
+
+        def left_link() -> Link:
+            return Link(L, W, link_label(le[0], d.left[0]))
+
+        def right_link() -> Link:
+            return Link(W, R, link_label(d.right[0], re[0]))
+
+        # Both boundary links.
+        if has_left and has_right:
+            for nle, ndl in left_variants:
+                if not self._count(L, W, nle, ndl):
+                    continue
+                for llinks, lcost in self._extract(L, W, nle, ndl):
+                    for ndr, nre in right_variants:
+                        if not self._count(W, R, ndr, nre):
+                            continue
+                        for rlinks, rcost in self._extract(W, R, ndr, nre):
+                            yield (
+                                llinks + rlinks + [left_link(), right_link()],
+                                lcost + rcost + d.cost,
+                            )
+        # Left boundary link only.
+        if has_left and self._count(W, R, d.right, re):
+            for nle, ndl in left_variants:
+                if not self._count(L, W, nle, ndl):
+                    continue
+                for llinks, lcost in self._extract(L, W, nle, ndl):
+                    for rlinks, rcost in self._extract(W, R, d.right, re):
+                        yield (
+                            llinks + rlinks + [left_link()],
+                            lcost + rcost + d.cost,
+                        )
+        # Right boundary link only (legal only with an exhausted le —
+        # see _count_choice).
+        if not le and has_right and self._count(L, W, le, d.left):
+            for ndr, nre in right_variants:
+                if not self._count(W, R, ndr, nre):
+                    continue
+                for rlinks, rcost in self._extract(W, R, ndr, nre):
+                    for llinks, lcost in self._extract(L, W, le, d.left):
+                        yield (
+                            llinks + rlinks + [right_link()],
+                            lcost + rcost + d.cost,
+                        )
+
+
+def parse(words: list[str], tags: list[str] | None = None) -> Linkage:
+    """Module-level convenience: cheapest linkage with defaults."""
+    return LinkGrammarParser().parse_one(words, tags)

@@ -1,0 +1,238 @@
+"""Constituent tree derivation from a linkage.
+
+§4 of the paper: "Link Grammar Parser is used to produce both linkage
+information for the association of number and feature and a
+constituent tree for feature extraction."  The original parser derives
+phrase structure from the linkage; this module does the same in two
+steps:
+
+1. **dependency orientation** — each link type has an intrinsic head
+   direction (a determiner depends on its noun, an object on its verb,
+   …), giving every word a governor;
+2. **projection** — each word projects a phrase labeled by its part of
+   speech (NP/VP/PP/ADJP/ADVP/NUM), and dependents nest inside their
+   governor's phrase in surface order.
+
+The result prints in the familiar bracketed form::
+
+    (S (NP her breast history) (VP is (ADJP negative (PP for (NP
+    biopsies)))))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.linkgrammar.linkage import Linkage
+
+#: link base label -> which endpoint is the dependent.
+#: "left" means the left word depends on (is governed by) the right.
+_DEPENDENT_SIDE: dict[str, str] = {
+    "A": "left",    # adjective -> noun
+    "AN": "left",   # noun modifier -> noun
+    "D": "left",    # determiner -> noun
+    "Dn": "left",   # numeric determiner -> noun
+    "S": "left",    # subject -> verb (verb heads the clause)
+    "Wd": "right",  # wall link: sentence head depends on the wall
+    "O": "right",   # object -> verb
+    "Pa": "right",  # predicate adjective -> be
+    "Pg": "right",  # gerund -> be
+    "Pv": "right",  # passive participle -> be
+    "PP": "right",  # past participle -> have
+    "I": "right",   # infinitive -> auxiliary / to
+    "TO": "right",  # "to" -> verb ... (verb TO+ to)
+    "N": "right",   # "not" -> auxiliary  (aux N+ not)
+    "E": "left",    # pre-verb adverb -> verb
+    "EB": "right",  # post-be adverb -> be
+    "MV": "right",  # post-verbal modifier -> verb
+    "M": "right",   # preposition -> noun  (noun M+ prep)
+    "J": "right",   # object -> preposition (prep J+ noun)
+    "NM": "right",  # numeric apposition -> noun
+    "TA": "left",   # time noun -> "ago"
+    "R": "right",   # relative pronoun -> noun
+    "CJ": "right",  # conjunct chain: right side depends on left
+}
+
+_PHRASE_LABELS: dict[str, str] = {
+    "NN": "NP", "NNS": "NP", "NNP": "NP", "PRP": "NP",
+    "PRP$": "DET", "DT": "DET",
+    "VB": "VP", "VBD": "VP", "VBZ": "VP", "VBP": "VP",
+    "VBG": "VP", "VBN": "VP", "MD": "VP",
+    "JJ": "ADJP", "JJR": "ADJP", "JJS": "ADJP",
+    "RB": "ADVP",
+    "IN": "PP",
+    "CD": "NUM",
+    "CC": "CONJ", ",": "CONJ",
+}
+
+
+@dataclass
+class Tree:
+    """A constituent: label, optional head word, ordered children."""
+
+    label: str
+    word: str | None = None
+    children: list["Tree"] = field(default_factory=list)
+
+    def bracketed(self) -> str:
+        """Penn-style bracketed rendering."""
+        parts: list[str] = []
+        if self.word is not None:
+            parts.append(self.word)
+        parts.extend(child.bracketed() for child in self.children)
+        inner = " ".join(parts)
+        return f"({self.label} {inner})" if inner else f"({self.label})"
+
+    def leaves(self) -> list[str]:
+        """Surface words, left to right."""
+        out: list[str] = []
+
+        def walk(node: "Tree") -> None:
+            if node.word is not None:
+                out.append(node.word)
+            for child in node.children:
+                walk(child)
+
+        walk(self)
+        return out
+
+    def spans_with_label(self, label: str) -> list["Tree"]:
+        found: list[Tree] = []
+
+        def walk(node: "Tree") -> None:
+            if node.label == label:
+                found.append(node)
+            for child in node.children:
+                walk(child)
+
+        walk(self)
+        return found
+
+
+def _base(label: str) -> str:
+    head = ""
+    for ch in label:
+        if ch.isupper():
+            head += ch
+        else:
+            break
+    return head
+
+
+def _creates_cycle(
+    governors: dict[int, int], dependent: int, governor: int
+) -> bool:
+    node = governor
+    while node in governors:
+        node = governors[node]
+        if node == dependent:
+            return True
+    return False
+
+
+def _governors(linkage: Linkage) -> dict[int, int]:
+    """word index -> governor index.
+
+    Wall links are ignored during assignment — a main-clause subject
+    carries both Wd (to the wall) and S (to the verb), and the verb
+    must win so the clause is verb-headed.  Words left without a
+    governor (the clause heads) attach to the wall afterwards.
+    """
+    governors: dict[int, int] = {}
+    for link in sorted(linkage.links):
+        base = _base(link.label)
+        if base == "Wd":
+            continue
+        side = _DEPENDENT_SIDE.get(base, "right")
+        if side == "left":
+            dependent, governor = link.left, link.right
+        else:
+            dependent, governor = link.right, link.left
+        if dependent in governors:
+            continue
+        if _creates_cycle(governors, dependent, governor):
+            continue
+        governors[dependent] = governor
+    for index in range(1, len(linkage.words)):
+        if index not in governors:
+            governors[index] = 0
+    return governors
+
+
+def _phrase_label(tag_guess: str, word: str) -> str:
+    return _PHRASE_LABELS.get(tag_guess, "X")
+
+
+def constituent_tree(
+    linkage: Linkage, tags: list[str] | None = None
+) -> Tree:
+    """Derive the constituent tree of a linkage.
+
+    *tags* are Penn tags aligned with ``linkage.words`` (wall
+    included, its tag ignored); without them a crude guess from the
+    dictionary role is used.
+    """
+    n = len(linkage.words)
+    governors = _governors(linkage)
+    children: dict[int, list[int]] = {i: [] for i in range(n)}
+    for dependent, governor in governors.items():
+        children[governor].append(dependent)
+    for lst in children.values():
+        lst.sort()
+
+    if tags is None:
+        tags = _guess_tags(linkage)
+
+    def build(index: int) -> Tree:
+        label = _phrase_label(tags[index], linkage.words[index])
+        kids = children[index]
+        word = linkage.words[index]
+        if not kids:
+            return Tree(label=label, word=word)
+        # Multi-word phrase: the head becomes a POS-labeled leaf so
+        # leaves read in surface order.
+        left = [build(k) for k in kids if k < index]
+        right = [build(k) for k in kids if k > index]
+        head = Tree(label=tags[index], word=word)
+        return Tree(label=label, children=left + [head] + right)
+
+    roots = children[0]
+    clause = Tree(label="S")
+    for root in roots:
+        clause.children.append(build(root))
+    if not roots:  # no wall links (cannot happen in valid linkages)
+        clause.children.extend(
+            build(i) for i in range(1, n) if i not in governors
+        )
+    return clause
+
+
+def _guess_tags(linkage: Linkage) -> list[str]:
+    """Infer a coarse tag for each word from its link roles."""
+    tags = ["NN"] * len(linkage.words)
+    for link in linkage.links:
+        base = _base(link.label)
+        if base == "S":
+            tags[link.right] = "VB"
+        elif base in {"O", "J"}:
+            pass
+        elif base in {"M", "MV"} and base == "M":
+            tags[link.right] = "IN"
+        elif base == "J":
+            tags[link.left] = "IN"
+        elif base in {"A"}:
+            tags[link.left] = "JJ"
+        elif base in {"Pa"}:
+            tags[link.right] = "JJ"
+        elif base in {"E", "EB"}:
+            side = link.left if base == "E" else link.right
+            tags[side] = "RB"
+        elif base in {"PP", "Pg", "Pv", "I"}:
+            tags[link.right] = "VB"
+        elif base in {"Dn", "NM"}:
+            target = link.left if base == "Dn" else link.right
+            tags[target] = "CD"
+    for link in linkage.links:
+        if _base(link.label) == "J":
+            tags[link.left] = "IN"
+    return tags

@@ -1,0 +1,33 @@
+"""Machine-learning substrate: ID3, datasets, metrics, cross-validation."""
+
+from repro.ml.crossval import CrossValidationResult, cross_validate
+from repro.ml.dataset import Dataset, Instance
+from repro.ml.id3 import ID3Classifier, entropy, information_gain
+from repro.ml.pruning import prune_tree, train_pruned
+from repro.ml.serialize import load_tree, save_tree
+from repro.ml.metrics import (
+    ConfusionMatrix,
+    ExtractionCounts,
+    confusion,
+    micro_extraction,
+    score_extraction,
+)
+
+__all__ = [
+    "CrossValidationResult",
+    "cross_validate",
+    "Dataset",
+    "Instance",
+    "ID3Classifier",
+    "entropy",
+    "information_gain",
+    "prune_tree",
+    "train_pruned",
+    "load_tree",
+    "save_tree",
+    "ConfusionMatrix",
+    "ExtractionCounts",
+    "confusion",
+    "micro_extraction",
+    "score_extraction",
+]

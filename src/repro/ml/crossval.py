@@ -1,0 +1,72 @@
+"""Repeated shuffled k-fold cross-validation (§5).
+
+"Five-fold cross validation is applied … We run a five-fold cross
+validation ten times, and each time the dataset is randomly shuffled.
+Average precision (recall) is 92.2%.  The number of features used in
+the decision tree ranges from four to seven."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.ml.dataset import Dataset
+from repro.ml.id3 import ID3Classifier
+from repro.ml.metrics import ConfusionMatrix
+
+
+@dataclass
+class CrossValidationResult:
+    """Aggregated outcome of repeated k-fold cross-validation."""
+
+    confusion: ConfusionMatrix
+    fold_accuracies: list[float] = field(default_factory=list)
+    feature_counts: list[int] = field(default_factory=list)
+
+    @property
+    def accuracy(self) -> float:
+        """Micro precision = recall over all folds and repetitions."""
+        return self.confusion.accuracy()
+
+    @property
+    def min_features(self) -> int:
+        return min(self.feature_counts) if self.feature_counts else 0
+
+    @property
+    def max_features(self) -> int:
+        return max(self.feature_counts) if self.feature_counts else 0
+
+    def summary(self) -> str:
+        return (
+            f"avg precision (recall) = {self.accuracy:.1%}; features "
+            f"used per tree: {self.min_features}-{self.max_features}"
+        )
+
+
+def cross_validate(
+    dataset: Dataset,
+    k: int = 5,
+    repetitions: int = 10,
+    seed: int = 0,
+    classifier_factory: Callable[[], ID3Classifier] = ID3Classifier,
+) -> CrossValidationResult:
+    """Run the paper's protocol: repeated, shuffled, k-fold CV."""
+    rng = random.Random(seed)
+    result = CrossValidationResult(confusion=ConfusionMatrix())
+    for _ in range(repetitions):
+        shuffled = dataset.shuffled(rng)
+        for train, test in shuffled.folds(k):
+            classifier = classifier_factory().fit(train)
+            correct = 0
+            for instance in test:
+                predicted = classifier.predict(instance)
+                result.confusion.add(instance.label, predicted)
+                if predicted == instance.label:
+                    correct += 1
+            result.fold_accuracies.append(
+                correct / len(test) if len(test) else 0.0
+            )
+            result.feature_counts.append(len(classifier.features_used()))
+    return result

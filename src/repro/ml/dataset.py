@@ -1,0 +1,111 @@
+"""Boolean-feature datasets for the ID3 classifier.
+
+§3.3: "the presence of a certain word is treated as a Boolean
+feature."  A :class:`Dataset` is a list of instances, each a set of
+present features plus a class label.  Sets (not vectors) keep the
+representation sparse — a corpus has thousands of candidate features
+but each sentence activates a handful.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One training/testing example."""
+
+    features: frozenset[str]
+    label: str
+
+    def has(self, feature: str) -> bool:
+        return feature in self.features
+
+
+@dataclass
+class Dataset:
+    """An ordered collection of instances."""
+
+    instances: list[Instance] = field(default_factory=list)
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[tuple[Iterable[str], str]]
+    ) -> "Dataset":
+        return cls(
+            [Instance(frozenset(f), label) for f, label in pairs]
+        )
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def __iter__(self) -> Iterator[Instance]:
+        return iter(self.instances)
+
+    def __getitem__(self, index) -> Instance:
+        return self.instances[index]
+
+    def labels(self) -> list[str]:
+        """Distinct labels in first-appearance order."""
+        seen: list[str] = []
+        for inst in self.instances:
+            if inst.label not in seen:
+                seen.append(inst.label)
+        return seen
+
+    def features(self) -> set[str]:
+        """Union of all instance features."""
+        out: set[str] = set()
+        for inst in self.instances:
+            out |= inst.features
+        return out
+
+    def label_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for inst in self.instances:
+            counts[inst.label] = counts.get(inst.label, 0) + 1
+        return counts
+
+    def majority_label(self) -> str:
+        """Most frequent label; ties break toward earliest appearance."""
+        if not self.instances:
+            raise ValueError("empty dataset has no majority label")
+        counts = self.label_counts()
+        order = {label: i for i, label in enumerate(self.labels())}
+        return max(counts, key=lambda l: (counts[l], -order[l]))
+
+    def split(self, feature: str) -> tuple["Dataset", "Dataset"]:
+        """(instances with feature, instances without)."""
+        yes = [i for i in self.instances if i.has(feature)]
+        no = [i for i in self.instances if not i.has(feature)]
+        return Dataset(yes), Dataset(no)
+
+    def shuffled(self, rng: random.Random) -> "Dataset":
+        """A new dataset with instance order shuffled by *rng*."""
+        shuffled = list(self.instances)
+        rng.shuffle(shuffled)
+        return Dataset(shuffled)
+
+    def folds(self, k: int) -> list[tuple["Dataset", "Dataset"]]:
+        """k (train, test) pairs; test folds partition the dataset."""
+        if k < 2:
+            raise ValueError(f"need at least 2 folds, got {k}")
+        if k > len(self.instances):
+            raise ValueError(
+                f"cannot make {k} folds from {len(self.instances)} instances"
+            )
+        pieces: list[list[Instance]] = [[] for _ in range(k)]
+        for index, inst in enumerate(self.instances):
+            pieces[index % k].append(inst)
+        out: list[tuple[Dataset, Dataset]] = []
+        for i in range(k):
+            test = Dataset(list(pieces[i]))
+            train = Dataset(
+                [inst for j, piece in enumerate(pieces) if j != i
+                 for inst in piece]
+            )
+            out.append((train, test))
+        return out

@@ -1,0 +1,148 @@
+"""Classification and extraction metrics.
+
+§5 defines extraction precision/recall both per subject and micro-
+averaged over all subjects; classification results are reported as
+"average precision (recall)", which for single-label prediction over
+all cases is micro precision = micro recall = accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ConfusionMatrix:
+    """Label-by-label confusion counts."""
+
+    counts: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def add(self, actual: str, predicted: str, n: int = 1) -> None:
+        key = (actual, predicted)
+        self.counts[key] = self.counts.get(key, 0) + n
+
+    def labels(self) -> list[str]:
+        seen: list[str] = []
+        for actual, predicted in self.counts:
+            for label in (actual, predicted):
+                if label not in seen:
+                    seen.append(label)
+        return seen
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def correct(self) -> int:
+        return sum(
+            n for (a, p), n in self.counts.items() if a == p
+        )
+
+    def accuracy(self) -> float:
+        total = self.total()
+        return self.correct() / total if total else 0.0
+
+    def precision(self, label: str) -> float:
+        predicted = sum(
+            n for (_, p), n in self.counts.items() if p == label
+        )
+        if predicted == 0:
+            return 0.0
+        return self.counts.get((label, label), 0) / predicted
+
+    def recall(self, label: str) -> float:
+        actual = sum(
+            n for (a, _), n in self.counts.items() if a == label
+        )
+        if actual == 0:
+            return 0.0
+        return self.counts.get((label, label), 0) / actual
+
+    def macro_precision(self) -> float:
+        labels = self.labels()
+        if not labels:
+            return 0.0
+        return sum(self.precision(l) for l in labels) / len(labels)
+
+    def macro_recall(self) -> float:
+        labels = self.labels()
+        if not labels:
+            return 0.0
+        return sum(self.recall(l) for l in labels) / len(labels)
+
+    def micro_precision_recall(self) -> float:
+        """Micro P = micro R = accuracy for single-label prediction."""
+        return self.accuracy()
+
+
+def confusion(
+    actual: list[str], predicted: list[str]
+) -> ConfusionMatrix:
+    if len(actual) != len(predicted):
+        raise ValueError(
+            f"length mismatch: {len(actual)} actual vs "
+            f"{len(predicted)} predicted"
+        )
+    matrix = ConfusionMatrix()
+    for a, p in zip(actual, predicted):
+        matrix.add(a, p)
+    return matrix
+
+
+@dataclass
+class ExtractionCounts:
+    """Per-subject tallies for multi-valued extraction (§5 formulas).
+
+    ``etrue`` — extracted terms that are correct (ETrue_i)
+    ``etotal`` — terms extracted (ETotal_i)
+    ``tinst`` — true terms present (TInst_i)
+    """
+
+    etrue: int = 0
+    etotal: int = 0
+    tinst: int = 0
+
+    def precision(self) -> float:
+        """P_i = ETrue_i / ETotal_i (1.0 when nothing was extracted
+        and nothing was there to extract)."""
+        if self.etotal == 0:
+            return 1.0 if self.tinst == 0 else 0.0
+        return self.etrue / self.etotal
+
+    def recall(self) -> float:
+        """R_i = ETrue_i / TInst_i (1.0 when nothing was expected)."""
+        if self.tinst == 0:
+            return 1.0
+        return self.etrue / self.tinst
+
+    def __add__(self, other: "ExtractionCounts") -> "ExtractionCounts":
+        return ExtractionCounts(
+            self.etrue + other.etrue,
+            self.etotal + other.etotal,
+            self.tinst + other.tinst,
+        )
+
+
+def micro_extraction(
+    per_subject: list[ExtractionCounts],
+) -> tuple[float, float]:
+    """Corpus P = ΣETrue/ΣETotal and R = ΣETrue/ΣTInst (§5)."""
+    total = sum(per_subject, ExtractionCounts())
+    return total.precision(), total.recall()
+
+
+def score_extraction(
+    extracted: list[str], expected: list[str]
+) -> ExtractionCounts:
+    """Count one subject's extraction against its gold list.
+
+    Both lists are bags of canonical term strings; duplicates count.
+    """
+    remaining = list(expected)
+    etrue = 0
+    for term in extracted:
+        if term in remaining:
+            remaining.remove(term)
+            etrue += 1
+    return ExtractionCounts(
+        etrue=etrue, etotal=len(extracted), tinst=len(expected)
+    )

@@ -1,0 +1,72 @@
+"""Reduced-error pruning for ID3 (Quinlan's classic companion).
+
+The paper chooses ID3 because information gain keeps trees small
+("supposed to use less features than other decision tree algorithms")
+— but plain ID3 still overfits small clinical datasets.  Reduced-error
+pruning replaces any subtree whose removal does not hurt accuracy on a
+held-out set with a majority leaf, bottom-up.  The
+``bench_ablation_pruning`` target quantifies the trade-off on the
+smoking task.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TrainingError
+from repro.ml.dataset import Dataset
+from repro.ml.id3 import ID3Classifier, _Leaf, _Node
+
+
+def _accuracy(node, dataset: Dataset) -> float:
+    if len(dataset) == 0:
+        return 0.0
+    correct = sum(
+        node.predict(instance) == instance.label for instance in dataset
+    )
+    return correct / len(dataset)
+
+
+def _prune(node, validation: Dataset):
+    """Bottom-up reduced-error pruning of *node* against *validation*.
+
+    Returns the (possibly replaced) node.  Instances route to branches
+    exactly as prediction would route them.
+    """
+    if isinstance(node, _Leaf):
+        return node
+    yes, no = validation.split(node.feature)
+    node.present = _prune(node.present, yes)
+    node.absent = _prune(node.absent, no)
+    if len(validation) == 0:
+        # No evidence either way; collapse only pure stumps.
+        return node
+    majority = validation.majority_label()
+    leaf = _Leaf(label=majority)
+    if _accuracy(leaf, validation) >= _accuracy(node, validation):
+        return leaf
+    return node
+
+
+def prune_tree(
+    classifier: ID3Classifier, validation: Dataset
+) -> ID3Classifier:
+    """Prune a trained classifier in place; returns it for chaining.
+
+    Raises :class:`TrainingError` on an untrained classifier or an
+    empty validation set.
+    """
+    if classifier._root is None:
+        raise TrainingError("cannot prune an untrained classifier")
+    if len(validation) == 0:
+        raise TrainingError("pruning needs a non-empty validation set")
+    classifier._root = _prune(classifier._root, validation)
+    return classifier
+
+
+def train_pruned(
+    train: Dataset,
+    validation: Dataset,
+    max_depth: int | None = None,
+) -> ID3Classifier:
+    """Fit on *train* and reduced-error-prune against *validation*."""
+    classifier = ID3Classifier(max_depth=max_depth).fit(train)
+    return prune_tree(classifier, validation)

@@ -1,0 +1,22 @@
+"""Morphology substrate: lemmatization and inflection (WordNet substitute)."""
+
+from repro.morphology.exceptions import (
+    ADJECTIVE_EXCEPTIONS,
+    NON_INFLECTED,
+    NOUN_EXCEPTIONS,
+    VERB_EXCEPTIONS,
+)
+from repro.morphology.inflector import conjugate, pluralize, variants
+from repro.morphology.lemmatizer import Lemmatizer, lemma
+
+__all__ = [
+    "ADJECTIVE_EXCEPTIONS",
+    "NON_INFLECTED",
+    "NOUN_EXCEPTIONS",
+    "VERB_EXCEPTIONS",
+    "conjugate",
+    "pluralize",
+    "variants",
+    "Lemmatizer",
+    "lemma",
+]

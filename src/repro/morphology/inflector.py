@@ -1,0 +1,124 @@
+"""Inflected-variant generation.
+
+§3.1 of the paper: "In order to improve the recall of feature
+identification, we further introduce target synonyms and [inflected]
+variants of the feature and its synonyms … we used WordNet and some
+heuristics to automatically generate them from original concepts."
+
+Given a feature keyword ("pregnancy", "live birth"), this module
+generates the surface variants a dictated note might use: plural nouns,
+verb conjugations, and the same applied to the head word of multi-word
+phrases.
+"""
+
+from __future__ import annotations
+
+from repro.morphology.exceptions import NOUN_EXCEPTIONS, VERB_EXCEPTIONS
+
+# Inverted exception tables: lemma -> irregular surface forms.
+_IRREGULAR_PLURALS: dict[str, list[str]] = {}
+for surface, base in NOUN_EXCEPTIONS.items():
+    _IRREGULAR_PLURALS.setdefault(base, []).append(surface)
+
+_IRREGULAR_VERB_SURFACES: dict[str, list[str]] = {}
+for surface, base in VERB_EXCEPTIONS.items():
+    _IRREGULAR_VERB_SURFACES.setdefault(base, []).append(surface)
+
+_VOWELS = "aeiou"
+_SIBILANT_ENDINGS = ("s", "x", "z", "ch", "sh")
+
+
+def pluralize(noun: str) -> str:
+    """Regular-English plural of *noun* (irregulars via exceptions).
+
+    >>> pluralize("pregnancy")
+    'pregnancies'
+    >>> pluralize("child")
+    'children'
+    """
+    lower = noun.lower()
+    if lower in _IRREGULAR_PLURALS:
+        return _IRREGULAR_PLURALS[lower][0]
+    if lower.endswith("y") and len(lower) > 1 and lower[-2] not in _VOWELS:
+        return lower[:-1] + "ies"
+    if lower.endswith(_SIBILANT_ENDINGS):
+        return lower + "es"
+    if lower.endswith("fe"):
+        return lower[:-2] + "ves"
+    if lower.endswith("f") and not lower.endswith(("ff", "oof")):
+        return lower[:-1] + "ves"
+    return lower + "s"
+
+
+def _double_final(stem: str) -> bool:
+    """Should the final consonant double before -ed/-ing? (CVC rule)."""
+    if len(stem) < 3:
+        return False
+    a, b, c = stem[-3], stem[-2], stem[-1]
+    return (
+        c not in _VOWELS + "wxy"
+        and b in _VOWELS
+        and a not in _VOWELS
+    )
+
+
+def conjugate(verb: str) -> list[str]:
+    """Common conjugations of *verb*: -s, -ed, -ing (plus irregulars).
+
+    >>> sorted(conjugate("deny"))
+    ['denied', 'denies', 'denying']
+    """
+    lower = verb.lower()
+    forms: list[str] = []
+    forms.extend(_IRREGULAR_VERB_SURFACES.get(lower, ()))
+    if lower.endswith("y") and len(lower) > 1 and lower[-2] not in _VOWELS:
+        forms += [lower[:-1] + "ies", lower[:-1] + "ied", lower + "ing"]
+    elif lower.endswith("e") and not lower.endswith("ee"):
+        forms += [lower + "s", lower + "d", lower[:-1] + "ing"]
+    elif lower.endswith(_SIBILANT_ENDINGS):
+        forms += [lower + "es", lower + "ed", lower + "ing"]
+    elif _double_final(lower):
+        c = lower[-1]
+        forms += [lower + "s", lower + c + "ed", lower + c + "ing"]
+    else:
+        forms += [lower + "s", lower + "ed", lower + "ing"]
+    # dedupe preserving order
+    seen: list[str] = []
+    for f in forms:
+        if f != lower and f not in seen:
+            seen.append(f)
+    return seen
+
+
+def variants(phrase: str, pos: str = "noun") -> list[str]:
+    """Inflected surface variants of a (possibly multi-word) phrase.
+
+    For multi-word phrases only the head (final) word inflects, which is
+    how dictation varies them: "live birth" → "live births".  The
+    original phrase is always the first element.
+
+    >>> variants("live birth")
+    ['live birth', 'live births']
+    """
+    phrase = phrase.strip().lower()
+    if not phrase:
+        return []
+    words = phrase.split()
+    head = words[-1]
+    prefix = " ".join(words[:-1])
+
+    def join(form: str) -> str:
+        return f"{prefix} {form}" if prefix else form
+
+    out = [phrase]
+    if pos == "noun":
+        head_variants = [pluralize(head)]
+    elif pos == "verb":
+        head_variants = conjugate(head)
+    else:
+        head_variants = []
+    for form in head_variants:
+        candidate = join(form)
+        if candidate not in out:
+            out.append(candidate)
+    return out

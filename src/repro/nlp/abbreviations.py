@@ -1,0 +1,79 @@
+"""Abbreviation inventory for sentence splitting and tagging.
+
+Clinical dictation is dense with abbreviations that end in a period or
+would otherwise fool a naive sentence splitter.  The splitter consults
+:data:`NON_TERMINAL_ABBREVIATIONS`; the POS tagger consults
+:data:`CLINICAL_ABBREVIATIONS` for tag hints.
+"""
+
+from __future__ import annotations
+
+# Tokens after which a period does NOT end the sentence.
+NON_TERMINAL_ABBREVIATIONS: frozenset[str] = frozenset(
+    {
+        # titles & honorifics
+        "dr", "mr", "mrs", "ms", "prof", "st", "jr", "sr", "md", "do",
+        # Latin / general
+        "e.g", "i.e", "etc", "vs", "viz", "cf", "al", "approx",
+        # clinical dosing
+        "q.d", "b.i.d", "t.i.d", "q.i.d", "p.r.n", "p.o", "i.v", "i.m",
+        "q.h.s", "a.c", "p.c", "s.l", "subq",
+        # units & measurements commonly dictated with periods
+        "mg", "mcg", "ml", "cc", "cm", "mm", "kg", "lb", "lbs", "oz",
+        "no", "nos", "fig", "figs", "sec", "min", "hr", "hrs", "wk",
+        "wks", "mo", "mos", "yr", "yrs",
+        # anatomy / exam shorthand
+        "abd", "ext", "neuro", "resp", "cv", "gi", "gu", "gyn",
+    }
+)
+
+# Abbreviation -> Penn-style POS tag hints used by the tagger's lexicon
+# layer.  Expansions are recorded for documentation and for the synonym
+# machinery in repro.extraction.features.
+CLINICAL_ABBREVIATIONS: dict[str, tuple[str, str]] = {
+    "bp": ("NN", "blood pressure"),
+    "hr": ("NN", "heart rate"),
+    "rr": ("NN", "respiratory rate"),
+    "temp": ("NN", "temperature"),
+    "wt": ("NN", "weight"),
+    "ht": ("NN", "height"),
+    "hx": ("NN", "history"),
+    "dx": ("NN", "diagnosis"),
+    "tx": ("NN", "treatment"),
+    "sx": ("NNS", "symptoms"),
+    "fx": ("NN", "fracture"),
+    "pmh": ("NN", "past medical history"),
+    "psh": ("NN", "past surgical history"),
+    "cva": ("NN", "cerebrovascular accident"),
+    "mi": ("NN", "myocardial infarction"),
+    "chf": ("NN", "congestive heart failure"),
+    "copd": ("NN", "chronic obstructive pulmonary disease"),
+    "cad": ("NN", "coronary artery disease"),
+    "htn": ("NN", "hypertension"),
+    "dm": ("NN", "diabetes mellitus"),
+    "gerd": ("NN", "gastroesophageal reflux disease"),
+    "uti": ("NN", "urinary tract infection"),
+    "uri": ("NN", "upper respiratory infection"),
+    "tia": ("NN", "transient ischemic attack"),
+    "dvt": ("NN", "deep venous thrombosis"),
+    "pe": ("NN", "pulmonary embolism"),
+    "afib": ("NN", "atrial fibrillation"),
+    "ca": ("NN", "cancer"),
+    "lmp": ("NN", "last menstrual period"),
+    "flb": ("NN", "first live birth"),
+    "birads": ("NN", "breast imaging reporting and data system"),
+    "birad": ("NN", "breast imaging reporting and data system"),
+    "perrla": (
+        "NN",
+        "pupils equal round reactive to light and accommodation",
+    ),
+    "heent": ("NN", "head eyes ears nose throat"),
+    "s1": ("NN", "first heart sound"),
+    "s2": ("NN", "second heart sound"),
+    "ace": ("NN", "angiotensin converting enzyme"),
+    "nsaid": ("NN", "nonsteroidal anti-inflammatory drug"),
+    "prn": ("RB", "as needed"),
+    "qd": ("RB", "daily"),
+    "bid": ("RB", "twice daily"),
+    "tid": ("RB", "three times daily"),
+}

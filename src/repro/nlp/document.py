@@ -1,0 +1,228 @@
+"""GATE-style document and annotation model.
+
+The paper uses GATE (General Architecture for Text Engineering) for
+tokenization, sentence splitting, part-of-speech tagging and number
+annotation.  GATE's central abstraction is a *document* carrying sets of
+typed, feature-bearing *annotations* over character spans; processing
+resources read earlier annotations and add new ones.  This module
+reimplements that contract in a few hundred lines: a
+:class:`Document` owns an :class:`AnnotationSet`, and the components in
+:mod:`repro.nlp.pipeline` populate it in order.
+
+Annotation types used across the library:
+
+``Token``
+    one lexical token; features: ``kind`` (:class:`TokenKind`), ``pos``
+    (Penn-style tag, set by the tagger), ``lemma`` (set on demand).
+``Sentence``
+    one sentence span.
+``Number``
+    a numeric mention; features: ``value`` (float), ``values`` (tuple of
+    floats for ratios such as blood pressure ``144/90``), ``form``
+    (``digits`` / ``words`` / ``ratio``).
+``Section``
+    a record section; feature ``name`` holds the canonical header.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterable, Iterator
+
+
+class TokenKind(str, Enum):
+    """Lexical class assigned by the tokenizer."""
+
+    WORD = "word"
+    NUMBER = "number"
+    RATIO = "ratio"  # 144/90, 98.6/37 — slash-joined readings
+    PUNCT = "punct"
+    SYMBOL = "symbol"
+
+
+@dataclass
+class Annotation:
+    """A typed span of document text with arbitrary features.
+
+    Annotations compare by span then id so that sorted annotation lists
+    read in document order.
+    """
+
+    id: int
+    type: str
+    start: int
+    end: int
+    features: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(
+                f"invalid span [{self.start}, {self.end}) for {self.type}"
+            )
+
+    @property
+    def span(self) -> tuple[int, int]:
+        return (self.start, self.end)
+
+    def text(self, document_text: str) -> str:
+        """Return the covered text given the owning document's text."""
+        return document_text[self.start:self.end]
+
+    def overlaps(self, other: "Annotation") -> bool:
+        """True when the two spans share at least one character."""
+        return self.start < other.end and other.start < self.end
+
+    def contains(self, other: "Annotation") -> bool:
+        """True when *other* lies fully within this span."""
+        return self.start <= other.start and other.end <= self.end
+
+    def __lt__(self, other: "Annotation") -> bool:
+        return (self.start, self.end, self.id) < (
+            other.start,
+            other.end,
+            other.id,
+        )
+
+
+class AnnotationSet:
+    """An ordered, indexable collection of annotations.
+
+    Lookups the extraction code performs constantly — "tokens inside
+    this sentence", "numbers inside this span" — are served from a
+    per-type list kept sorted by start offset.
+    """
+
+    def __init__(self) -> None:
+        self._by_type: dict[str, list[Annotation]] = {}
+        self._ids = itertools.count(1)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_type.values())
+
+    def __iter__(self) -> Iterator[Annotation]:
+        return iter(sorted(self.all()))
+
+    def all(self) -> list[Annotation]:
+        return [a for anns in self._by_type.values() for a in anns]
+
+    def add(
+        self,
+        type: str,
+        start: int,
+        end: int,
+        features: dict[str, Any] | None = None,
+    ) -> Annotation:
+        """Create, store and return a new annotation."""
+        ann = Annotation(
+            id=next(self._ids),
+            type=type,
+            start=start,
+            end=end,
+            features=dict(features or {}),
+        )
+        lst = self._by_type.setdefault(type, [])
+        # Components add mostly in document order; bisect keeps the list
+        # sorted even when they do not.
+        keys = [(a.start, a.end, a.id) for a in lst]
+        lst.insert(bisect.bisect(keys, (ann.start, ann.end, ann.id)), ann)
+        return ann
+
+    def of_type(self, type: str) -> list[Annotation]:
+        """All annotations of *type* in document order."""
+        return list(self._by_type.get(type, ()))
+
+    def types(self) -> set[str]:
+        return set(self._by_type)
+
+    def within(self, type: str, start: int, end: int) -> list[Annotation]:
+        """Annotations of *type* fully contained in [start, end)."""
+        return [
+            a
+            for a in self._by_type.get(type, ())
+            if start <= a.start and a.end <= end
+        ]
+
+    def covering(self, type: str, offset: int) -> list[Annotation]:
+        """Annotations of *type* whose span covers *offset*."""
+        return [
+            a
+            for a in self._by_type.get(type, ())
+            if a.start <= offset < a.end
+        ]
+
+    def first_within(
+        self, type: str, start: int, end: int
+    ) -> Annotation | None:
+        """First annotation of *type* inside [start, end), or ``None``."""
+        inside = self.within(type, start, end)
+        return inside[0] if inside else None
+
+    def remove(self, annotation: Annotation) -> None:
+        """Delete a previously added annotation.
+
+        Raises ``ValueError`` if the annotation is not in the set.
+        """
+        self._by_type.get(annotation.type, []).remove(annotation)
+
+
+class Document:
+    """A text plus the annotations accumulated by pipeline components."""
+
+    def __init__(self, text: str, name: str = "") -> None:
+        self.text = text
+        self.name = name
+        self.annotations = AnnotationSet()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Document(name={self.name!r}, chars={len(self.text)}, "
+            f"annotations={len(self.annotations)})"
+        )
+
+    # Convenience accessors used throughout extraction code -------------
+
+    def tokens(self, within: Annotation | None = None) -> list[Annotation]:
+        """Token annotations, optionally restricted to a covering span."""
+        if within is None:
+            return self.annotations.of_type("Token")
+        return self.annotations.within("Token", within.start, within.end)
+
+    def sentences(self) -> list[Annotation]:
+        return self.annotations.of_type("Sentence")
+
+    def numbers(self, within: Annotation | None = None) -> list[Annotation]:
+        if within is None:
+            return self.annotations.of_type("Number")
+        return self.annotations.within("Number", within.start, within.end)
+
+    def span_text(self, annotation: Annotation) -> str:
+        return annotation.text(self.text)
+
+    def token_texts(
+        self, within: Annotation | None = None
+    ) -> list[str]:
+        return [self.span_text(t) for t in self.tokens(within)]
+
+
+def align_tokens(
+    tokens: Iterable[Annotation], spans: Iterable[tuple[int, int]]
+) -> list[list[Annotation]]:
+    """Group *tokens* by the (sorted, disjoint) *spans* that contain them.
+
+    Tokens falling outside every span are dropped.  Used by components
+    that need per-sentence token lists.
+    """
+    groups: list[list[Annotation]] = []
+    toks = sorted(tokens)
+    i = 0
+    for start, end in spans:
+        group: list[Annotation] = []
+        while i < len(toks) and toks[i].start < end:
+            if toks[i].start >= start and toks[i].end <= end:
+                group.append(toks[i])
+            i += 1
+        groups.append(group)
+    return groups

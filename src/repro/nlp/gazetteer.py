@@ -1,0 +1,143 @@
+"""Gazetteer lookup annotator (GATE's gazetteer substitute).
+
+GATE's NER stack pairs JAPE rules with a *gazetteer*: lists of known
+phrases matched against the token stream, producing ``Lookup``
+annotations that rules can reference.  This implementation matches
+longest-first over lowercased token sequences and tags each hit with a
+``majorType`` (the list name) plus optional features.
+
+:meth:`Gazetteer.from_ontology` builds the lists straight from the
+clinical vocabulary, so JAPE rules can react to "a disease name
+followed by a duration" without re-implementing term lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.nlp.document import Annotation, Document
+
+
+@dataclass(frozen=True)
+class GazetteerEntry:
+    """One phrase in one list."""
+
+    phrase: tuple[str, ...]
+    major_type: str
+    features: Mapping[str, Any]
+
+
+class Gazetteer:
+    """Longest-match phrase annotator producing ``Lookup`` spans."""
+
+    def __init__(self) -> None:
+        # first word -> entries sorted longest-first
+        self._index: dict[str, list[GazetteerEntry]] = {}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(
+        self,
+        phrase: str,
+        major_type: str,
+        features: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Register one phrase under a list name."""
+        words = tuple(phrase.lower().split())
+        if not words:
+            raise ValueError("cannot add an empty phrase")
+        entry = GazetteerEntry(
+            phrase=words,
+            major_type=major_type,
+            features=dict(features or {}),
+        )
+        bucket = self._index.setdefault(words[0], [])
+        bucket.append(entry)
+        bucket.sort(key=lambda e: -len(e.phrase))
+        self._size += 1
+
+    def add_list(
+        self, major_type: str, phrases: Iterable[str]
+    ) -> None:
+        for phrase in phrases:
+            self.add(phrase, major_type)
+
+    @classmethod
+    def from_lists(
+        cls, lists: Mapping[str, Iterable[str]]
+    ) -> "Gazetteer":
+        gazetteer = cls()
+        for major_type, phrases in lists.items():
+            gazetteer.add_list(major_type, phrases)
+        return gazetteer
+
+    @classmethod
+    def from_ontology(
+        cls, ontology=None, semantic_types=None
+    ) -> "Gazetteer":
+        """Build lists from the clinical vocabulary.
+
+        ``majorType`` is the concept's semantic type; each Lookup
+        carries the CUI and preferred name as features.
+        """
+        from repro.ontology.builder import default_ontology
+
+        ontology = ontology or default_ontology()
+        gazetteer = cls()
+        for concept in ontology.concepts():
+            if (
+                semantic_types is not None
+                and concept.semantic_type not in semantic_types
+            ):
+                continue
+            for name in concept.all_names():
+                gazetteer.add(
+                    name,
+                    concept.semantic_type.value,
+                    {
+                        "cui": concept.cui,
+                        "preferred": concept.preferred_name,
+                    },
+                )
+        return gazetteer
+
+    # ---------------------------------------------------------- apply
+
+    def annotate(self, document: Document) -> list[Annotation]:
+        """Add non-overlapping ``Lookup`` annotations, longest wins."""
+        tokens = document.tokens()
+        texts = [document.span_text(t).lower() for t in tokens]
+        added: list[Annotation] = []
+        index = 0
+        while index < len(tokens):
+            entry = self._match_at(texts, index)
+            if entry is None:
+                index += 1
+                continue
+            end = index + len(entry.phrase)
+            features = dict(entry.features)
+            features["majorType"] = entry.major_type
+            added.append(
+                document.annotations.add(
+                    "Lookup",
+                    tokens[index].start,
+                    tokens[end - 1].end,
+                    features,
+                )
+            )
+            index = end
+        return added
+
+    def _match_at(
+        self, texts: list[str], index: int
+    ) -> GazetteerEntry | None:
+        for entry in self._index.get(texts[index], ()):
+            end = index + len(entry.phrase)
+            if end <= len(texts) and tuple(
+                texts[index:end]
+            ) == entry.phrase:
+                return entry
+        return None

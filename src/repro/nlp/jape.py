@@ -1,0 +1,254 @@
+"""A JAPE-style annotation pattern engine (GATE's JAPE substitute).
+
+§2: "General Architecture for Text Engineering (GATE) uses patterns
+written in regular expressions to implement all its components … It
+also provides a Java Annotated Pattern Engine (JAPE), by which users
+can extend [the] NER component to identify entities of interest."
+
+This is that engine, sized to this library: a rule is a sequence of
+:class:`Constraint` elements matched left-to-right over a document's
+token stream; a match adds one new annotation spanning the matched
+tokens.  Constraints select on annotation type, token text, POS tag,
+or an arbitrary predicate, and carry ``optional`` / ``repeatable``
+quantifiers.  Rules apply longest-match-first with Appelt-style
+control: overlapping matches of lower-priority rules are suppressed.
+
+Two ready-made rule packs show the engine extending the NER layer the
+way the paper describes: :func:`duration_rules` ("five years ago",
+"for 15 years") and :func:`measurement_rules` ("154 pounds",
+"5 cm").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.nlp.document import Annotation, Document
+
+#: Units recognized by the measurement rule pack.
+MEASUREMENT_UNITS = frozenset(
+    {
+        "pound", "pounds", "lb", "lbs", "kilogram", "kilograms", "kg",
+        "gram", "grams", "g", "ounce", "ounces", "oz", "cm",
+        "centimeter", "centimeters", "mm", "millimeter", "millimeters",
+        "inch", "inches", "degree", "degrees", "mg", "milligram",
+        "milligrams", "ml", "cc", "liter", "liters", "percent", "%",
+    }
+)
+
+#: Time units recognized by the duration rule pack.
+TIME_UNITS = frozenset(
+    {
+        "year", "years", "month", "months", "week", "weeks", "day",
+        "days", "hour", "hours", "decade", "decades",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One element of a rule's pattern.
+
+    A token position satisfies the constraint when every specified
+    condition holds:
+
+    * ``annotation`` — a covering annotation of this type exists
+      (e.g. ``"Number"``);
+    * ``text`` / ``text_in`` — the token's lowercased text matches;
+    * ``pos`` — the token's POS tag starts with this prefix;
+    * ``predicate`` — arbitrary test on (document, token).
+
+    ``optional`` elements may be skipped; ``repeatable`` elements
+    consume greedily (at least one occurrence unless also optional).
+    """
+
+    annotation: str | None = None
+    text: str | None = None
+    text_in: frozenset[str] | None = None
+    pos: str | None = None
+    predicate: Callable[[Document, Annotation], bool] | None = None
+    optional: bool = False
+    repeatable: bool = False
+
+    def matches(self, document: Document, token: Annotation) -> bool:
+        if self.annotation is not None:
+            covering = document.annotations.covering(
+                self.annotation, token.start
+            )
+            if not covering:
+                return False
+        lower = document.span_text(token).lower()
+        if self.text is not None and lower != self.text:
+            return False
+        if self.text_in is not None and lower not in self.text_in:
+            return False
+        if self.pos is not None and not str(
+            token.features.get("pos", "")
+        ).startswith(self.pos):
+            return False
+        if self.predicate is not None and not self.predicate(
+            document, token
+        ):
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A named pattern producing annotations of type ``label``."""
+
+    name: str
+    pattern: tuple[Constraint, ...]
+    label: str
+    priority: int = 0
+    features: dict[str, Any] = field(default_factory=dict, hash=False)
+    feature_builder: Callable[
+        [Document, list[Annotation]], dict[str, Any]
+    ] | None = None
+
+    def match_at(
+        self, document: Document, tokens: list[Annotation], start: int
+    ) -> int | None:
+        """Number of tokens consumed matching at *start*, or ``None``."""
+        index = start
+        for constraint in self.pattern:
+            consumed = 0
+            while (
+                index < len(tokens)
+                and constraint.matches(document, tokens[index])
+            ):
+                index += 1
+                consumed += 1
+                if not constraint.repeatable:
+                    break
+            if consumed == 0 and not constraint.optional:
+                return None
+        return index - start if index > start else None
+
+
+class JapeEngine:
+    """Applies a rule set over documents, Appelt-style.
+
+    At each token position the highest-priority, longest match wins;
+    matching then resumes after its end, so produced annotations never
+    overlap (per engine instance).
+    """
+
+    def __init__(self, rules: list[Rule]) -> None:
+        self.rules = sorted(
+            rules, key=lambda r: -r.priority
+        )
+
+    def annotate(self, document: Document) -> list[Annotation]:
+        tokens = document.tokens()
+        added: list[Annotation] = []
+        position = 0
+        while position < len(tokens):
+            best: tuple[int, int, Rule] | None = None  # (-prio, -len)
+            for rule in self.rules:
+                consumed = rule.match_at(document, tokens, position)
+                if consumed is None:
+                    continue
+                key = (-rule.priority, -consumed)
+                if best is None or key < (best[0], best[1]):
+                    best = (-rule.priority, -consumed, rule)
+            if best is None:
+                position += 1
+                continue
+            _, neg_len, rule = best
+            consumed = -neg_len
+            span_tokens = tokens[position:position + consumed]
+            features = dict(rule.features)
+            if rule.feature_builder is not None:
+                features.update(
+                    rule.feature_builder(document, span_tokens)
+                )
+            added.append(
+                document.annotations.add(
+                    rule.label,
+                    span_tokens[0].start,
+                    span_tokens[-1].end,
+                    features,
+                )
+            )
+            position += consumed
+        return added
+
+
+# ------------------------------------------------------------ rule packs
+
+def _number_value(document: Document, tokens: list[Annotation]):
+    for token in tokens:
+        numbers = document.annotations.covering("Number", token.start)
+        if numbers:
+            return numbers[0].features.get("value")
+    return None
+
+
+def duration_rules() -> list[Rule]:
+    """"five years ago", "for 15 years", "15 years" durations."""
+
+    def build(document: Document, tokens: list[Annotation]):
+        unit = next(
+            (
+                document.span_text(t).lower().rstrip("s") or "year"
+                for t in tokens
+                if document.span_text(t).lower() in TIME_UNITS
+            ),
+            "year",
+        )
+        return {
+            "value": _number_value(document, tokens),
+            "unit": unit,
+            "ago": any(
+                document.span_text(t).lower() == "ago" for t in tokens
+            ),
+        }
+
+    return [
+        Rule(
+            name="duration-ago",
+            priority=10,
+            label="Duration",
+            pattern=(
+                Constraint(annotation="Number"),
+                Constraint(text_in=TIME_UNITS),
+                Constraint(text="ago"),
+            ),
+            feature_builder=build,
+        ),
+        Rule(
+            name="duration-plain",
+            priority=5,
+            label="Duration",
+            pattern=(
+                Constraint(annotation="Number"),
+                Constraint(text_in=TIME_UNITS),
+            ),
+            feature_builder=build,
+        ),
+    ]
+
+
+def measurement_rules() -> list[Rule]:
+    """"154 pounds", "2 cm" value+unit measurements."""
+
+    def build(document: Document, tokens: list[Annotation]):
+        return {
+            "value": _number_value(document, tokens),
+            "unit": document.span_text(tokens[-1]).lower(),
+        }
+
+    return [
+        Rule(
+            name="measurement",
+            priority=1,
+            label="Measurement",
+            pattern=(
+                Constraint(annotation="Number"),
+                Constraint(text_in=MEASUREMENT_UNITS),
+            ),
+            feature_builder=build,
+        ),
+    ]

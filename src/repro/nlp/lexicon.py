@@ -1,0 +1,285 @@
+"""Embedded part-of-speech lexicon.
+
+GATE's tagger (Hepple's Brill-derivative) ships a lexicon of word →
+most-likely-tag entries plus rule files.  This module is our lexicon: a
+hand-built table sized to clinical dictation English.  Words carry their
+*most frequent* Penn Treebank tag; the tagger layers suffix morphology
+and contextual repair rules on top (see :mod:`repro.nlp.pos_tagger`).
+
+The table is organized by tag for reviewability and compiled into a
+single ``WORD_TAGS`` dict at import time.  Ambiguous words appear once,
+under their dominant tag in clinical narrative (e.g. ``present`` is
+listed as JJ because "no family members *present* with cancers" is rarer
+than "in no apparent distress, alert and *present*" style usage; the
+context rules re-tag verbs after pronouns).
+"""
+
+from __future__ import annotations
+
+_DETERMINERS = """
+a an the this that these those each every either neither some any no
+another such
+""".split()
+
+_PRONOUNS = """
+i you he she it we they me him her us them himself herself itself
+themselves myself yourself oneself
+""".split()
+
+_POSSESSIVE_PRONOUNS = "my your his its our their".split()
+# "her" is both PRP and PRP$; PRP wins in the lexicon, context rules fix
+# the possessive reading before nouns.
+
+_PREPOSITIONS = """
+of in on at by for with from to into onto upon about above below under
+over between among during before after since until within without
+through throughout against along across around near beside besides
+despite except per via as if because while although though whereas
+unless
+""".split()
+
+_CONJUNCTIONS = "and or but nor so yet plus".split()
+
+_MODALS = "can could may might must shall should will would".split()
+
+_ADVERBS = """
+not never always often sometimes usually currently recently previously
+formerly occasionally rarely frequently daily weekly monthly nightly
+again ago already also approximately bilaterally currently denies'
+directly early essentially generally here immediately intermittently
+just largely lately later mildly moderately mostly much nearly negative'
+now nowhere once only otherwise overall perhaps possibly presently
+primarily prior' probably quite roughly severely significantly since'
+slightly socially somewhat soon still subsequently then there therefore
+today together too typically very well when where anteriorly posteriorly
+proximally distally medially laterally superiorly inferiorly grossly
+clinically historically
+""".split()
+_ADVERBS = [w for w in _ADVERBS if not w.endswith("'")]
+
+_ADJECTIVES = """
+abnormal able acute additional alert allergic apparent appropriate
+asymptomatic atypical available aware benign bilateral brief calcified
+cervical chief chronic clear clinical cold comfortable common complete
+congestive consistent current deep dense diabetic diagnostic diffuse
+distal dominant dry due early elderly elevated enlarged entire external
+familial fibrocystic final firm former free frequent full further
+general gentle good gross healthy heavy high hypertensive important
+inferior initial intact internal invasive irregular large last late
+lateral left likely limited little local localized long lower malignant
+mammographic marked maternal medial medical menstrual mild moderate
+multiple negative new nontender normal obese occasional old only open
+oral other otherwise overweight palpable past paternal patient' physical
+positive possible postoperative premenopausal postmenopausal present
+previous primary prior prominent proximal recent regular related
+remaining remarkable residual respiratory right routine screening
+secondary severe significant similar simple slight small social soft
+solid sore stable superficial superior supraclavicular surgical
+suspicious symmetric symmetrical systolic diastolic tender thin thick
+total unchanged unclear unremarkable upper urinary usual vague various
+visible warm weekly white whole widespread young axillary abdominal
+ductal lobular invasive infiltrating metastatic palpebral nodular cystic
+fibroid hepatic renal cardiac pulmonary vascular neurologic colorectal
+ovarian uterine thyroid gallbladder' appendiceal inguinal umbilical
+ventral hiatal rotator' arthroscopic laparoscopic open' midline
+occasional' apparent' nonsmoker' obstructive rheumatoid peptic
+gastroesophageal ischemic transient congenital seasonal essential
+mitral aortic coronary carpal varicose
+""".split()
+_ADJECTIVES = [w for w in _ADJECTIVES if not w.endswith("'")]
+
+# Base (VB/VBP) forms; the tagger derives VBZ/VBD/VBG/VBN morphology.
+_VERBS = """
+admit advise agree appear appreciate ask auscultate be become begin
+believe bleed breathe bring call check complain consider consist
+consult continue deny describe develop diagnose dictate die discontinue
+discuss do drain drink drive eat evaluate examine exercise experience
+explain feel find follow gain get give go grow have hear help hurt
+improve include increase indicate involve keep know last lead live look
+lose maintain manage measure meet mention note notice obtain occur order
+palpate perform persist plan present prescribe quit radiate reach read
+recall receive recommend refer relate remain remove repeat report
+request require resolve return reveal review schedule see seem show
+smoke start state stop suffer suggest take tell tolerate treat try
+undergo use visit wear weigh work worsen
+""".split()
+
+_NOUNS = """
+abdomen ability abnormality abscess accident ache acid adenopathy age
+alcohol allergy amount anemia anesthesia aneurysm angina angiogram
+ankle antibiotic anxiety aorta appendectomy appendicitis appendix
+appetite appointment area arm arrhythmia artery arthritis aspirin
+assessment asthma attack aunt auscultation axilla back bacteria balance
+beer biopsy birth bladder bleeding blood body bone bowel brain breast
+breath breathing bronchitis brother bruising bypass calcification
+calcium cancer carcinoma cardiologist cardiology care case cataract
+catheter cell cellulitis chart chemotherapy chest child chill
+cholecystectomy cholesterol cigarette circulation cirrhosis
+classification clinic closure clot cocaine colitis colon colonoscopy
+complaint complication concern condition congestion constipation
+consultation cough cousin cyst cystectomy daughter day degree
+dehydration density depression dermatitis diabetes diagnosis dialysis
+diarrhea diet dilatation disc discharge discomfort disease distress
+diverticulitis diverticulosis dizziness doctor dosage dose drainage
+drinker drug duct dysfunction dyspnea ear echocardiogram eczema edema
+effusion elbow electrocardiogram embolism emphysema endoscopy
+enlargement episode esophagus evaluation examination excision exercise
+extremity eye face factor failure family father fatigue feeling femur
+fever fibrillation fibroadenoma fibromyalgia finding finger fistula
+flu fluid follow-up foot fracture function gait gallbladder gallstone
+gastritis gene glaucoma gland glucose gout grandfather grandmother
+gravida growth gynecologist hand головная' head headache healing health
+heart heartburn height hemorrhage hemorrhoid hepatitis hernia
+herniorrhaphy heroin hip history hospital hospitalization hour house
+husband hypercholesterolemia hyperlipidemia hypertension hyperthyroidism
+hypothyroidism hysterectomy illness imaging incision infarction
+infection inflammation information injury insomnia instruction insulin
+insurance intervention intolerance issue jaundice joint kidney knee
+laminectomy lap laparoscopy leg lesion letter leukemia life lift
+ligament lipoma liter liver lobe loss lump lumpectomy lung lymph
+lymphadenopathy lymphedema lymphoma malignancy mammogram mammoplasty
+management margin marijuana mass mastectomy meal medication medicine
+melanoma menarche meningitis menopause menstruation migraine
+minute mole monitor month mother motion mouth movement murmur muscle
+myelogram myocardium nausea neck nephrectomy nerve neuropathy niece
+night nipple nodule nonsmoker nose note number numbness nurse obesity
+office oncologist oncology onset operation option osteoarthritis
+osteoporosis ounce ovary pack pad pain palpation palpitation pancreas
+pancreatitis pap para paresthesia part pathology patient pattern pelvis
+penicillin period pharmacy physician pill pleurisy pneumonia polyp
+position pound practice pregnancy prescription pressure problem
+procedure process prognosis program prolapse pulse pupil quadrant
+question radiation radiologist range rash rate reaction reconstruction
+record recurrence reflex reflux region rehabilitation removal repair
+replacement report resection respiration rest result review rhythm rib
+risk room routine sarcoid sarcoidosis scan scar schedule sclerosis
+screening season seizure sensation sepsis series service shape shoulder
+shortness sibling side sigmoidoscopy sinus sinusitis sister site size
+skin sleep smoker smoking son sonogram sound spasm specimen spine
+spleen splenectomy spot sprain stamp status stenosis stent sternum
+steroid stiffness stomach stone stool strain strength stress stroke
+student study substance suite supplement surgeon surgery suture
+swallowing sweating swelling symmetry symptom syndrome system
+tachycardia tamoxifen temperature tenderness tendon test therapy thigh
+throat thyroid thyroidectomy time tissue tobacco toe tomography
+tonsillectomy tooth treatment tremor tube tumor twin type ulcer
+ultrasound uncle unit urgency urination urine use uterus vaccination
+valve variation vein vertigo view visit vision vitamin vomiting walk
+wall water week weight wheezing wife wine woman work workup wound
+wrist x-ray year appendicitis' nephropathy retinopathy mastitis
+ectomy' mammaplasty dermoid keloid hematoma seroma stitch
+colposcopy curettage dilation myomectomy oophorectomy salpingectomy
+tracheostomy craniotomy fusion arthroplasty meniscectomy bunionectomy
+rhinoplasty septoplasty cryotherapy ablation angioplasty
+catheterization stenting endarterectomy thrombectomy phlebectomy
+vasectomy circumcision prostatectomy lithotripsy cystoscopy pint glass
+drink bottle can occasion holiday weekend party dinner socializer
+""".split()
+_NOUNS = [w for w in _NOUNS if not w.endswith("'") and w.isascii()]
+
+# Irregular plurals and lexicalized plural-only nouns (tagged NNS).
+_PLURAL_NOUNS = """
+children feet teeth women men people menses axillae diverticula
+metastases mammae calcifications microcalcifications
+""".split()
+
+# Cardinal number words (CD).
+_NUMBER_WORDS = """
+zero one two three four five six seven eight nine ten eleven twelve
+thirteen fourteen fifteen sixteen seventeen eighteen nineteen twenty
+thirty forty fifty sixty seventy eighty ninety hundred thousand million
+half dozen
+""".split()
+
+_WH_WORDS = {
+    "who": "WP",
+    "whom": "WP",
+    "whose": "WP$",
+    "which": "WDT",
+    "what": "WDT",
+    "when": "WRB",
+    "where": "WRB",
+    "why": "WRB",
+    "how": "WRB",
+}
+
+# Irregular verb forms: surface -> (tag, lemma).
+IRREGULAR_VERB_FORMS: dict[str, tuple[str, str]] = {
+    "is": ("VBZ", "be"), "am": ("VBP", "be"), "are": ("VBP", "be"),
+    "was": ("VBD", "be"), "were": ("VBD", "be"), "been": ("VBN", "be"),
+    "being": ("VBG", "be"),
+    "has": ("VBZ", "have"), "had": ("VBD", "have"),
+    "does": ("VBZ", "do"), "did": ("VBD", "do"), "done": ("VBN", "do"),
+    "went": ("VBD", "go"), "gone": ("VBN", "go"),
+    "underwent": ("VBD", "undergo"), "undergone": ("VBN", "undergo"),
+    "took": ("VBD", "take"), "taken": ("VBN", "take"),
+    "gave": ("VBD", "give"), "given": ("VBN", "give"),
+    "saw": ("VBD", "see"), "seen": ("VBN", "see"),
+    "felt": ("VBD", "feel"),
+    "found": ("VBD", "find"),
+    "began": ("VBD", "begin"), "begun": ("VBN", "begin"),
+    "drank": ("VBD", "drink"), "drunk": ("VBN", "drink"),
+    "ate": ("VBD", "eat"), "eaten": ("VBN", "eat"),
+    "grew": ("VBD", "grow"), "grown": ("VBN", "grow"),
+    "knew": ("VBD", "know"), "known": ("VBN", "know"),
+    "led": ("VBD", "lead"),
+    "lost": ("VBD", "lose"),
+    "met": ("VBD", "meet"),
+    "quit": ("VBD", "quit"),
+    "read": ("VBP", "read"),
+    "said": ("VBD", "say"),
+    "told": ("VBD", "tell"),
+    "wore": ("VBD", "wear"), "worn": ("VBN", "wear"),
+    "got": ("VBD", "get"), "gotten": ("VBN", "get"),
+    "kept": ("VBD", "keep"),
+    "heard": ("VBD", "hear"),
+    "brought": ("VBD", "bring"),
+    "bled": ("VBD", "bleed"),
+    "hurt": ("VBD", "hurt"),
+}
+
+
+def _build() -> dict[str, str]:
+    table: dict[str, str] = {}
+
+    def put(words, tag):
+        for w in words:
+            table.setdefault(w, tag)
+
+    # Order encodes priority for words listed in several classes.
+    put(_DETERMINERS, "DT")
+    put(_PRONOUNS, "PRP")
+    put(_POSSESSIVE_PRONOUNS, "PRP$")
+    put(_MODALS, "MD")
+    put(_CONJUNCTIONS, "CC")
+    put(_PREPOSITIONS, "IN")
+    put(_NUMBER_WORDS, "CD")
+    for w, t in _WH_WORDS.items():
+        table.setdefault(w, t)
+    put(_ADVERBS, "RB")
+    for w, (t, _lemma) in IRREGULAR_VERB_FORMS.items():
+        table.setdefault(w, t)
+    put(_VERBS, "VB")
+    put(_ADJECTIVES, "JJ")
+    put(_PLURAL_NOUNS, "NNS")
+    put(_NOUNS, "NN")
+    table["to"] = "TO"
+    table["there"] = "EX"
+    table["'s"] = "POS"
+    return table
+
+
+#: word (lowercase) -> most frequent Penn tag
+WORD_TAGS: dict[str, str] = _build()
+
+#: base verb forms known to the lexicon (used by morphology layers)
+VERB_BASES: frozenset[str] = frozenset(_VERBS)
+
+#: nouns known to the lexicon
+NOUN_BASES: frozenset[str] = frozenset(_NOUNS) | frozenset(_PLURAL_NOUNS)
+
+#: adjectives known to the lexicon
+ADJECTIVES: frozenset[str] = frozenset(_ADJECTIVES)
+
+#: cardinal number words
+NUMBER_WORDS: frozenset[str] = frozenset(_NUMBER_WORDS)

@@ -1,0 +1,111 @@
+"""Abbreviation-aware sentence splitter (GATE splitter substitute).
+
+The splitter works over the token stream, not raw text, so it benefits
+from the tokenizer's handling of decimals (``98.3``) and internal-period
+abbreviations (``p.r.n.``).  A sentence break is recorded after a token
+when:
+
+* the token is a terminal punctuation mark (``.``, ``!``, ``?``) that is
+  not part of a decimal or known abbreviation, or
+* a newline in the source text separates this token from the next and
+  the next token begins a new line that looks like a list item or a
+  fresh fragment (clinical notes break lines between fragments that have
+  no terminal punctuation at all).
+
+Fragments with no verb — ubiquitous in clinical dictation
+(``Vitals: Blood pressure is 142/78, pulse of 96``) — are still single
+sentences here; deciding whether they *parse* is the link grammar
+parser's job, and its failure triggers the paper's pattern fallback.
+"""
+
+from __future__ import annotations
+
+from repro.nlp.abbreviations import NON_TERMINAL_ABBREVIATIONS
+from repro.nlp.document import Annotation, Document
+
+_TERMINALS = {".", "!", "?"}
+
+
+class SentenceSplitter:
+    """Token-stream sentence splitter producing ``Sentence`` annotations."""
+
+    def __init__(self, split_on_newline: bool = True) -> None:
+        self.split_on_newline = split_on_newline
+
+    def annotate(self, document: Document) -> None:
+        """Add ``Sentence`` annotations covering every token."""
+        tokens = document.tokens()
+        if not tokens:
+            return
+        for start, end in self._boundaries(document, tokens):
+            document.annotations.add("Sentence", start, end)
+
+    def _boundaries(
+        self, document: Document, tokens: list[Annotation]
+    ) -> list[tuple[int, int]]:
+        spans: list[tuple[int, int]] = []
+        sent_start = tokens[0].start
+        for i, tok in enumerate(tokens):
+            if self._breaks_after(document, tokens, i):
+                spans.append((sent_start, tok.end))
+                if i + 1 < len(tokens):
+                    sent_start = tokens[i + 1].start
+        if not spans or spans[-1][1] < tokens[-1].end:
+            spans.append((sent_start, tokens[-1].end))
+        return spans
+
+    def _breaks_after(
+        self, document: Document, tokens: list[Annotation], i: int
+    ) -> bool:
+        tok = tokens[i]
+        text = document.span_text(tok)
+        if i + 1 >= len(tokens):
+            return True
+        if text in _TERMINALS:
+            if text == "." and self._is_abbreviation_period(
+                document, tokens, i
+            ):
+                return False
+            return True
+        if self.split_on_newline:
+            gap = document.text[tok.end:tokens[i + 1].start]
+            if "\n" in gap:
+                return True
+        return False
+
+    def _is_abbreviation_period(
+        self, document: Document, tokens: list[Annotation], i: int
+    ) -> bool:
+        """Is the period at token *i* part of an abbreviation?
+
+        True when the previous token is a known non-terminal
+        abbreviation that abuts the period, and the following token does
+        not start a clearly new sentence (capitalized word after
+        whitespace is treated as a new sentence even after an
+        abbreviation, since dictated notes say e.g. "...154 lbs. HEENT:").
+        """
+        if i == 0:
+            return False
+        prev = tokens[i - 1]
+        if prev.end != tokens[i].start:
+            return False
+        prev_text = document.span_text(prev).lower()
+        if prev_text not in NON_TERMINAL_ABBREVIATIONS:
+            return False
+        nxt = tokens[i + 1]
+        nxt_text = document.span_text(nxt)
+        gap = document.text[tokens[i].end:nxt.start]
+        if "\n" in gap:
+            return False
+        # Lowercase or numeric continuation -> same sentence.
+        return not nxt_text[:1].isupper()
+
+
+def split_sentences(text: str) -> list[str]:
+    """Convenience: sentence strings of *text* (for tests/examples)."""
+    from repro.nlp.tokenizer import Tokenizer
+
+    doc = Document(text)
+    Tokenizer().annotate(doc)
+    SentenceSplitter().annotate(doc)
+    return [doc.span_text(s) for s in doc.sentences()]

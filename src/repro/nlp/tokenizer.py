@@ -1,0 +1,110 @@
+"""Clinical text tokenizer (GATE tokenizer substitute).
+
+Clinical dictation has token shapes a newswire tokenizer mishandles:
+
+* ratio readings — blood pressure ``144/90``, which must stay one token
+  (the paper's Figure 1 links ``is`` to ``144/90`` as a single object);
+* decimals — temperature ``98.3``;
+* dosage and unit mixes — ``81mg``, ``5cm``;
+* clinical abbreviations with internal periods — ``q.d.``, ``p.r.n.``;
+* hyphenated compounds — ``50-year-old``, ``S1 S2``.
+
+The tokenizer is a single compiled alternation applied left to right;
+the first branch that matches at the cursor wins, so branch order
+encodes priority.  Every non-space character lands in exactly one token
+(unknown characters become ``SYMBOL`` tokens) which keeps downstream
+span arithmetic total.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import TokenizationError
+from repro.nlp.document import Document, TokenKind
+
+# Ordered alternation; names become TokenKind values.
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<DIGITWORD>\d+-[A-Za-z][A-Za-z-]*)         # 50-year-old
+  | (?P<RATIO>\d+(?:\.\d+)?/\d+(?:\.\d+)?)        # 144/90, 98.6/37.0
+  | (?P<NUMBER>\d+(?:,\d{3})*(?:\.\d+)?)          # 154, 1,250, 98.3
+  | (?P<WORD>
+        [A-Za-z](?:\.[A-Za-z])+\.?                # q.d., p.r.n., U.S.
+      | [A-Za-z]+(?:[-'][A-Za-z0-9]+)*            # fifty-four, it's
+    )
+  | (?P<PUNCT>[.,;:!?()\[\]{}"]|--|-|–|—|'|’)
+  | (?P<SYMBOL>\S)                                # %, /, +, stray bytes
+    """,
+    re.VERBOSE,
+)
+
+# DIGITWORD precedes RATIO/NUMBER so "50-year-old" is not split after
+# its digit prefix; it is still a WORD-kind token downstream.
+_GROUP_KINDS = {
+    "DIGITWORD": TokenKind.WORD,
+    "RATIO": TokenKind.RATIO,
+    "NUMBER": TokenKind.NUMBER,
+    "WORD": TokenKind.WORD,
+    "PUNCT": TokenKind.PUNCT,
+    "SYMBOL": TokenKind.SYMBOL,
+}
+
+
+@dataclass(frozen=True)
+class RawToken:
+    """A token before it is attached to a document."""
+
+    text: str
+    start: int
+    end: int
+    kind: TokenKind
+
+
+class Tokenizer:
+    """Rule-based tokenizer producing ``Token`` annotations."""
+
+    def tokenize_text(self, text: str) -> list[RawToken]:
+        """Tokenize *text* into :class:`RawToken` values.
+
+        The result covers every non-whitespace character exactly once.
+        """
+        tokens: list[RawToken] = []
+        pos = 0
+        length = len(text)
+        while pos < length:
+            if text[pos].isspace():
+                pos += 1
+                continue
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:  # pragma: no cover - SYMBOL matches any \S
+                raise TokenizationError(
+                    f"untokenizable input at offset {pos}: {text[pos:pos+20]!r}"
+                )
+            kind = _GROUP_KINDS[match.lastgroup or "SYMBOL"]
+            tokens.append(
+                RawToken(
+                    text=match.group(),
+                    start=match.start(),
+                    end=match.end(),
+                    kind=kind,
+                )
+            )
+            pos = match.end()
+        return tokens
+
+    def annotate(self, document: Document) -> None:
+        """Add ``Token`` annotations to *document*."""
+        for raw in self.tokenize_text(document.text):
+            document.annotations.add(
+                "Token",
+                raw.start,
+                raw.end,
+                {"kind": raw.kind},
+            )
+
+
+def tokenize(text: str) -> list[str]:
+    """Convenience: token strings of *text* (for tests and examples)."""
+    return [t.text for t in Tokenizer().tokenize_text(text)]

@@ -1,0 +1,16 @@
+"""Ontology substrate: synthetic clinical vocabulary (UMLS substitute)."""
+
+from repro.ontology.builder import build_concepts, default_ontology
+from repro.ontology.concept import Concept, ConceptMatch, SemanticType
+from repro.ontology.normalizer import TermNormalizer
+from repro.ontology.store import OntologyStore
+
+__all__ = [
+    "build_concepts",
+    "default_ontology",
+    "Concept",
+    "ConceptMatch",
+    "SemanticType",
+    "TermNormalizer",
+    "OntologyStore",
+]

@@ -1,0 +1,38 @@
+"""Builds the default ontology store from the embedded vocabulary."""
+
+from __future__ import annotations
+
+from repro.ontology.concept import Concept, SemanticType
+from repro.ontology.data.vocabulary import CATEGORIES
+from repro.ontology.store import OntologyStore
+
+
+def build_concepts() -> list[Concept]:
+    """Materialize the embedded vocabulary with deterministic CUIs."""
+    concepts: list[Concept] = []
+    counter = 0
+    for semtype_key, entries in CATEGORIES.values():
+        semantic_type = SemanticType[semtype_key]
+        for entry in entries:
+            counter += 1
+            preferred, *synonyms = entry
+            concepts.append(
+                Concept(
+                    cui=f"C{counter:07d}",
+                    preferred_name=preferred,
+                    semantic_type=semantic_type,
+                    synonyms=tuple(synonyms),
+                )
+            )
+    return concepts
+
+
+_default: OntologyStore | None = None
+
+
+def default_ontology() -> OntologyStore:
+    """Process-wide shared store over the full embedded vocabulary."""
+    global _default
+    if _default is None:
+        _default = OntologyStore(build_concepts())
+    return _default

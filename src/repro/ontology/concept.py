@@ -1,0 +1,56 @@
+"""Concept model for the domain ontology (UMLS substitute).
+
+The paper uses the Unified Medical Language System as the domain
+ontology: candidate terms proposed by the POS patterns are normalized
+and looked up; a hit identifies a medical concept.  We mirror UMLS's
+essentials: a concept has a CUI (concept unique identifier), a
+preferred name, a semantic type, and any number of synonym strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class SemanticType(str, Enum):
+    """A small cut of the UMLS semantic network relevant to the task."""
+
+    DISEASE = "Disease or Syndrome"
+    NEOPLASM = "Neoplastic Process"
+    PROCEDURE = "Therapeutic or Preventive Procedure"
+    DIAGNOSTIC = "Diagnostic Procedure"
+    FINDING = "Finding"
+    SYMPTOM = "Sign or Symptom"
+    DRUG = "Pharmacologic Substance"
+    ANATOMY = "Body Part, Organ, or Organ Component"
+    BEHAVIOR = "Individual Behavior"
+
+
+@dataclass(frozen=True)
+class Concept:
+    """One ontology concept.
+
+    ``synonyms`` excludes the preferred name; ``all_names`` yields both.
+    """
+
+    cui: str
+    preferred_name: str
+    semantic_type: SemanticType
+    synonyms: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.cui.startswith("C") or not self.cui[1:].isdigit():
+            raise ValueError(f"malformed CUI: {self.cui!r}")
+
+    def all_names(self) -> tuple[str, ...]:
+        return (self.preferred_name, *self.synonyms)
+
+
+@dataclass(frozen=True)
+class ConceptMatch:
+    """A lookup hit: the concept plus the surface string that matched."""
+
+    concept: Concept
+    matched_name: str
+    normalized: str

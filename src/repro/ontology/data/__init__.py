@@ -1,0 +1,1 @@
+"""Embedded vocabulary data for the synthetic clinical ontology."""

@@ -1,0 +1,52 @@
+"""Term normalization (§3.2 and the UMLS "norm" program substitute).
+
+The paper: "Normalization usually includes two steps: (1) getting the
+[uninflected] form of the surface word, (2) sorting multiple words in
+alphabetic order.  For example, the term 'high blood pressures' after
+normalization becomes 'blood high pressure.'"
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.morphology.lemmatizer import Lemmatizer
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:[-'][a-z0-9]+)*")
+
+_STOPWORDS = frozenset({"the", "a", "an", "of"})
+
+
+class TermNormalizer:
+    """Normalizes candidate terms to their canonical lookup key."""
+
+    def __init__(self, lemmatizer: Lemmatizer | None = None) -> None:
+        self.lemmatizer = lemmatizer or Lemmatizer()
+
+    def normalize(self, term: str) -> str:
+        """Lowercase, lemmatize each word, sort words alphabetically.
+
+        >>> TermNormalizer().normalize("high blood pressures")
+        'blood high pressure'
+        """
+        words = _TOKEN_RE.findall(term.lower())
+        lemmas = [
+            self.lemmatizer.lemma(w, "noun")
+            for w in words
+            if w not in _STOPWORDS
+        ]
+        return " ".join(sorted(lemmas))
+
+    def normalize_candidates(self, term: str) -> list[str]:
+        """All plausible normalizations, most specific first.
+
+        The plain :meth:`normalize` key is first; a variant using the
+        raw surface words (for vocabularies storing inflected forms)
+        follows when different.
+        """
+        primary = self.normalize(term)
+        words = _TOKEN_RE.findall(term.lower())
+        surface = " ".join(sorted(w for w in words if w not in _STOPWORDS))
+        if surface != primary:
+            return [primary, surface]
+        return [primary]

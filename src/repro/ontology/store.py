@@ -1,0 +1,196 @@
+"""SQLite-backed ontology store (UMLS-in-DB2 substitute).
+
+The paper: "For the sake of efficiency, we downloaded UMLS data and
+installed it in a local DB2 database.  The data is accessed by JDBC."
+We do the same with the standard library's :mod:`sqlite3`: one
+``names`` table maps every surface name, keyed by its normalized form,
+to its concept — the analogue of querying a normalized MRCONSO index.
+
+The store also powers the evaluation's two knobs:
+
+* **coverage** — :meth:`OntologyStore.subset` deterministically drops a
+  fraction of concepts to model "incompleteness of domain ontology",
+  the paper's stated cause of Table 1 false positives;
+* **synonym availability** — :meth:`OntologyStore.without_synonyms`
+  keeps only preferred names, modelling the missing predefined-surgery
+  synonyms the paper blames for the 35% recall row.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sqlite3
+from typing import Iterable
+
+from repro.errors import OntologyError
+from repro.ontology.concept import Concept, ConceptMatch, SemanticType
+from repro.ontology.normalizer import TermNormalizer
+
+_SCHEMA = """
+CREATE TABLE concepts (
+    cui TEXT PRIMARY KEY,
+    preferred_name TEXT NOT NULL,
+    semantic_type TEXT NOT NULL
+);
+CREATE TABLE names (
+    normalized TEXT NOT NULL,
+    name TEXT NOT NULL,
+    cui TEXT NOT NULL REFERENCES concepts(cui),
+    is_preferred INTEGER NOT NULL,
+    PRIMARY KEY (normalized, cui, name)
+);
+CREATE INDEX idx_names_normalized ON names(normalized);
+"""
+
+
+class OntologyStore:
+    """Normalized-name → concept lookups over SQLite."""
+
+    def __init__(
+        self,
+        concepts: Iterable[Concept],
+        normalizer: TermNormalizer | None = None,
+        path: str = ":memory:",
+    ) -> None:
+        self.normalizer = normalizer or TermNormalizer()
+        self._connection = sqlite3.connect(path)
+        self._concepts: dict[str, Concept] = {}
+        try:
+            self._connection.executescript(_SCHEMA)
+        except sqlite3.DatabaseError as exc:
+            raise OntologyError(f"cannot initialize store: {exc}") from exc
+        self._load(concepts)
+
+    def _load(self, concepts: Iterable[Concept]) -> None:
+        cursor = self._connection.cursor()
+        for concept in concepts:
+            if concept.cui in self._concepts:
+                raise OntologyError(f"duplicate CUI {concept.cui}")
+            self._concepts[concept.cui] = concept
+            cursor.execute(
+                "INSERT INTO concepts VALUES (?, ?, ?)",
+                (
+                    concept.cui,
+                    concept.preferred_name,
+                    concept.semantic_type.value,
+                ),
+            )
+            for index, name in enumerate(concept.all_names()):
+                normalized = self.normalizer.normalize(name)
+                cursor.execute(
+                    "INSERT OR IGNORE INTO names VALUES (?, ?, ?, ?)",
+                    (normalized, name, concept.cui, int(index == 0)),
+                )
+        self._connection.commit()
+
+    # ------------------------------------------------------------- reads
+
+    def __len__(self) -> int:
+        return len(self._concepts)
+
+    def __contains__(self, term: str) -> bool:
+        return bool(self.lookup(term))
+
+    def concepts(self) -> list[Concept]:
+        return list(self._concepts.values())
+
+    def concept(self, cui: str) -> Concept:
+        try:
+            return self._concepts[cui]
+        except KeyError:
+            raise OntologyError(f"unknown CUI {cui}") from None
+
+    def lookup(self, term: str) -> list[ConceptMatch]:
+        """Concepts whose normalized name equals *term*'s normalization.
+
+        This is the §3.2 candidate-term test: "we search through UMLS
+        … if a term exists in the database, we then save it".
+        """
+        matches: list[ConceptMatch] = []
+        seen: set[tuple[str, str]] = set()
+        for normalized in self.normalizer.normalize_candidates(term):
+            rows = self._connection.execute(
+                "SELECT name, cui FROM names WHERE normalized = ? "
+                "ORDER BY is_preferred DESC, name",
+                (normalized,),
+            ).fetchall()
+            for name, cui in rows:
+                if (cui, normalized) in seen:
+                    continue
+                seen.add((cui, normalized))
+                matches.append(
+                    ConceptMatch(
+                        concept=self._concepts[cui],
+                        matched_name=name,
+                        normalized=normalized,
+                    )
+                )
+            if matches:
+                break
+        return matches
+
+    def lookup_type(
+        self, term: str, semantic_types: set[SemanticType]
+    ) -> list[ConceptMatch]:
+        """Lookup restricted to the given semantic types."""
+        return [
+            m
+            for m in self.lookup(term)
+            if m.concept.semantic_type in semantic_types
+        ]
+
+    # -------------------------------------------------- degraded copies
+
+    def subset(
+        self,
+        coverage: float,
+        seed: int = 0,
+        keep: set[str] | None = None,
+    ) -> "OntologyStore":
+        """A store keeping roughly ``coverage`` of the concepts.
+
+        Selection hashes ``(seed, cui)`` so the same arguments always
+        keep the same concepts — experiments are reproducible without
+        shipping random state around.  Concepts whose preferred name is
+        in ``keep`` always survive: the paper's predefined study
+        columns were certainly present in the authors' UMLS install,
+        so incompleteness experiments drop only the long tail.
+        """
+        if not 0.0 <= coverage <= 1.0:
+            raise ValueError(f"coverage must be in [0, 1]: {coverage}")
+        keep = keep or set()
+        kept = [
+            c
+            for c in self._concepts.values()
+            if c.preferred_name in keep
+            or _stable_fraction(f"{seed}:{c.cui}") < coverage
+        ]
+        return OntologyStore(kept, normalizer=self.normalizer)
+
+    def without_synonyms(
+        self, for_names: set[str] | None = None
+    ) -> "OntologyStore":
+        """A store whose concepts lost their synonym lists.
+
+        With ``for_names`` given, only concepts whose preferred name is
+        in the set are stripped — used to model the paper's missing
+        synonyms for predefined surgical terms specifically.
+        """
+        stripped = []
+        for c in self._concepts.values():
+            if for_names is None or c.preferred_name in for_names:
+                stripped.append(
+                    Concept(c.cui, c.preferred_name, c.semantic_type, ())
+                )
+            else:
+                stripped.append(c)
+        return OntologyStore(stripped, normalizer=self.normalizer)
+
+    def close(self) -> None:
+        self._connection.close()
+
+
+def _stable_fraction(key: str) -> float:
+    """Deterministic uniform-ish value in [0, 1) from a string key."""
+    digest = hashlib.sha256(key.encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64

@@ -1,0 +1,23 @@
+"""Patient record substrate: model, section splitting, ASCII files."""
+
+from repro.records.loader import load_record, load_records, save_records
+from repro.records.model import (
+    SECTION_ALIASES,
+    SECTION_ORDER,
+    PatientRecord,
+    Section,
+    canonical_section,
+)
+from repro.records.section_splitter import split_record
+
+__all__ = [
+    "load_record",
+    "load_records",
+    "save_records",
+    "SECTION_ALIASES",
+    "SECTION_ORDER",
+    "PatientRecord",
+    "Section",
+    "canonical_section",
+    "split_record",
+]

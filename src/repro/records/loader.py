@@ -1,0 +1,53 @@
+"""ASCII record file loading.
+
+"Patient records for input are stored in separate ASCII text files."
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import RecordFormatError
+from repro.records.model import PatientRecord
+from repro.records.section_splitter import split_record
+
+
+def load_record(path: str | Path) -> PatientRecord:
+    """Load and parse one record file."""
+    text = Path(path).read_text(encoding="ascii", errors="replace")
+    record = split_record(text)
+    if not record.patient_id:
+        record.patient_id = Path(path).stem
+    return record
+
+
+def load_records(directory: str | Path) -> Iterator[PatientRecord]:
+    """Yield records from every ``*.txt`` file in *directory*, sorted.
+
+    Unparseable files raise :class:`RecordFormatError` with the file
+    name attached so a bad note in a batch is identifiable.
+    """
+    directory = Path(directory)
+    for path in sorted(directory.glob("*.txt")):
+        try:
+            yield load_record(path)
+        except RecordFormatError as exc:
+            raise RecordFormatError(f"{path.name}: {exc}") from exc
+
+
+def save_records(
+    records: list[PatientRecord], directory: str | Path
+) -> list[Path]:
+    """Write records as individual ASCII files; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths: list[Path] = []
+    for record in records:
+        path = directory / f"patient_{record.patient_id}.txt"
+        path.write_text(
+            record.raw_text or record.render(), encoding="ascii",
+            errors="replace",
+        )
+        paths.append(path)
+    return paths

@@ -1,0 +1,113 @@
+"""Patient record model for the semi-structured format of the Appendix.
+
+"One record is comprised of multiple sections, each of which begins
+with a fixed string.  Therefore, it is easy to split the whole record
+into sections.  Each section is written in natural language."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Canonical section headers, in the order the Appendix shows them.
+SECTION_ORDER: tuple[str, ...] = (
+    "Patient",
+    "Chief Complaint",
+    "History of Present Illness",
+    "GYN History",
+    "Past Medical History",
+    "Past Surgical History",
+    "Medications",
+    "Allergies",
+    "Social History",
+    "Family History",
+    "Review of Systems",
+    "Physical Examination",
+    "Vitals",
+    "HEENT",
+    "Neck",
+    "Chest",
+    "Heart",
+    "Abdomen",
+    "Examination of Breasts",
+)
+
+#: Header aliases seen in dictation (maps to the canonical form).
+SECTION_ALIASES: dict[str, str] = {
+    "physical examination": "Physical Examination",
+    "physical exam": "Physical Examination",
+    "examination of breasts": "Examination of Breasts",
+    "breast examination": "Examination of Breasts",
+    "gyn history": "GYN History",
+    "gynecologic history": "GYN History",
+    "past medical history": "Past Medical History",
+    "pmh": "Past Medical History",
+    "past surgical history": "Past Surgical History",
+    "psh": "Past Surgical History",
+    "history of present illness": "History of Present Illness",
+    "hpi": "History of Present Illness",
+    "review of systems": "Review of Systems",
+    "ros": "Review of Systems",
+    "social history": "Social History",
+    "family history": "Family History",
+    "chief complaint": "Chief Complaint",
+    "medications": "Medications",
+    "allergies": "Allergies",
+    "vitals": "Vitals",
+    "vital signs": "Vitals",
+    "heent": "HEENT",
+    "neck": "Neck",
+    "chest": "Chest",
+    "heart": "Heart",
+    "abdomen": "Abdomen",
+    "patient": "Patient",
+}
+
+
+def canonical_section(header: str) -> str | None:
+    """Canonical name for a dictated section header, if recognized."""
+    return SECTION_ALIASES.get(header.strip().lower())
+
+
+@dataclass
+class Section:
+    """One record section: canonical name plus free-text body."""
+
+    name: str
+    text: str
+
+    def __post_init__(self) -> None:
+        self.text = self.text.strip()
+
+
+@dataclass
+class PatientRecord:
+    """A parsed semi-structured consultation note."""
+
+    patient_id: str
+    sections: list[Section] = field(default_factory=list)
+    raw_text: str = ""
+
+    def section(self, name: str) -> Section | None:
+        """First section with canonical *name*, or ``None``."""
+        for section in self.sections:
+            if section.name == name:
+                return section
+        return None
+
+    def section_text(self, name: str) -> str:
+        found = self.section(name)
+        return found.text if found else ""
+
+    def section_names(self) -> list[str]:
+        return [s.name for s in self.sections]
+
+    def render(self) -> str:
+        """Render back to the ASCII interchange format."""
+        lines = [f"Patient:  {self.patient_id}", ""]
+        for section in self.sections:
+            if section.name == "Patient":
+                continue
+            lines.append(f"{section.name}:  {section.text}")
+            lines.append("")
+        return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,52 @@
+"""Splits raw record text into sections on fixed header strings."""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import RecordFormatError
+from repro.records.model import (
+    PatientRecord,
+    Section,
+    canonical_section,
+)
+
+# A header is a line-initial "Some Words:" with 1-4 capitalized-ish
+# words before the colon.
+_HEADER_RE = re.compile(
+    r"^(?P<header>[A-Z][A-Za-z]*(?:[ /][A-Za-z]+){0,4}):",
+    re.MULTILINE,
+)
+
+
+def split_record(text: str) -> PatientRecord:
+    """Parse one ASCII record into a :class:`PatientRecord`.
+
+    Raises :class:`RecordFormatError` when no recognizable section
+    header is present.
+    """
+    matches = [
+        m
+        for m in _HEADER_RE.finditer(text)
+        if canonical_section(m.group("header"))
+    ]
+    if not matches:
+        raise RecordFormatError("no recognizable section headers")
+
+    sections: list[Section] = []
+    for i, match in enumerate(matches):
+        name = canonical_section(match.group("header"))
+        body_start = match.end()
+        body_end = matches[i + 1].start() if i + 1 < len(matches) else len(
+            text
+        )
+        assert name is not None  # filtered above
+        sections.append(Section(name=name, text=text[body_start:body_end]))
+
+    patient_id = ""
+    patient = next((s for s in sections if s.name == "Patient"), None)
+    if patient is not None:
+        patient_id = patient.text.split()[0] if patient.text.split() else ""
+    return PatientRecord(
+        patient_id=patient_id, sections=sections, raw_text=text
+    )

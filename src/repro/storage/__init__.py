@@ -1,0 +1,5 @@
+"""Result storage substrate (Access-database substitute on SQLite)."""
+
+from repro.storage.db import ResultStore
+
+__all__ = ["ResultStore"]

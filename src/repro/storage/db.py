@@ -1,0 +1,249 @@
+"""Result database (the paper's Microsoft Access stand-in).
+
+"Extracted information is saved in a Microsoft Access database."  We
+use SQLite with one table per value kind plus a patients table.  Values
+keep their provenance (association method for numerics) so downstream
+analysis can audit how each cell was produced.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Any
+
+from repro.errors import StorageError
+from repro.extraction.pipeline import ExtractionResult
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS patients (
+    patient_id TEXT PRIMARY KEY
+);
+CREATE TABLE IF NOT EXISTS numeric_values (
+    patient_id TEXT NOT NULL REFERENCES patients(patient_id),
+    attribute TEXT NOT NULL,
+    value REAL,
+    value2 REAL,            -- second component of ratio readings
+    method TEXT,
+    sentence TEXT,
+    PRIMARY KEY (patient_id, attribute)
+);
+CREATE TABLE IF NOT EXISTS term_values (
+    patient_id TEXT NOT NULL REFERENCES patients(patient_id),
+    attribute TEXT NOT NULL,
+    position INTEGER NOT NULL,
+    term TEXT NOT NULL,
+    PRIMARY KEY (patient_id, attribute, position)
+);
+CREATE TABLE IF NOT EXISTS categorical_values (
+    patient_id TEXT NOT NULL REFERENCES patients(patient_id),
+    attribute TEXT NOT NULL,
+    label TEXT,
+    PRIMARY KEY (patient_id, attribute)
+);
+"""
+
+
+class ResultStore:
+    """SQLite sink and query surface for extraction results."""
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self._connection = sqlite3.connect(str(path))
+        self._connection.executescript(_SCHEMA)
+
+    # ------------------------------------------------------------ write
+
+    def save(self, result: ExtractionResult) -> None:
+        """Insert or replace one record's extraction output."""
+        if not result.patient_id:
+            raise StorageError("result has no patient_id")
+        cur = self._connection.cursor()
+        cur.execute(
+            "INSERT OR REPLACE INTO patients VALUES (?)",
+            (result.patient_id,),
+        )
+        for attribute, extraction in result.numeric.items():
+            value = value2 = method = sentence = None
+            if extraction is not None:
+                method = extraction.method.value
+                sentence = extraction.sentence
+                if isinstance(extraction.value, tuple):
+                    value, value2 = extraction.value
+                else:
+                    value = extraction.value
+            cur.execute(
+                "INSERT OR REPLACE INTO numeric_values VALUES "
+                "(?, ?, ?, ?, ?, ?)",
+                (result.patient_id, attribute, value, value2, method,
+                 sentence),
+            )
+        for attribute, terms in result.terms.items():
+            cur.execute(
+                "DELETE FROM term_values WHERE patient_id=? AND "
+                "attribute=?",
+                (result.patient_id, attribute),
+            )
+            for position, term in enumerate(terms):
+                cur.execute(
+                    "INSERT INTO term_values VALUES (?, ?, ?, ?)",
+                    (result.patient_id, attribute, position, term),
+                )
+        for attribute, label in result.categorical.items():
+            cur.execute(
+                "INSERT OR REPLACE INTO categorical_values VALUES "
+                "(?, ?, ?)",
+                (result.patient_id, attribute, label),
+            )
+        self._connection.commit()
+
+    def save_all(self, results: list[ExtractionResult]) -> None:
+        for result in results:
+            self.save(result)
+
+    # ------------------------------------------------------------- read
+
+    def patients(self) -> list[str]:
+        rows = self._connection.execute(
+            "SELECT patient_id FROM patients ORDER BY patient_id"
+        )
+        return [r[0] for r in rows]
+
+    def numeric_value(
+        self, patient_id: str, attribute: str
+    ) -> float | tuple[float, float] | None:
+        row = self._connection.execute(
+            "SELECT value, value2 FROM numeric_values WHERE "
+            "patient_id=? AND attribute=?",
+            (patient_id, attribute),
+        ).fetchone()
+        if row is None or row[0] is None:
+            return None
+        return (row[0], row[1]) if row[1] is not None else row[0]
+
+    def terms(self, patient_id: str, attribute: str) -> list[str]:
+        rows = self._connection.execute(
+            "SELECT term FROM term_values WHERE patient_id=? AND "
+            "attribute=? ORDER BY position",
+            (patient_id, attribute),
+        )
+        return [r[0] for r in rows]
+
+    def categorical_value(
+        self, patient_id: str, attribute: str
+    ) -> str | None:
+        row = self._connection.execute(
+            "SELECT label FROM categorical_values WHERE patient_id=? "
+            "AND attribute=?",
+            (patient_id, attribute),
+        ).fetchone()
+        return row[0] if row else None
+
+    def query(self, sql: str, parameters: tuple = ()) -> list[tuple]:
+        """Arbitrary read-only research query over the result tables."""
+        lowered = sql.lstrip().lower()
+        if not lowered.startswith("select"):
+            raise StorageError("query() only accepts SELECT statements")
+        return self._connection.execute(sql, parameters).fetchall()
+
+    # ------------------------------------------------------- analytics
+
+    def label_distribution(self, attribute: str) -> dict[str, int]:
+        """Cohort-level counts for a categorical attribute — the kind
+        of chart-review question the paper's introduction motivates."""
+        rows = self._connection.execute(
+            "SELECT label, COUNT(*) FROM categorical_values WHERE "
+            "attribute=? AND label IS NOT NULL GROUP BY label",
+            (attribute,),
+        )
+        return {label: count for label, count in rows}
+
+    def numeric_summary(
+        self, attribute: str
+    ) -> dict[str, float] | None:
+        rows = self._connection.execute(
+            "SELECT MIN(value), AVG(value), MAX(value), COUNT(value) "
+            "FROM numeric_values WHERE attribute=? AND value IS NOT "
+            "NULL",
+            (attribute,),
+        ).fetchone()
+        if not rows or rows[3] == 0:
+            return None
+        return {
+            "min": rows[0], "mean": rows[1], "max": rows[2],
+            "count": rows[3],
+        }
+
+    def term_frequencies(self, attribute: str) -> dict[str, int]:
+        rows = self._connection.execute(
+            "SELECT term, COUNT(*) FROM term_values WHERE attribute=? "
+            "GROUP BY term ORDER BY COUNT(*) DESC",
+            (attribute,),
+        )
+        return {term: count for term, count in rows}
+
+    # --------------------------------------------------------- export
+
+    def export_csv(self, path: str | Path) -> int:
+        """Write one wide CSV row per patient ("for future data
+        mining", the paper's stated purpose).  Numeric columns hold
+        plain values (``systolic``/``diastolic`` split out), term
+        columns hold ``;``-joined lists, categorical columns labels.
+        Returns the number of rows written.
+        """
+        import csv
+
+        numeric_attrs = [
+            r[0]
+            for r in self._connection.execute(
+                "SELECT DISTINCT attribute FROM numeric_values "
+                "ORDER BY attribute"
+            )
+        ]
+        term_attrs = [
+            r[0]
+            for r in self._connection.execute(
+                "SELECT DISTINCT attribute FROM term_values "
+                "ORDER BY attribute"
+            )
+        ]
+        cat_attrs = [
+            r[0]
+            for r in self._connection.execute(
+                "SELECT DISTINCT attribute FROM categorical_values "
+                "ORDER BY attribute"
+            )
+        ]
+        header = ["patient_id"]
+        for attr in numeric_attrs:
+            if attr == "blood_pressure":
+                header += ["systolic", "diastolic"]
+            else:
+                header.append(attr)
+        header += term_attrs + cat_attrs
+
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(header)
+            count = 0
+            for patient_id in self.patients():
+                row: list = [patient_id]
+                for attr in numeric_attrs:
+                    value = self.numeric_value(patient_id, attr)
+                    if attr == "blood_pressure":
+                        if isinstance(value, tuple):
+                            row += [value[0], value[1]]
+                        else:
+                            row += ["", ""]
+                    else:
+                        row.append("" if value is None else value)
+                for attr in term_attrs:
+                    row.append(";".join(self.terms(patient_id, attr)))
+                for attr in cat_attrs:
+                    label = self.categorical_value(patient_id, attr)
+                    row.append("" if label is None else label)
+                writer.writerow(row)
+                count += 1
+        return count
+
+    def close(self) -> None:
+        self._connection.close()

@@ -1,0 +1,12 @@
+"""Synthetic clinical corpus substrate (private-notes substitute)."""
+
+from repro.synth.generator import CohortSpec, RecordGenerator
+from repro.synth.gold import GoldAnnotations
+from repro.synth.styles import DictationStyle
+
+__all__ = [
+    "CohortSpec",
+    "RecordGenerator",
+    "GoldAnnotations",
+    "DictationStyle",
+]

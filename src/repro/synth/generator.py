@@ -1,0 +1,433 @@
+"""Synthetic consultation-note generator.
+
+The paper's corpus — 50 initial consultation notes dictated by one
+breast surgeon — is protected health information and unavailable.
+This generator reproduces its *measurable* properties instead: the
+semi-structured Appendix format, the 18-field/24-attribute content
+schema, the single-clinician dictation consistency (via
+:class:`~repro.synth.styles.DictationStyle`), the smoking-class priors
+the evaluation reports (5 former / 12 current / 28 never / 5 missing),
+and gold annotations standing in for the medical student's manual
+coding.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.extraction.schema import (
+    ALCOHOL_LABELS,
+    SMOKING_LABELS,
+)
+from repro.ontology.builder import default_ontology
+from repro.ontology.concept import Concept, SemanticType
+from repro.ontology.data.vocabulary import (
+    PREDEFINED_MEDICAL,
+    PREDEFINED_SURGICAL,
+)
+from repro.ontology.store import OntologyStore
+from repro.records.model import PatientRecord, Section
+from repro.synth import templates as T
+from repro.synth.gold import GoldAnnotations
+from repro.synth.styles import DictationStyle
+
+_NUMBER_WORDS = {
+    1: "one", 2: "two", 3: "three", 4: "four", 5: "five", 6: "six",
+    7: "seven", 8: "eight", 9: "nine", 10: "ten", 11: "eleven",
+    12: "twelve", 13: "thirteen", 14: "fourteen", 15: "fifteen",
+    16: "sixteen",
+}
+
+
+@dataclass(frozen=True)
+class CohortSpec:
+    """How many records, and the smoking-class composition."""
+
+    size: int = 50
+    smoking_counts: dict = field(
+        default_factory=lambda: {
+            "never": 28, "current": 12, "former": 5, None: 5,
+        }
+    )
+
+    def __post_init__(self) -> None:
+        total = sum(self.smoking_counts.values())
+        if total != self.size:
+            raise ValueError(
+                f"smoking counts sum to {total}, expected {self.size}"
+            )
+
+    @classmethod
+    def paper(cls) -> "CohortSpec":
+        """§5's data set: 50 records, 45 with smoking information."""
+        return cls()
+
+
+class RecordGenerator:
+    """Generates (record, gold) pairs under a dictation style."""
+
+    def __init__(
+        self,
+        style: DictationStyle | None = None,
+        seed: int = 0,
+        ontology: OntologyStore | None = None,
+    ) -> None:
+        self.style = style or DictationStyle.consistent()
+        self.ontology = ontology or default_ontology()
+        self._rng = random.Random(seed)
+        concepts = self.ontology.concepts()
+        self._diseases = [
+            c for c in concepts
+            if c.semantic_type in (SemanticType.DISEASE,
+                                   SemanticType.NEOPLASM)
+        ]
+        self._procedures = [
+            c for c in concepts
+            if c.semantic_type is SemanticType.PROCEDURE
+        ]
+        self._drugs = [
+            c for c in concepts if c.semantic_type is SemanticType.DRUG
+        ]
+        self._by_name = {c.preferred_name: c for c in concepts}
+
+    # ------------------------------------------------------------ public
+
+    def generate_cohort(
+        self, spec: CohortSpec | None = None
+    ) -> tuple[list[PatientRecord], list[GoldAnnotations]]:
+        """Generate a cohort with the spec's smoking composition."""
+        spec = spec or CohortSpec.paper()
+        labels: list[str | None] = [
+            label
+            for label, count in spec.smoking_counts.items()
+            for _ in range(count)
+        ]
+        self._rng.shuffle(labels)
+        records: list[PatientRecord] = []
+        golds: list[GoldAnnotations] = []
+        for index, smoking in enumerate(labels, start=1):
+            record, gold = self.generate(str(index), smoking=smoking)
+            records.append(record)
+            golds.append(gold)
+        return records, golds
+
+    def generate(
+        self, patient_id: str, smoking: str | None = "auto"
+    ) -> tuple[PatientRecord, GoldAnnotations]:
+        """One record plus its gold annotations.
+
+        ``smoking="auto"`` samples the class; pass a label or ``None``
+        (no smoking information dictated) to pin it.
+        """
+        rng = self._rng
+        gold = GoldAnnotations(patient_id=patient_id)
+        if smoking == "auto":
+            smoking = rng.choice(SMOKING_LABELS)
+
+        values = self._sample_values(rng, smoking)
+        gold.numeric = values["numeric"]
+        gold.terms = values["terms"]
+        gold.categorical = values["categorical"]
+
+        sections = self._render_sections(rng, patient_id, values)
+        record = PatientRecord(patient_id=patient_id, sections=sections)
+        record.raw_text = record.render()
+        return record, gold
+
+    # --------------------------------------------------------- sampling
+
+    def _sample_values(self, rng: random.Random, smoking: str | None):
+        sys = rng.randint(104, 178)
+        dia = rng.randint(58, 98)
+        gravida = rng.randint(0, 6)
+        numeric = {
+            "age": float(rng.randint(28, 86)),
+            "menarche_age": float(rng.randint(9, 16)),
+            "gravida": float(gravida),
+            "para": float(rng.randint(0, gravida)),
+            "blood_pressure": (float(sys), float(dia)),
+            "pulse": float(rng.randint(56, 104)),
+            "temperature": round(rng.uniform(97.0, 99.9), 1),
+            "weight": float(rng.randint(98, 284)),
+        }
+
+        predefined_med = [
+            name for name in PREDEFINED_MEDICAL if rng.random() < 0.28
+        ]
+        other_pool = [
+            c for c in self._diseases
+            if c.preferred_name not in PREDEFINED_MEDICAL
+        ]
+        other_med = [
+            c.preferred_name
+            for c in rng.sample(other_pool, k=rng.randint(1, 4))
+        ]
+        predefined_surg = [
+            name for name in PREDEFINED_SURGICAL if rng.random() < 0.18
+        ]
+        surg_pool = [
+            c for c in self._procedures
+            if c.preferred_name not in PREDEFINED_SURGICAL
+        ]
+        other_surg = [
+            c.preferred_name
+            for c in rng.sample(surg_pool, k=rng.randint(0, 3))
+        ]
+        terms = {
+            "predefined_past_medical_history": predefined_med,
+            "other_past_medical_history": other_med,
+            "predefined_past_surgical_history": predefined_surg,
+            "other_past_surgical_history": other_surg,
+        }
+
+        categorical: dict[str, str | None] = {
+            "smoking": smoking,
+            "alcohol_use": rng.choices(
+                ALCOHOL_LABELS, weights=[4, 4, 2, 2]
+            )[0],
+            "drug_use": rng.choices(
+                ["never", "former", "current"], weights=[7, 2, 1]
+            )[0],
+            "shape": rng.choices(
+                ["thin", "normal", "overweight", "obese"],
+                weights=[1, 4, 3, 2],
+            )[0],
+            "menopausal_status": self._menopause_for_age(
+                numeric["age"], rng
+            ),
+            "exercise_level": rng.choice(
+                ["none", "occasional", "regular"]
+            ),
+            "previous_breast_biopsy": rng.choices(
+                ["no", "yes"], weights=[3, 1]
+            )[0],
+            "family_history_breast_cancer": rng.choices(
+                ["no", "yes"], weights=[2, 1]
+            )[0],
+            "hormone_replacement": rng.choices(
+                ["no", "yes"], weights=[3, 1]
+            )[0],
+            "breast_pain": rng.choices(["no", "yes"], weights=[2, 1])[0],
+            "nipple_discharge": rng.choices(
+                ["no", "yes"], weights=[4, 1]
+            )[0],
+            "regular_mammograms": rng.choices(
+                ["no", "yes"], weights=[1, 2]
+            )[0],
+        }
+        return {
+            "numeric": numeric,
+            "terms": terms,
+            "categorical": categorical,
+        }
+
+    @staticmethod
+    def _menopause_for_age(age: float, rng: random.Random) -> str:
+        if age < 45:
+            return "premenopausal"
+        if age < 53:
+            return rng.choice(["perimenopausal", "postmenopausal"])
+        return "postmenopausal"
+
+    # -------------------------------------------------------- rendering
+
+    def _pick(self, rng: random.Random, pool: list[str]) -> str:
+        """Standard template, or a variant with style.variability odds."""
+        if len(pool) > 1 and rng.random() < self.style.variability:
+            return rng.choice(pool[1:])
+        return pool[0]
+
+    def _class_pick(self, rng: random.Random, pool: list[str]) -> str:
+        """Class-conditioned pools vary even for one clinician."""
+        return rng.choice(pool)
+
+    def _number(self, rng: random.Random, value: int) -> str:
+        if (
+            value in _NUMBER_WORDS
+            and rng.random() < self.style.word_number_probability
+        ):
+            return _NUMBER_WORDS[value]
+        return str(value)
+
+    def _surface(self, rng: random.Random, name: str,
+                 synonym_probability: float) -> str:
+        concept = self._by_name[name]
+        if concept.synonyms and rng.random() < synonym_probability:
+            return rng.choice(concept.synonyms)
+        return concept.preferred_name
+
+    @staticmethod
+    def _join(parts: list[str]) -> str:
+        if not parts:
+            return ""
+        if len(parts) == 1:
+            return parts[0]
+        if len(parts) == 2:
+            return f"{parts[0]} and {parts[1]}"
+        return ", ".join(parts[:-1]) + f", and {parts[-1]}"
+
+    def _render_term_section(
+        self,
+        rng: random.Random,
+        names: list[str],
+        synonym_probability: float,
+        templates: list[str],
+        empty_templates: list[str],
+    ) -> str:
+        if not names:
+            return self._pick(rng, empty_templates)
+        surfaces = [
+            self._surface(rng, name, synonym_probability)
+            for name in names
+        ]
+        rng.shuffle(surfaces)
+        joined = self._join(surfaces)
+        template = self._pick(rng, templates)
+        return template.format(
+            terms=joined,
+            terms_capitalized=joined[:1].upper() + joined[1:],
+        )
+
+    def _render_sections(
+        self, rng: random.Random, patient_id: str, values
+    ) -> list[Section]:
+        numeric = values["numeric"]
+        terms = values["terms"]
+        cat = values["categorical"]
+        style = self.style
+
+        sys, dia = numeric["blood_pressure"]
+        vitals_pool = (
+            T.VITALS_FRAGMENT_TEMPLATES
+            if rng.random() < style.fragment_probability
+            else T.VITALS_TEMPLATES
+        )
+        vitals = self._pick(rng, vitals_pool).format(
+            sys=int(sys),
+            dia=int(dia),
+            pulse=int(numeric["pulse"]),
+            temp=numeric["temperature"],
+            weight=int(numeric["weight"]),
+            # Prior-visit distractor values used by the hard variants.
+            # Derived (not drawn) so adding them never perturbs the
+            # generator's random stream for downstream sections.
+            pulse2=int(numeric["pulse"]) + 7,
+            weight2=int(numeric["weight"]) + 16,
+        )
+
+        gyn_parts = [
+            self._pick(rng, T.GYN_TEMPLATES).format(
+                menarche=self._number(rng, int(numeric["menarche_age"])),
+                gravida=self._number(rng, int(numeric["gravida"])),
+                para=self._number(rng, int(numeric["para"])),
+            ),
+            self._class_pick(
+                rng, T.MENOPAUSE_TEMPLATES[cat["menopausal_status"]]
+            ),
+            self._class_pick(rng, T.HRT_TEMPLATES[cat["hormone_replacement"]]),
+        ]
+
+        hpi_parts = [
+            self._pick(rng, T.AGE_TEMPLATES).format(
+                pid=patient_id,
+                age=int(numeric["age"]),
+                finding=rng.choice(T.FINDINGS_PHRASES),
+            ),
+            self._class_pick(
+                rng, T.BIOPSY_TEMPLATES[cat["previous_breast_biopsy"]]
+            ),
+            self._class_pick(
+                rng, T.MAMMOGRAM_TEMPLATES[cat["regular_mammograms"]]
+            ),
+        ]
+
+        pmh_names = (
+            terms["predefined_past_medical_history"]
+            + terms["other_past_medical_history"]
+        )
+        pmh = self._render_term_section(
+            rng, pmh_names, style.medical_synonym_probability,
+            T.PMH_TEMPLATES, T.PMH_EMPTY,
+        )
+        psh_names = (
+            terms["predefined_past_surgical_history"]
+            + terms["other_past_surgical_history"]
+        )
+        psh = self._render_term_section(
+            rng, psh_names, style.surgical_synonym_probability,
+            T.PSH_TEMPLATES, T.PSH_EMPTY,
+        )
+
+        medications = self._join(
+            sorted(
+                self._surface(rng, c.preferred_name, 0.3).capitalize()
+                for c in rng.sample(self._drugs, k=rng.randint(3, 9))
+            )
+        ) + "."
+        allergy_pool = ["penicillin", "latex", "ace inhibitors",
+                        "codeine", "sulfa drugs"]
+        allergies = rng.sample(allergy_pool, k=rng.randint(0, 3))
+        allergies_text = (
+            self._join([a.capitalize() for a in allergies]) + "."
+            if allergies
+            else "No known drug allergies."
+        )
+
+        social_parts: list[str] = []
+        if cat["smoking"] is not None:
+            social_parts.append(
+                self._class_pick(
+                    rng, T.SMOKING_TEMPLATES[cat["smoking"]]
+                ).format(
+                    years_ago=rng.randint(1, 20),
+                    pack_years=rng.randint(5, 40),
+                    years=rng.randint(2, 40),
+                )
+            )
+        social_parts.append(
+            self._class_pick(rng, T.ALCOHOL_TEMPLATES[cat["alcohol_use"]])
+        )
+        social_parts.append(
+            self._class_pick(rng, T.DRUG_TEMPLATES[cat["drug_use"]])
+        )
+        social_parts.append(
+            self._class_pick(
+                rng, T.EXERCISE_TEMPLATES[cat["exercise_level"]]
+            )
+        )
+
+        family = self._class_pick(
+            rng, T.FAMILY_HISTORY_TEMPLATES[
+                cat["family_history_breast_cancer"]
+            ]
+        ).format(dx_age=rng.randint(35, 75))
+
+        ros_parts = [
+            rng.choice(T.ROS_PREFIX),
+            self._class_pick(rng, T.BREAST_PAIN_TEMPLATES[cat["breast_pain"]]),
+            self._class_pick(
+                rng, T.DISCHARGE_TEMPLATES[cat["nipple_discharge"]]
+            ),
+        ]
+
+        physical = self._class_pick(rng, T.SHAPE_TEMPLATES[cat["shape"]])
+
+        sections = [
+            Section("Patient", patient_id),
+            Section("Chief Complaint", rng.choice(T.CHIEF_COMPLAINTS)),
+            Section("History of Present Illness", " ".join(hpi_parts)),
+            Section("GYN History", " ".join(gyn_parts)),
+            Section("Past Medical History", pmh),
+            Section("Past Surgical History", psh),
+            Section("Medications", medications),
+            Section("Allergies", allergies_text),
+            Section("Social History", " ".join(social_parts)),
+            Section("Family History", family),
+            Section("Review of Systems", " ".join(ros_parts)),
+            Section("Physical Examination", physical),
+            Section("Vitals", vitals),
+        ]
+        for name, pool in T.EXAM_BOILERPLATE.items():
+            sections.append(Section(name, rng.choice(pool)))
+        return sections

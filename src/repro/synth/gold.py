@@ -1,0 +1,75 @@
+"""Gold annotations attached to every synthetic record.
+
+The paper evaluates against "a medical student's independent manual
+processing of the same 50 consultation notes".  The generator plays
+both roles: it emits the note *and* the manual coding, so precision
+and recall are computable without human annotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.extraction.schema import (
+    CATEGORICAL_ATTRIBUTES,
+    NUMERIC_ATTRIBUTES,
+    TERMS_ATTRIBUTES,
+)
+
+
+@dataclass
+class GoldAnnotations:
+    """Per-record truth for all 24 attributes.
+
+    * ``numeric`` — attribute → value; blood pressure is a
+      ``(systolic, diastolic)`` tuple; ``None`` means not dictated.
+    * ``terms`` — attribute → list of canonical (preferred) names.
+    * ``categorical`` — attribute → label, ``None`` when the record
+      carries no information (the paper's five subjects without
+      smoking information).
+    """
+
+    patient_id: str
+    numeric: dict[str, Any] = field(default_factory=dict)
+    terms: dict[str, list[str]] = field(default_factory=dict)
+    categorical: dict[str, str | None] = field(default_factory=dict)
+
+    def complete(self) -> bool:
+        """Do all attribute slots exist (possibly with None values)?"""
+        return (
+            set(self.numeric) == {a.name for a in NUMERIC_ATTRIBUTES}
+            and set(self.terms) == {a.name for a in TERMS_ATTRIBUTES}
+            and set(self.categorical)
+            == {a.name for a in CATEGORICAL_ATTRIBUTES}
+        )
+
+    # ------------------------------------------------- serialization
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (tuples become lists)."""
+        return {
+            "patient_id": self.patient_id,
+            "numeric": {
+                k: (list(v) if isinstance(v, tuple) else v)
+                for k, v in self.numeric.items()
+            },
+            "terms": self.terms,
+            "categorical": self.categorical,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "GoldAnnotations":
+        """Inverse of :meth:`to_dict` (ratio lists become tuples)."""
+        numeric = {
+            k: (tuple(v) if isinstance(v, list) else v)
+            for k, v in data.get("numeric", {}).items()
+        }
+        return cls(
+            patient_id=data["patient_id"],
+            numeric=numeric,
+            terms={
+                k: list(v) for k, v in data.get("terms", {}).items()
+            },
+            categorical=dict(data.get("categorical", {})),
+        )

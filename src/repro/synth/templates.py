@@ -1,0 +1,341 @@
+"""Sentence template pools for the synthetic record generator.
+
+Each pool is a list of ``str.format`` templates.  Index 0 is the
+consistent clinician's standard phrasing; the rest are the stylistic
+variants a :class:`~repro.synth.styles.DictationStyle` may substitute.
+Categorical pools (smoking, alcohol, …) vary by design even in the
+consistent style: the paper's own examples for one clinician span
+"She quit smoking five years ago", "She is currently a smoker",
+"None" and "She has never smoked".
+"""
+
+from __future__ import annotations
+
+# ------------------------------------------------------------- numeric
+
+VITALS_TEMPLATES: list[str] = [
+    # The paper's Figure 1 shape.
+    "Blood pressure is {sys}/{dia}, pulse of {pulse}, temperature of "
+    "{temp}, and weight of {weight} pounds.",
+    "Blood pressure is {sys}/{dia}, pulse of {pulse}, and weight of "
+    "{weight} pounds. Temperature of {temp}.",
+    "Blood pressure of {sys}/{dia} with a pulse of {pulse}. "
+    "Temperature is {temp} and weight is {weight} pounds.",
+    "Weight of {weight} pounds. Blood pressure is {sys}/{dia}, pulse "
+    "of {pulse}, temperature of {temp}.",
+    "Pulse of {pulse} and blood pressure of {sys}/{dia}. Weight is "
+    "{weight} pounds and temperature is {temp}.",
+    "Temperature of {temp}. Blood pressure of {sys}/{dia}, pulse of "
+    "{pulse}, and weight of {weight} pounds.",
+    # Hard variants: parallel value lists and prior-visit distractors
+    # defeat adjacency heuristics — the degradation §5 predicts for
+    # "writing style full of variants".
+    "Blood pressure, pulse, temperature, and weight are {sys}/{dia}, "
+    "{pulse}, {temp}, and {weight} pounds.",
+    "Compared with a pulse of {pulse2} at her last visit, the pulse "
+    "today is {pulse}. Blood pressure is {sys}/{dia}, temperature of "
+    "{temp}, and weight of {weight} pounds.",
+    "Her weight, up from {weight2} pounds last year, is {weight} "
+    "pounds. Blood pressure is {sys}/{dia}, pulse of {pulse}, "
+    "temperature of {temp}.",
+]
+
+VITALS_FRAGMENT_TEMPLATES: list[str] = [
+    # Unparseable fragments: the link grammar fails, patterns take over.
+    "Blood pressure: {sys}/{dia}. Pulse: {pulse}. Temperature: "
+    "{temp}. Weight: {weight} pounds.",
+    "BP: {sys}/{dia}, pulse: {pulse}, temp: {temp}, weight: {weight}.",
+    "Vitals: blood pressure {sys}/{dia}; pulse {pulse}; temperature "
+    "{temp}; weight {weight}.",
+]
+
+GYN_TEMPLATES: list[str] = [
+    "Menarche at age {menarche}, gravida {gravida}, para {para}, last "
+    "menstrual period about a year ago.",
+    "Menarche at age {menarche}. Gravida {gravida}, para {para}.",
+    "Gravida {gravida}, para {para}. Menarche at age {menarche}.",
+    "She reports menarche at age {menarche}. She is gravida {gravida} "
+    "and para {para}.",
+    "Menarche at age {menarche}, gravida {gravida}, and para {para}.",
+]
+
+AGE_TEMPLATES: list[str] = [
+    "Ms. {pid} is a {age}-year-old woman who underwent a screening "
+    "mammogram, revealing {finding}. She was referred for further "
+    "management.",
+    "The patient is a {age}-year-old woman referred after a screening "
+    "mammogram revealed {finding}.",
+    "Ms. {pid}, a {age} year old woman, presents with {finding} on a "
+    "recent mammogram.",
+    "This {age}-year-old woman was referred after her mammogram "
+    "revealed {finding}.",
+    "Ms. {pid} is a pleasant {age}-year-old woman seen for {finding}.",
+]
+
+# ---------------------------------------------------------- categorical
+
+SMOKING_TEMPLATES: dict[str, list[str]] = {
+    "never": [
+        "She has never smoked.",
+        "None.",
+        "Denies tobacco use.",
+        "No history of smoking.",
+        "She does not smoke.",
+        "Never a smoker.",
+        "Denies any smoking history.",
+        "No tobacco use.",
+    ],
+    "former": [
+        "She quit smoking {years_ago} years ago.",
+        "Former smoker, quit {years_ago} years ago.",
+        "She stopped smoking {years_ago} years ago.",
+        "Quit tobacco {years_ago} years ago after a {pack_years} "
+        "pack-year history.",
+        "She smoked previously but quit.",
+        "Remote smoking history, quit {years_ago} years ago.",
+    ],
+    "current": [
+        "She is currently a smoker.",
+        "She smokes one pack per day.",
+        "Smoking history, {years} years.",
+        "Current smoker of one pack per day.",
+        "She smokes cigarettes daily.",
+        "Ongoing tobacco use, {years} years.",
+    ],
+}
+
+ALCOHOL_TEMPLATES: dict[str, list[str]] = {
+    "never": [
+        "Denies alcohol use.",
+        "No alcohol.",
+        "She does not drink.",
+        "Denies any alcohol.",
+    ],
+    "social": [
+        "Alcohol use, occasional.",
+        "Social drinker.",
+        "Drinks occasionally at parties.",
+        "Occasional glass of wine on holidays.",
+    ],
+    "one_two_per_week": [
+        "She drinks 1-2 glasses of wine per week.",
+        "Reports 2 drinks per week.",
+        "She has 1 drink per week.",
+        "About 2 beers per week.",
+    ],
+    "over_two_per_week": [
+        "She drinks 4-5 beers per week.",
+        "Reports 6 drinks per week.",
+        "She has 3 glasses of wine per week.",
+        "About 5 drinks per week.",
+    ],
+}
+
+DRUG_TEMPLATES: dict[str, list[str]] = {
+    "never": [
+        "No drug use.",
+        "Denies recreational drugs.",
+        "Denies any drug use.",
+    ],
+    "former": [
+        "Remote history of marijuana use.",
+        "Used marijuana years ago, none now.",
+        "Former recreational drug use.",
+    ],
+    "current": [
+        "Drug use, significant for marijuana.",
+        "Occasional marijuana use.",
+        "Ongoing marijuana use.",
+    ],
+}
+
+EXERCISE_TEMPLATES: dict[str, list[str]] = {
+    "none": [
+        "She does not exercise.",
+        "No regular exercise.",
+    ],
+    "occasional": [
+        "She exercises occasionally.",
+        "Walks occasionally.",
+    ],
+    "regular": [
+        "She exercises regularly.",
+        "Walks three times per week.",
+        "Regular exercise program.",
+    ],
+}
+
+SHAPE_TEMPLATES: dict[str, list[str]] = {
+    "thin": [
+        "Reveals a thin woman in no apparent distress.",
+        "Thin, pleasant woman in no distress.",
+    ],
+    "normal": [
+        "Reveals a well-nourished woman in no apparent distress.",
+        "Well-developed, well-nourished woman in no distress.",
+    ],
+    "overweight": [
+        "Reveals an overweight woman in no apparent distress.",
+        "Overweight but comfortable woman in no distress.",
+    ],
+    "obese": [
+        "Reveals an obese woman in no apparent distress.",
+        "Obese woman in no acute distress.",
+    ],
+}
+
+MENOPAUSE_TEMPLATES: dict[str, list[str]] = {
+    "premenopausal": [
+        "She remains premenopausal with regular cycles.",
+        "Premenopausal.",
+    ],
+    "perimenopausal": [
+        "She is perimenopausal with irregular cycles.",
+        "Perimenopausal.",
+    ],
+    "postmenopausal": [
+        "She is postmenopausal.",
+        "Postmenopausal for several years.",
+    ],
+}
+
+HRT_TEMPLATES: dict[str, list[str]] = {
+    "yes": [
+        "She takes hormone replacement therapy.",
+        "On hormone replacement.",
+    ],
+    "no": [
+        "She does not take hormones.",
+        "No hormone replacement.",
+    ],
+}
+
+BIOPSY_TEMPLATES: dict[str, list[str]] = {
+    "yes": [
+        "Her breast history is significant for a previous biopsy.",
+        "She has undergone a breast biopsy in the past.",
+    ],
+    "no": [
+        "Her breast history is negative for any previous biopsies or "
+        "masses.",
+        "No previous breast biopsies.",
+    ],
+}
+
+MAMMOGRAM_TEMPLATES: dict[str, list[str]] = {
+    "yes": [
+        "She undergoes regular screening mammograms.",
+        "Annual mammograms are up to date.",
+    ],
+    "no": [
+        "She has not had regular mammograms.",
+        "This was her first mammogram in many years.",
+    ],
+}
+
+FAMILY_HISTORY_TEMPLATES: dict[str, list[str]] = {
+    "yes": [
+        "Mother with breast cancer, diagnosed at age {dx_age}. No "
+        "other family members with cancers.",
+        "Maternal aunt with breast cancer. No other family members "
+        "with cancers.",
+        "Sister with breast cancer diagnosed at age {dx_age}.",
+    ],
+    "no": [
+        "No family members with cancers.",
+        "No family history of breast cancer.",
+        "Noncontributory.",
+    ],
+}
+
+BREAST_PAIN_TEMPLATES: dict[str, list[str]] = {
+    "yes": [
+        "Significant for breast pain.",
+        "Reports intermittent breast pain.",
+    ],
+    "no": [
+        "Denies breast pain.",
+        "No breast pain.",
+    ],
+}
+
+DISCHARGE_TEMPLATES: dict[str, list[str]] = {
+    "yes": [
+        "Reports nipple discharge.",
+        "Positive for nipple discharge.",
+    ],
+    "no": [
+        "No nipple discharge.",
+        "Denies nipple discharge.",
+    ],
+}
+
+# ------------------------------------------------------------ term lists
+
+PMH_TEMPLATES: list[str] = [
+    "Significant for {terms}.",
+    "Her past medical history includes {terms}.",
+    "Positive for {terms}.",
+    "{terms_capitalized}.",
+]
+
+PMH_EMPTY: list[str] = ["Noncontributory.", "Negative."]
+
+PSH_TEMPLATES: list[str] = [
+    "{terms_capitalized}.",
+    "Significant for {terms}.",
+    "Status post {terms}.",
+    "She underwent {terms}.",
+]
+
+PSH_EMPTY: list[str] = ["None.", "No previous surgeries."]
+
+# --------------------------------------------------------- boilerplate
+
+CHIEF_COMPLAINTS: list[str] = [
+    "Abnormal mammogram.",
+    "Breast mass.",
+    "Breast pain.",
+    "Abnormal calcification on mammogram.",
+    "Palpable breast lump.",
+]
+
+FINDINGS_PHRASES: list[str] = [
+    "a solid lesion as well as an abnormal calcification",
+    "a solid lesion",
+    "an abnormal calcification",
+    "a suspicious density",
+    "scattered microcalcifications",
+]
+
+ROS_PREFIX: list[str] = [
+    "Significant for back pain and arthritis complaints.",
+    "Positive for seasonal allergies.",
+    "Negative except as noted.",
+]
+
+EXAM_BOILERPLATE: dict[str, list[str]] = {
+    "HEENT": ["PERRLA."],
+    "Neck": [
+        "There is no cervical or supraclavicular lymphadenopathy.",
+        "Supple, no lymphadenopathy.",
+    ],
+    "Chest": [
+        "Clear to auscultation anteriorly, posteriorly, and "
+        "bilaterally.",
+        "Clear to auscultation bilaterally.",
+    ],
+    "Heart": [
+        "S1 S2, regular, and no murmurs.",
+        "Regular rate and rhythm without murmurs.",
+    ],
+    "Abdomen": [
+        "Soft, nontender, and no masses.",
+        "Soft and nontender.",
+    ],
+    "Examination of Breasts": [
+        "Shows good symmetry bilaterally. Palpation of both breasts "
+        "shows no dominant lesions. There is no axillary adenopathy.",
+        "Symmetric without dominant masses or adenopathy.",
+    ],
+}

@@ -1,0 +1,124 @@
+"""Corpus self-validation.
+
+A synthetic corpus is only as good as its internal consistency: every
+gold value must actually be dictated in the record, every section the
+schema references must exist, and class compositions must match the
+cohort spec.  :func:`validate_pair` checks one (record, gold) pair and
+returns the violations; the generator's tests keep the corpus honest,
+and ``RecordGenerator`` users can run it over custom cohorts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.extraction.schema import (
+    CATEGORICAL_ATTRIBUTES,
+    NUMERIC_ATTRIBUTES,
+    TERMS_ATTRIBUTES,
+)
+from repro.ontology.builder import default_ontology
+from repro.records.model import PatientRecord
+from repro.synth.gold import GoldAnnotations
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One internal inconsistency in a generated pair."""
+
+    patient_id: str
+    attribute: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.patient_id}] {self.attribute}: {self.message}"
+
+
+def _format_number(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else str(value)
+
+
+def validate_pair(
+    record: PatientRecord, gold: GoldAnnotations
+) -> list[Violation]:
+    """All violations of the record↔gold contract (empty = valid)."""
+    violations: list[Violation] = []
+
+    def bad(attribute: str, message: str) -> None:
+        violations.append(
+            Violation(record.patient_id, attribute, message)
+        )
+
+    if record.patient_id != gold.patient_id:
+        bad("patient_id",
+            f"record {record.patient_id!r} vs gold "
+            f"{gold.patient_id!r}")
+
+    if not gold.complete():
+        bad("gold", "gold annotations incomplete")
+
+    # Numeric gold values must be dictated in their section.
+    for attr in NUMERIC_ATTRIBUTES:
+        expected = gold.numeric.get(attr.name)
+        if expected is None:
+            continue
+        text = record.section_text(attr.section)
+        if not text:
+            bad(attr.name, f"section {attr.section!r} missing")
+            continue
+        if attr.is_ratio:
+            systolic, diastolic = expected
+            needle = f"{int(systolic)}/{int(diastolic)}"
+            if needle not in text:
+                bad(attr.name, f"{needle} not dictated")
+        else:
+            needle = _format_number(expected)
+            if needle not in text and not _word_form_present(
+                text, expected
+            ):
+                bad(attr.name, f"{needle} not dictated")
+
+    # Every gold term must correspond to a known concept, and some
+    # surface form of it must appear in the section.
+    ontology = default_ontology()
+    for attr in TERMS_ATTRIBUTES:
+        text = record.section_text(attr.section).lower()
+        for name in gold.terms.get(attr.name, ()):
+            matches = ontology.lookup(name)
+            if not matches:
+                bad(attr.name, f"gold term {name!r} not in vocabulary")
+                continue
+            concept = matches[0].concept
+            if not any(
+                surface.lower() in text
+                for surface in concept.all_names()
+            ):
+                bad(attr.name, f"no surface of {name!r} dictated")
+
+    # Categorical labels must come from the schema's label set.
+    for attr in CATEGORICAL_ATTRIBUTES:
+        label = gold.categorical.get(attr.name)
+        if label is not None and label not in attr.labels:
+            bad(attr.name, f"label {label!r} not in {attr.labels}")
+
+    return violations
+
+
+def _word_form_present(text: str, value: float) -> bool:
+    """Was the number dictated as a word ("gravida four")?"""
+    from repro.nlp.numbers import parse_number_word
+
+    for token in text.lower().replace(",", " ").split():
+        if parse_number_word(token.strip(".;:!?")) == value:
+            return True
+    return False
+
+
+def validate_cohort(
+    records: list[PatientRecord], golds: list[GoldAnnotations]
+) -> list[Violation]:
+    """Validate every pair of a cohort."""
+    violations: list[Violation] = []
+    for record, gold in zip(records, golds):
+        violations.extend(validate_pair(record, gold))
+    return violations

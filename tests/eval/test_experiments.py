@@ -1,0 +1,93 @@
+"""Experiment harness tests (small cohorts to keep runtime sane)."""
+
+import pytest
+
+from repro.eval import (
+    TABLE1_PAPER,
+    categorical_experiment,
+    numeric_experiment,
+    paper_cohort,
+    paper_ontology,
+    smoking_experiment,
+    table1_experiment,
+)
+from repro.synth import CohortSpec, RecordGenerator
+
+
+@pytest.fixture(scope="module")
+def small_cohort():
+    generator = RecordGenerator(seed=3)
+    spec = CohortSpec(
+        size=12,
+        smoking_counts={"never": 6, "current": 3, "former": 2, None: 1},
+    )
+    return generator.generate_cohort(spec)
+
+
+class TestNumericExperiment:
+    def test_small_cohort_is_perfect(self, small_cohort):
+        records, golds = small_cohort
+        result = numeric_experiment(records, golds)
+        p, r = result.overall()
+        assert p == 1.0 and r == 1.0
+
+    def test_rows_cover_all_attributes(self, small_cohort):
+        records, golds = small_cohort
+        result = numeric_experiment(records, golds)
+        assert len(result.rows()) == 8
+
+    def test_methods_recorded(self, small_cohort):
+        records, golds = small_cohort
+        result = numeric_experiment(records, golds)
+        assert sum(result.methods.values()) > 0
+
+
+class TestTable1Experiment:
+    def test_returns_all_four_rows(self, small_cohort):
+        records, golds = small_cohort
+        table = table1_experiment(records, golds)
+        assert set(table) == set(TABLE1_PAPER)
+
+    def test_metrics_are_probabilities(self, small_cohort):
+        records, golds = small_cohort
+        for p, r in table1_experiment(records, golds).values():
+            assert 0.0 <= p <= 1.0
+            assert 0.0 <= r <= 1.0
+
+    def test_synonym_fix_improves_predefined_surgical_recall(
+        self, small_cohort
+    ):
+        records, golds = small_cohort
+        broken = table1_experiment(records, golds, use_synonyms=False)
+        fixed = table1_experiment(records, golds, use_synonyms=True)
+        attr = "predefined_past_surgical_history"
+        assert fixed[attr][1] >= broken[attr][1]
+
+
+class TestCategoricalExperiment:
+    def test_smoking_protocol_counts(self, small_cohort):
+        records, golds = small_cohort
+        result = smoking_experiment(records, golds, seed=1)
+        # 11 labelled cases, 5 folds, 10 repetitions.
+        assert result.confusion.total() == 11 * 10
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_excludes_missing_labels(self, small_cohort):
+        records, golds = small_cohort
+        result = categorical_experiment(
+            "smoking", records, golds, repetitions=1, seed=0
+        )
+        assert result.confusion.total() == 11
+
+
+class TestPaperFixtures:
+    def test_paper_ontology_keeps_predefined(self):
+        onto = paper_ontology(coverage=0.5)
+        assert onto.lookup("diabetes")
+        assert onto.lookup("cholecystectomy")
+
+    def test_paper_cohort_shape(self):
+        records, golds = paper_cohort(seed=1)
+        assert len(records) == 50
+        labels = [g.categorical["smoking"] for g in golds]
+        assert labels.count(None) == 5

@@ -1,0 +1,49 @@
+"""Manifest ↔ benchmarks directory consistency."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.manifest import EXPERIMENTS, bench_files, by_id
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+class TestManifest:
+    def test_every_registered_bench_exists(self):
+        for experiment in EXPERIMENTS:
+            assert (BENCH_DIR / experiment.bench_file).exists(), \
+                experiment.id
+
+    def test_every_bench_file_registered(self):
+        on_disk = {
+            p.name for p in BENCH_DIR.glob("bench_*.py")
+        }
+        assert on_disk == bench_files()
+
+    def test_ids_unique(self):
+        ids = [e.id for e in EXPERIMENTS]
+        assert len(ids) == len(set(ids))
+
+    def test_by_id(self):
+        assert by_id("TAB1").bench_file == "bench_table1_terms.py"
+        with pytest.raises(KeyError):
+            by_id("NOPE")
+
+    def test_table1_paper_values_match_experiments_module(self):
+        from repro.eval.experiments import TABLE1_PAPER
+
+        assert by_id("TAB1").paper_values == TABLE1_PAPER
+
+    def test_kinds_are_known(self):
+        kinds = {e.kind for e in EXPERIMENTS}
+        assert kinds <= {
+            "reproduction", "ablation", "extension", "baseline",
+            "infrastructure",
+        }
+
+    def test_core_reproductions_present(self):
+        reproductions = {
+            e.id for e in EXPERIMENTS if e.kind == "reproduction"
+        }
+        assert {"FIG1", "NUM", "TAB1", "SMOKE"} <= reproductions

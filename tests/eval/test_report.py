@@ -1,0 +1,62 @@
+"""Reproduction report tests (on a small cohort for speed)."""
+
+import pytest
+
+from repro.eval.report import ReproductionReport, full_report
+from repro.synth import CohortSpec, RecordGenerator
+
+
+@pytest.fixture(scope="module")
+def report():
+    generator = RecordGenerator(seed=9)
+    records, golds = generator.generate_cohort(
+        CohortSpec(
+            size=12,
+            smoking_counts={
+                "never": 6, "current": 3, "former": 2, None: 1,
+            },
+        )
+    )
+    return full_report(records, golds)
+
+
+class TestReport:
+    def test_numeric_rows_present(self, report):
+        assert len(report.numeric_rows) == 8
+
+    def test_numeric_perfect_on_consistent_style(self, report):
+        assert report.numeric_perfect()
+
+    def test_table1_rows_present(self, report):
+        assert len(report.table1) == 4
+
+    def test_render_mentions_all_sections(self, report):
+        text = report.render()
+        assert "[NUM]" in text
+        assert "[TAB1]" in text
+        assert "[SMOKE]" in text
+        assert "92.2%" in text  # the paper's reference number
+
+    def test_render_flags_exact_numeric(self, report):
+        assert "-> exact" in report.render()
+
+    def test_feature_range_sane(self, report):
+        low, high = report.smoking_feature_range
+        assert 0 < low <= high
+
+
+class TestReportDataclass:
+    def test_diverged_flagging(self):
+        report = ReproductionReport(
+            numeric_rows=[("pulse", 0.9, 1.0)],
+            table1={k: (0.5, 0.5) for k in (
+                "predefined_past_medical_history",
+                "other_past_medical_history",
+                "predefined_past_surgical_history",
+                "other_past_surgical_history",
+            )},
+            smoking_accuracy=0.9,
+            smoking_feature_range=(4, 7),
+        )
+        assert not report.numeric_perfect()
+        assert "DIVERGED" in report.render()

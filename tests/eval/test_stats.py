@@ -1,0 +1,98 @@
+"""Bootstrap interval tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.stats import (
+    Interval,
+    accuracy_interval,
+    bootstrap,
+    precision_interval,
+    recall_interval,
+)
+from repro.ml.metrics import ExtractionCounts
+
+
+class TestInterval:
+    def test_contains(self):
+        interval = Interval(point=0.9, low=0.8, high=0.95)
+        assert interval.contains(0.85)
+        assert not interval.contains(0.7)
+
+    def test_width(self):
+        assert Interval(0.9, 0.8, 1.0).width() == pytest.approx(0.2)
+
+    def test_inconsistent_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(point=0.5, low=0.6, high=0.9)
+
+    def test_str_formats_percentages(self):
+        assert "[" in str(Interval(0.9, 0.8, 1.0))
+
+
+class TestBootstrap:
+    def test_point_estimate_matches_statistic(self):
+        interval = bootstrap([1.0, 2.0, 3.0],
+                             lambda v: sum(v) / len(v), seed=1)
+        assert interval.point == pytest.approx(2.0)
+
+    def test_deterministic_per_seed(self):
+        samples = [0.8, 0.9, 1.0, 0.7, 0.95]
+        a = accuracy_interval(samples, seed=3)
+        b = accuracy_interval(samples, seed=3)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_degenerate_sample_zero_width(self):
+        interval = accuracy_interval([0.9] * 10, seed=1)
+        assert interval.width() == pytest.approx(0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap([], lambda v: 0.0)
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap([1.0], lambda v: 1.0, confidence=1.5)
+
+    @given(
+        st.lists(st.floats(0.0, 1.0), min_size=3, max_size=25)
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_interval_brackets_point(self, samples):
+        interval = accuracy_interval(
+            samples, iterations=200, seed=5
+        )
+        assert interval.low <= interval.point <= interval.high
+
+    def test_more_data_narrower_interval(self):
+        small = accuracy_interval(
+            [0.6, 1.0, 0.8], iterations=1000, seed=2
+        )
+        big = accuracy_interval(
+            [0.6, 1.0, 0.8] * 20, iterations=1000, seed=2
+        )
+        assert big.width() < small.width()
+
+
+class TestExtractionIntervals:
+    COUNTS = [
+        ExtractionCounts(3, 4, 4),
+        ExtractionCounts(2, 2, 3),
+        ExtractionCounts(4, 5, 4),
+        ExtractionCounts(1, 1, 2),
+    ]
+
+    def test_precision_interval(self):
+        interval = precision_interval(self.COUNTS, seed=1)
+        assert 0.0 <= interval.low <= interval.high <= 1.0
+
+    def test_recall_interval(self):
+        interval = recall_interval(self.COUNTS, seed=1)
+        assert interval.contains(interval.point)
+
+    def test_perfect_extraction_tight_at_one(self):
+        perfect = [ExtractionCounts(3, 3, 3)] * 10
+        interval = precision_interval(perfect, seed=1)
+        assert interval.point == 1.0
+        assert interval.low == 1.0

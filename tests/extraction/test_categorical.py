@@ -1,0 +1,154 @@
+"""Categorical classifier tests: the §3.3 feature options and ID3."""
+
+import pytest
+
+from repro.errors import TrainingError
+from repro.extraction import (
+    CategoricalClassifier,
+    FeatureOptions,
+    SentenceFeatureExtractor,
+    attribute,
+)
+from repro.linkgrammar.constituents import Role
+
+
+class TestFeatureOptions:
+    def test_defaults_match_paper_smoking_setup(self):
+        opts = FeatureOptions.smoking()
+        assert opts.pos_classes == frozenset(
+            {"verb", "noun", "adjective", "adverb"}
+        )
+        assert opts.constituents is None
+        assert not opts.head_only
+        assert opts.use_lemma
+
+    def test_unknown_pos_class_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureOptions(pos_classes=frozenset({"preposition"}))
+
+
+class TestSentenceFeatures:
+    def test_lemma_collapses_deny_forms(self):
+        # §3.3: "denies," "denied" and "deny" become the same feature.
+        ex = SentenceFeatureExtractor(FeatureOptions(use_lemma=True))
+        f1 = ex.extract("She denies pain.")
+        f2 = ex.extract("She denied pain.")
+        assert "deny" in f1 and "deny" in f2
+
+    def test_lemma_disabled_keeps_surface(self):
+        ex = SentenceFeatureExtractor(FeatureOptions(use_lemma=False))
+        assert "denies" in ex.extract("She denies pain.")
+
+    def test_pos_class_filter(self):
+        ex = SentenceFeatureExtractor(
+            FeatureOptions(pos_classes=frozenset({"verb"}))
+        )
+        features = ex.extract("She quit smoking five years ago.")
+        assert "quit" in features
+        assert "year" not in features and "years" not in features
+
+    def test_function_words_never_features(self):
+        ex = SentenceFeatureExtractor()
+        features = ex.extract("She has never smoked.")
+        assert "she" not in features  # pronoun, not in the 4 classes
+
+    def test_constituent_filter_object_only(self):
+        ex = SentenceFeatureExtractor(
+            FeatureOptions(constituents=frozenset({Role.OBJECT}))
+        )
+        features = ex.extract("She denies alcohol use.")
+        assert "alcohol" in features or "use" in features
+        assert "deny" not in features
+
+    def test_constituent_filter_passes_all_on_parse_failure(self):
+        ex = SentenceFeatureExtractor(
+            FeatureOptions(constituents=frozenset({Role.OBJECT}))
+        )
+        # Unparseable colon fragment: every word is kept.
+        features = ex.extract("Smoking: none zzgarble")
+        assert features  # not empty
+
+    def test_head_only_filter(self):
+        ex = SentenceFeatureExtractor(
+            FeatureOptions(head_only=True)
+        )
+        features = ex.extract("She has a dominant breast mass.")
+        assert "mass" in features
+        assert "dominant" not in features
+
+    def test_numeric_boolean_features(self):
+        ex = SentenceFeatureExtractor(
+            FeatureOptions(numeric_thresholds=(2.0,))
+        )
+        low = ex.extract("She drinks 2 beers per week.")
+        high = ex.extract("She drinks 6 beers per week.")
+        assert "NUM<=2" in low and "NUM>2" not in low
+        assert "NUM>2" in high and "NUM<=2" not in high
+
+    def test_numeric_features_absent_without_numbers(self):
+        ex = SentenceFeatureExtractor(
+            FeatureOptions(numeric_thresholds=(2.0,))
+        )
+        features = ex.extract("Denies alcohol use.")
+        assert not any(f.startswith("NUM") for f in features)
+
+
+class TestClassifier:
+    TEXTS = [
+        "She has never smoked.",
+        "Denies tobacco use.",
+        "She quit smoking five years ago.",
+        "Former smoker, quit 3 years ago.",
+        "She is currently a smoker.",
+        "She smokes one pack per day.",
+    ]
+    LABELS = ["never", "never", "former", "former", "current", "current"]
+
+    def test_fit_predict(self):
+        clf = CategoricalClassifier(attribute("smoking"))
+        clf.fit(self.TEXTS, self.LABELS)
+        assert clf.predict("She has never smoked.") == "never"
+        assert clf.predict("She quit smoking ten years ago.") == "former"
+
+    def test_predict_before_fit_raises(self):
+        clf = CategoricalClassifier(attribute("smoking"))
+        with pytest.raises(TrainingError):
+            clf.predict("anything")
+
+    def test_mismatched_lengths_rejected(self):
+        clf = CategoricalClassifier(attribute("smoking"))
+        with pytest.raises(ValueError):
+            clf.dataset(["a"], ["x", "y"])
+
+    def test_features_used_reported(self):
+        clf = CategoricalClassifier(attribute("smoking"))
+        clf.fit(self.TEXTS, self.LABELS)
+        assert 1 <= len(clf.features_used()) <= 10
+
+    def test_describe_is_readable(self):
+        clf = CategoricalClassifier(attribute("smoking"))
+        clf.fit(self.TEXTS, self.LABELS)
+        assert "->" in clf.describe()
+
+    def test_predict_record(self):
+        from repro.records import PatientRecord, Section
+
+        clf = CategoricalClassifier(attribute("smoking"))
+        clf.fit(self.TEXTS, self.LABELS)
+        record = PatientRecord(
+            patient_id="1",
+            sections=[
+                Section("Social History", "She is currently a smoker.")
+            ],
+        )
+        assert clf.predict_record(record) == "current"
+
+    def test_predict_record_without_section(self):
+        from repro.records import PatientRecord, Section
+
+        clf = CategoricalClassifier(attribute("smoking"))
+        clf.fit(self.TEXTS, self.LABELS)
+        record = PatientRecord(
+            patient_id="1", sections=[Section("Heart", "Regular.")]
+        )
+        assert clf.predict_record(record) is None

@@ -1,0 +1,100 @@
+"""Association explanation (audit trail) tests."""
+
+import pytest
+
+from repro.extraction import Method, NumericExtractor, attribute
+
+FIGURE1 = (
+    "Blood pressure is 144/90, pulse of 84, temperature of 98.3, and "
+    "weight of 154 pounds."
+)
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return NumericExtractor()
+
+
+class TestExplain:
+    def test_parsed_sentence_has_distances(self, extractor):
+        explanation = extractor.explain_attribute(
+            attribute("pulse"), FIGURE1
+        )
+        assert explanation.parsed
+        assert explanation.method is Method.LINKAGE
+        assert explanation.chosen == 84.0
+        distances = {
+            c.value: c.graph_distance for c in explanation.candidates
+        }
+        assert distances[84.0] < distances[98.3] < distances[154.0]
+
+    def test_fragment_has_no_distances(self, extractor):
+        explanation = extractor.explain_attribute(
+            attribute("blood_pressure"), "Blood pressure: 144/90."
+        )
+        assert not explanation.parsed
+        assert explanation.method is Method.PATTERN
+        assert all(
+            c.graph_distance is None for c in explanation.candidates
+        )
+
+    def test_no_feature_returns_none(self, extractor):
+        assert extractor.explain_attribute(
+            attribute("pulse"), "Temperature of 98.3."
+        ) is None
+
+    def test_render_marks_chosen(self, extractor):
+        explanation = extractor.explain_attribute(
+            attribute("pulse"), FIGURE1
+        )
+        rendered = explanation.render()
+        assert "<== chosen" in rendered
+        assert "pulse" in rendered
+
+    def test_ratio_candidates_filtered(self, extractor):
+        explanation = extractor.explain_attribute(
+            attribute("blood_pressure"), FIGURE1
+        )
+        assert all(
+            isinstance(c.value, tuple) for c in explanation.candidates
+        )
+
+
+class TestCsvExport:
+    def test_export_roundtrip(self, tmp_path):
+        import csv
+
+        from repro import (
+            RecordExtractor,
+            RecordGenerator,
+            ResultStore,
+        )
+        from repro.synth import CohortSpec
+
+        records, golds = RecordGenerator(seed=17).generate_cohort(
+            CohortSpec(
+                size=6,
+                smoking_counts={
+                    "never": 3, "current": 1, "former": 1, None: 1,
+                },
+            )
+        )
+        extractor = RecordExtractor()
+        extractor.train_categorical(records, golds)
+        store = ResultStore()
+        store.save_all(extractor.extract_all(records))
+
+        path = tmp_path / "cohort.csv"
+        written = store.export_csv(path)
+        assert written == 6
+
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 6
+        assert "systolic" in rows[0] and "diastolic" in rows[0]
+        assert "smoking" in rows[0]
+        # Numeric cells round-trip as numbers.
+        golds_by_id = {g.patient_id: g for g in golds}
+        for row in rows:
+            gold = golds_by_id[row["patient_id"]]
+            assert float(row["pulse"]) == gold.numeric["pulse"]

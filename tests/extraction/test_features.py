@@ -1,0 +1,51 @@
+"""Feature identification tests (§3.1 keyword + synonym + variants)."""
+
+from repro.extraction import FeatureLexicon, attribute
+from repro.nlp import analyze
+
+
+def find(attr_name, text):
+    lexicon = FeatureLexicon(attribute(attr_name))
+    doc = analyze(text)
+    return lexicon.find(doc)
+
+
+class TestFeatureLexicon:
+    def test_keyword_found(self):
+        [m] = find("pulse", "pulse of 84")
+        assert m.surface == "pulse"
+        assert (m.start_token, m.end_token) == (0, 1)
+
+    def test_multiword_keyword(self):
+        [m] = find("blood_pressure", "Blood pressure is 144/90.")
+        assert m.surface == "blood pressure"
+        assert m.head_token == 1
+
+    def test_synonym_found(self):
+        [m] = find("blood_pressure", "BP is 144/90")
+        assert m.surface == "bp"
+
+    def test_plural_variant_found(self):
+        mentions = find("gravida", "number of pregnancies is 4")
+        assert any("pregnancies" in m.surface for m in mentions)
+
+    def test_plural_of_singular_synonym_found(self):
+        # "pregnancy" inflects to "pregnancies" automatically.
+        mentions = find("gravida", "two pregnancies reported")
+        assert any(m.surface == "pregnancies" for m in mentions)
+
+    def test_longest_form_wins(self):
+        # "blood pressure" must not also yield a "pressure"-only hit.
+        mentions = find("blood_pressure", "blood pressure of 120/80")
+        assert len(mentions) == 1
+        assert mentions[0].surface == "blood pressure"
+
+    def test_case_insensitive(self):
+        assert find("weight", "WEIGHT of 154 pounds")
+
+    def test_multiple_mentions(self):
+        mentions = find("pulse", "pulse of 84 and later pulse of 90")
+        assert len(mentions) == 2
+
+    def test_absent_feature(self):
+        assert find("pulse", "temperature of 98.3") == []

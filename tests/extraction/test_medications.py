@@ -1,0 +1,67 @@
+"""Medication/allergy extraction extension tests."""
+
+import pytest
+
+from repro.extraction.medications import MedicationExtractor
+from repro.records import PatientRecord, Section
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return MedicationExtractor()
+
+
+def record(meds="", allergies=""):
+    sections = []
+    if meds:
+        sections.append(Section("Medications", meds))
+    if allergies:
+        sections.append(Section("Allergies", allergies))
+    return PatientRecord(patient_id="1", sections=sections)
+
+
+class TestMedications:
+    def test_appendix_medication_list(self, extractor):
+        out = extractor.extract_record(record(
+            meds="Aspirin, hydrochlorothiazide, Lipitor, Cardizem, "
+                 "senna, Wellbutrin, Zoloft, Protonix, Glucophage."
+        ))
+        assert "aspirin" in out.medications
+        assert "hydrochlorothiazide" in out.medications
+        assert "lipitor" in out.medications
+        assert len(out.medications) == 9
+
+    def test_brand_names_resolve_to_concepts(self, extractor):
+        out = extractor.extract_record(record(meds="Tylenol and Advil."))
+        assert set(out.medications) == {"acetaminophen", "ibuprofen"}
+
+    def test_appendix_allergies(self, extractor):
+        out = extractor.extract_record(record(
+            allergies="Penicillin, ACE inhibitors, and latex."
+        ))
+        assert "penicillin" in out.allergies
+        assert "latex" in out.allergies
+        assert "ace inhibitors" in out.allergies
+
+    def test_non_drugs_excluded(self, extractor):
+        out = extractor.extract_record(record(
+            meds="Aspirin for her diabetes."
+        ))
+        assert out.medications == ("aspirin",)
+
+    def test_empty_sections(self, extractor):
+        out = extractor.extract_record(record())
+        assert out.medications == () and out.allergies == ()
+
+    def test_duplicates_collapse(self, extractor):
+        out = extractor.extract_record(record(
+            meds="Aspirin and aspirin."
+        ))
+        assert out.medications == ("aspirin",)
+
+    def test_generated_records_roundtrip(self, extractor):
+        from repro.synth import RecordGenerator
+
+        rec, _ = RecordGenerator(seed=4).generate("3")
+        out = extractor.extract_record(rec)
+        assert len(out.medications) >= 3

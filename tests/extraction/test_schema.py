@@ -1,0 +1,64 @@
+"""Schema arity and lookup tests (§5's 18 fields / 24 attributes)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.extraction import (
+    ALL_ATTRIBUTES,
+    CATEGORICAL_ATTRIBUTES,
+    FIELDS,
+    NUMERIC_ATTRIBUTES,
+    TERMS_ATTRIBUTES,
+    attribute,
+    validate_schema,
+)
+
+
+class TestArity:
+    def test_eighteen_fields(self):
+        assert len(FIELDS) == 18
+
+    def test_twenty_four_attributes(self):
+        assert len(ALL_ATTRIBUTES) == 24
+
+    def test_eight_numeric(self):
+        assert len(NUMERIC_ATTRIBUTES) == 8
+
+    def test_four_term_attributes(self):
+        assert len(TERMS_ATTRIBUTES) == 4
+
+    def test_twelve_categorical_six_binary(self):
+        assert len(CATEGORICAL_ATTRIBUTES) == 12
+        assert sum(a.is_binary for a in CATEGORICAL_ATTRIBUTES) == 6
+
+    def test_validate_schema_passes(self):
+        validate_schema()
+
+
+class TestLookup:
+    def test_attribute_by_name(self):
+        assert attribute("smoking").labels == (
+            "never", "former", "current",
+        )
+
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            attribute("nonexistent")
+
+    def test_blood_pressure_is_ratio(self):
+        assert attribute("blood_pressure").is_ratio
+
+    def test_age_has_regex_patterns(self):
+        assert attribute("age").regex_patterns
+
+    def test_alcohol_has_numeric_thresholds(self):
+        # §3.3's proposed extension is wired into the schema.
+        assert attribute("alcohol_use").numeric_thresholds == (2.0,)
+
+    def test_predefined_lists_populated(self):
+        assert len(attribute(
+            "predefined_past_medical_history"
+        ).predefined) == 8
+        assert len(attribute(
+            "predefined_past_surgical_history"
+        ).predefined) == 8

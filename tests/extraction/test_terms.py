@@ -1,0 +1,142 @@
+"""Term extractor tests: POS patterns, ontology lookup, assignment."""
+
+import pytest
+
+from repro.extraction import TermExtractor
+from repro.extraction.schema import attribute
+from repro.ontology import default_ontology
+from repro.records import PatientRecord, Section
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return TermExtractor()
+
+
+class TestPaperExamples:
+    def test_psh_example_three_terms(self, extractor):
+        # §3.2: the system extracts postoperative CVA,
+        # cholecystectomy, and midline hernia [closure].
+        hits = extractor.extract_terms(
+            "Significant for a postoperative CVA after undergoing a "
+            "cholecystectomy and a midline hernia closure"
+        )
+        surfaces = [h.surface.lower() for h in hits]
+        assert "postoperative cva" in surfaces
+        assert "cholecystectomy" in surfaces
+        assert any("hernia" in s for s in surfaces)
+
+    def test_appendix_pmh_terms(self, extractor):
+        hits = extractor.extract_terms(
+            "Significant for diabetes, heart disease, high blood "
+            "pressure, hypercholesterolemia, bronchitis, arrhythmia, "
+            "and depression."
+        )
+        names = {h.concept_name for h in hits}
+        assert names >= {
+            "diabetes", "heart disease", "high blood pressure",
+            "hypercholesterolemia", "bronchitis", "arrhythmia",
+            "depression",
+        }
+
+    def test_inflected_surface_normalizes(self, extractor):
+        hits = extractor.extract_terms("history of midline hernias")
+        assert any(h.concept_name == "hernia" for h in hits)
+
+
+class TestPatternBehaviour:
+    def test_longest_pattern_tried_first(self, extractor):
+        # "high blood pressure" must come out as one 3-word term, not
+        # "blood pressure".
+        hits = extractor.extract_terms("history of high blood pressure")
+        assert any(
+            h.surface.lower() == "high blood pressure" for h in hits
+        )
+
+    def test_scan_continues_after_endpoint(self, extractor):
+        hits = extractor.extract_terms(
+            "diabetes and heart disease and asthma"
+        )
+        assert [h.concept_name for h in hits] == [
+            "diabetes", "heart disease", "asthma",
+        ]
+
+    def test_non_terms_ignored(self, extractor):
+        hits = extractor.extract_terms(
+            "She was seen in the office this morning."
+        )
+        assert hits == []
+
+    def test_semantic_type_filter(self, extractor):
+        from repro.ontology import SemanticType
+
+        hits = extractor.extract_terms(
+            "cholecystectomy and diabetes",
+            semantic_types={SemanticType.PROCEDURE},
+        )
+        assert [h.concept_name for h in hits] == ["cholecystectomy"]
+
+
+class TestPredefinedAssignment:
+    def _record(self, pmh="", psh=""):
+        sections = []
+        if pmh:
+            sections.append(Section("Past Medical History", pmh))
+        if psh:
+            sections.append(Section("Past Surgical History", psh))
+        return PatientRecord(patient_id="1", sections=sections)
+
+    def test_predefined_name_goes_to_predefined(self, extractor):
+        out = extractor.extract_record(
+            self._record(pmh="Significant for diabetes.")
+        )
+        assert out["predefined_past_medical_history"] == ["diabetes"]
+        assert out["other_past_medical_history"] == []
+
+    def test_other_disease_goes_to_other(self, extractor):
+        out = extractor.extract_record(
+            self._record(pmh="Significant for gout.")
+        )
+        assert out["predefined_past_medical_history"] == []
+        assert out["other_past_medical_history"] == ["gout"]
+
+    def test_synonym_of_predefined_misrouted_without_synonyms(self):
+        # The paper's v1 failure: "gallbladder removal" is a synonym of
+        # the predefined "cholecystectomy" but lands in "other".
+        extractor = TermExtractor(use_synonyms=False)
+        out = extractor.extract_record(
+            self._record(psh="Status post gallbladder removal.")
+        )
+        assert out["predefined_past_surgical_history"] == []
+        assert out["other_past_surgical_history"] == ["cholecystectomy"]
+
+    def test_synonym_of_predefined_fixed_with_synonyms(self):
+        extractor = TermExtractor(use_synonyms=True)
+        out = extractor.extract_record(
+            self._record(psh="Status post gallbladder removal.")
+        )
+        assert out["predefined_past_surgical_history"] == [
+            "cholecystectomy"
+        ]
+        assert out["other_past_surgical_history"] == []
+
+    def test_duplicates_collapse(self, extractor):
+        out = extractor.extract_record(
+            self._record(pmh="Diabetes and diabetes.")
+        )
+        assert out["predefined_past_medical_history"] == ["diabetes"]
+
+
+class TestDegradedOntology:
+    def test_partial_match_on_missing_compound(self):
+        # Drop everything except the generic head; "ovarian cancer"
+        # then partial-matches to "cancer" — the paper's FP mechanism.
+        onto = default_ontology().subset(0.0, keep={"cancer"})
+        extractor = TermExtractor(ontology=onto)
+        hits = extractor.extract_terms("history of ovarian cancer")
+        assert [h.concept_name for h in hits] == ["cancer"]
+
+    def test_complete_miss_when_nothing_matches(self):
+        onto = default_ontology().subset(0.0, keep={"gout"})
+        extractor = TermExtractor(ontology=onto)
+        assert extractor.extract_terms("history of ovarian cancer") == []

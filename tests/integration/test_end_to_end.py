@@ -1,0 +1,82 @@
+"""End-to-end integration: generate → save files → load → extract →
+store → query (the full Figure 2 architecture)."""
+
+import pytest
+
+from repro import (
+    CohortSpec,
+    RecordExtractor,
+    RecordGenerator,
+    ResultStore,
+    load_records,
+    save_records,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline_run(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("notes")
+    spec = CohortSpec(
+        size=14,
+        smoking_counts={"never": 7, "current": 4, "former": 2, None: 1},
+    )
+    records, golds = RecordGenerator(seed=21).generate_cohort(spec)
+    save_records(records, directory)
+    loaded = list(load_records(directory))
+
+    extractor = RecordExtractor()
+    extractor.train_categorical(records, golds)
+    results = extractor.extract_all(loaded)
+
+    store = ResultStore()
+    store.save_all(results)
+    return loaded, golds, results, store
+
+
+class TestEndToEnd:
+    def test_all_records_processed(self, pipeline_run):
+        loaded, golds, results, store = pipeline_run
+        assert len(results) == 14
+        assert len(store.patients()) == 14
+
+    def test_numeric_values_in_store_match_gold(self, pipeline_run):
+        loaded, golds, results, store = pipeline_run
+        golds_by_id = {g.patient_id: g for g in golds}
+        for record in loaded:
+            gold = golds_by_id[record.patient_id]
+            pulse = store.numeric_value(record.patient_id, "pulse")
+            assert pulse == gold.numeric["pulse"]
+            bp = store.numeric_value(record.patient_id, "blood_pressure")
+            assert bp == tuple(gold.numeric["blood_pressure"])
+
+    def test_terms_stored(self, pipeline_run):
+        loaded, golds, results, store = pipeline_run
+        total = sum(
+            len(store.terms(pid, "other_past_medical_history"))
+            for pid in store.patients()
+        )
+        assert total > 0
+
+    def test_categorical_training_labels_recovered(self, pipeline_run):
+        # Trained and evaluated on the same data: ID3 should fit the
+        # training cohort nearly perfectly (it memorizes pure splits).
+        loaded, golds, results, store = pipeline_run
+        golds_by_id = {g.patient_id: g for g in golds}
+        correct = total = 0
+        for record in loaded:
+            expected = golds_by_id[record.patient_id].categorical[
+                "smoking"
+            ]
+            if expected is None:
+                continue
+            got = store.categorical_value(record.patient_id, "smoking")
+            total += 1
+            correct += got == expected
+        assert correct / total >= 0.9
+
+    def test_cohort_analytics(self, pipeline_run):
+        loaded, golds, results, store = pipeline_run
+        distribution = store.label_distribution("smoking")
+        assert sum(distribution.values()) >= 13
+        summary = store.numeric_summary("weight")
+        assert summary is not None and summary["count"] == 14

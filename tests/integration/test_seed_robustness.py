@@ -1,0 +1,64 @@
+"""Seed robustness: the headline results must not be seed-42 artifacts.
+
+The benchmarks pin seed 42 for reproducibility; these tests rerun the
+key experiments on different seeds and assert the *bands* hold.  Small
+cohorts keep runtime reasonable.
+"""
+
+import pytest
+
+from repro.eval import (
+    numeric_experiment,
+    smoking_experiment,
+    table1_experiment,
+)
+from repro.synth import CohortSpec, RecordGenerator
+
+SEEDS = (7, 1234)
+
+
+def small_cohort(seed):
+    return RecordGenerator(seed=seed).generate_cohort(
+        CohortSpec(
+            size=16,
+            smoking_counts={
+                "never": 9, "current": 4, "former": 2, None: 1,
+            },
+        )
+    )
+
+
+class TestSeedRobustness:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_numeric_perfect_on_any_seed(self, seed):
+        records, golds = small_cohort(seed)
+        result = numeric_experiment(records, golds)
+        precision, recall = result.overall()
+        assert precision == 1.0
+        assert recall == 1.0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_table1_ordering_on_any_seed(self, seed):
+        records, golds = small_cohort(seed)
+        table = table1_experiment(records, golds)
+        pre_pmh = table["predefined_past_medical_history"]
+        pre_psh = table["predefined_past_surgical_history"]
+        # The ordering phenomena, not the decimals: predefined-PMH
+        # recall stays high while predefined-PSH recall collapses.
+        assert pre_pmh[1] >= 0.75
+        assert pre_psh[1] <= pre_pmh[1]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_smoking_band_on_any_seed(self, seed):
+        # The paper's protocol needs its full 45 labelled cases; at 15
+        # cases folds lose whole classes.  Categorical featurization
+        # does not parse, so the full cohort stays fast here.
+        records, golds = RecordGenerator(seed=seed).generate_cohort(
+            CohortSpec.paper()
+        )
+        result = smoking_experiment(records, golds, seed=seed)
+        # Band, not the paper's decimal: across seeds the protocol
+        # lands at 80-95% (the paper's 92.2% is one draw from this
+        # distribution), always far above the 62% majority baseline.
+        assert result.accuracy >= 0.75
+        assert 3 <= result.max_features <= 10

@@ -1,0 +1,100 @@
+"""Connector parsing and matching rules."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DictionaryError
+from repro.linkgrammar.connectors import (
+    Connector,
+    connectors_match,
+    link_label,
+    parse_connector,
+    subscripts_compatible,
+)
+
+
+class TestParseConnector:
+    def test_simple(self):
+        c = parse_connector("S+")
+        assert c.name == "S" and c.direction == "+" and not c.multi
+
+    def test_subscripted(self):
+        c = parse_connector("Ss-")
+        assert c.name == "S" and c.subscript == "s"
+        assert c.direction == "-"
+
+    def test_multi(self):
+        c = parse_connector("@MVp+")
+        assert c.multi and c.name == "MV" and c.subscript == "p"
+
+    def test_wildcard_subscript(self):
+        assert parse_connector("S*+").subscript == "*"
+
+    @pytest.mark.parametrize("bad", ["", "s+", "S", "S?", "+S", "@+"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(DictionaryError):
+            parse_connector(bad)
+
+    def test_label_excludes_direction(self):
+        assert parse_connector("MVp+").label == "MVp"
+
+
+class TestMatching:
+    def test_plain_match(self):
+        assert connectors_match(parse_connector("S+"), parse_connector("S-"))
+
+    def test_direction_required(self):
+        assert not connectors_match(
+            parse_connector("S-"), parse_connector("S+")
+        )
+        assert not connectors_match(
+            parse_connector("S+"), parse_connector("S+")
+        )
+
+    def test_name_mismatch(self):
+        assert not connectors_match(
+            parse_connector("S+"), parse_connector("O-")
+        )
+
+    def test_subscript_extension_matches(self):
+        # Ss+ matches S- (absent positions are wildcards).
+        assert connectors_match(
+            parse_connector("Ss+"), parse_connector("S-")
+        )
+        assert connectors_match(
+            parse_connector("S+"), parse_connector("Ss-")
+        )
+
+    def test_subscript_conflict_rejected(self):
+        assert not connectors_match(
+            parse_connector("Ss+"), parse_connector("Sp-")
+        )
+
+    def test_star_matches_anything(self):
+        assert connectors_match(
+            parse_connector("S*+"), parse_connector("Sp-")
+        )
+
+    def test_prefix_names_do_not_match(self):
+        # MV and M are distinct connector types.
+        assert not connectors_match(
+            parse_connector("MV+"), parse_connector("M-")
+        )
+
+    @given(
+        st.text(alphabet="ab*", max_size=4),
+        st.text(alphabet="ab*", max_size=4),
+    )
+    def test_subscript_compatibility_symmetric(self, a, b):
+        assert subscripts_compatible(a, b) == subscripts_compatible(b, a)
+
+
+class TestLinkLabel:
+    def test_more_specific_side_wins(self):
+        assert link_label(
+            parse_connector("S+"), parse_connector("Ss-")
+        ) == "Ss"
+        assert link_label(
+            parse_connector("Ss+"), parse_connector("S-")
+        ) == "Ss"

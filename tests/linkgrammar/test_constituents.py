@@ -1,0 +1,84 @@
+"""Constituent-role derivation tests."""
+
+import pytest
+
+from repro.linkgrammar import (
+    LinkGrammarParser,
+    Role,
+    assign_roles,
+    head_words,
+)
+
+
+@pytest.fixture(scope="module")
+def parser():
+    return LinkGrammarParser()
+
+
+def roles_by_word(parser, sentence):
+    linkage = parser.parse_one(sentence.split())
+    roles = assign_roles(linkage)
+    return {linkage.words[i]: role for i, role in roles.items()}, linkage
+
+
+class TestRoles:
+    def test_simple_svo(self, parser):
+        roles, _ = roles_by_word(parser, "she denies alcohol use .")
+        assert roles["she"] is Role.SUBJECT
+        assert roles["denies"] is Role.VERB
+        assert roles["use"] is Role.OBJECT
+        assert roles["alcohol"] is Role.OBJECT  # part of the object NP
+
+    def test_be_sentence(self, parser):
+        roles, _ = roles_by_word(parser, "she is currently a smoker .")
+        assert roles["she"] is Role.SUBJECT
+        assert roles["is"] is Role.VERB
+        assert roles["smoker"] is Role.OBJECT
+        assert roles["currently"] is Role.SUPPLEMENT
+
+    def test_participle_chain_is_verb(self, parser):
+        roles, _ = roles_by_word(parser, "she has never smoked .")
+        assert roles["has"] is Role.VERB
+        assert roles["smoked"] is Role.VERB
+        assert roles["never"] is Role.VERB  # pre-verb adverb groups in
+
+    def test_supplement_time_adjunct(self, parser):
+        roles, _ = roles_by_word(parser, "she quit smoking five years ago .")
+        assert roles["ago"] is Role.SUPPLEMENT
+        assert roles["quit"] is Role.VERB
+
+    def test_subject_np_modifiers(self, parser):
+        roles, _ = roles_by_word(
+            parser, "her breast history is negative for biopsies ."
+        )
+        assert roles["history"] is Role.SUBJECT
+        assert roles["her"] is Role.SUBJECT
+        assert roles["breast"] is Role.SUBJECT
+        assert roles["negative"] is Role.OBJECT  # predicate complement
+
+    def test_wall_is_other(self, parser):
+        linkage = parser.parse_one("she has never smoked .".split())
+        assert assign_roles(linkage)[0] is Role.OTHER
+
+    def test_fragment_has_no_subject_or_verb(self, parser):
+        linkage = parser.parse_one("smoking history , 15 years .".split())
+        roles = set(assign_roles(linkage).values())
+        assert Role.VERB not in roles
+        assert Role.SUBJECT not in roles
+
+
+class TestHeadWords:
+    def test_modifiers_are_not_heads(self, parser):
+        linkage = parser.parse_one(
+            "her breast history is negative for biopsies .".split()
+        )
+        heads = {linkage.words[i] for i in head_words(linkage)}
+        assert "history" in heads
+        assert "her" not in heads
+        assert "breast" not in heads
+
+    def test_numeric_determiner_not_head(self, parser):
+        linkage = parser.parse_one("she drinks two beers per day .".split())
+        heads = {linkage.words[i] for i in head_words(linkage)}
+        assert "beers" in heads
+        assert "two" not in heads

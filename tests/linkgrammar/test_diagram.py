@@ -1,0 +1,61 @@
+"""ASCII arc diagram tests."""
+
+import pytest
+
+from repro.linkgrammar import LinkGrammarParser, render
+
+
+@pytest.fixture(scope="module")
+def linkage():
+    return LinkGrammarParser().parse_one(
+        "she is currently a smoker .".split()
+    )
+
+
+class TestRender:
+    def test_words_on_last_line(self, linkage):
+        last = render(linkage).splitlines()[-1]
+        for word in ["LEFT-WALL", "she", "is", "currently", "a",
+                     "smoker"]:
+            assert word in last
+
+    def test_labels_present(self, linkage):
+        output = render(linkage)
+        for label in ["Wd", "Ss", "EB", "D", "O"]:
+            assert label in output
+
+    def test_without_wall(self, linkage):
+        output = render(linkage, include_wall=False)
+        assert "LEFT-WALL" not in output
+        assert "Wd" not in output
+        assert "Ss" in output
+
+    def test_pretty_method_delegates(self, linkage):
+        assert linkage.pretty() == render(linkage)
+
+    def test_arcs_have_corners_and_verticals(self, linkage):
+        output = render(linkage)
+        assert "+" in output and "|" in output and "-" in output
+
+    def test_word_columns_align_with_verticals(self, linkage):
+        # Every '|' must sit within the width of the word line.
+        lines = render(linkage).splitlines()
+        width = len(lines[-1])
+        for line in lines[:-1]:
+            assert len(line) <= width + 1
+
+    def test_single_word_sentence(self):
+        linkage = LinkGrammarParser().parse_one(["none"])
+        output = render(linkage)
+        assert "none" in output and "Wd" in output
+
+    def test_nested_arcs_stack(self):
+        # "she has never smoked": PP spans over E, so PP sits higher.
+        linkage = LinkGrammarParser().parse_one(
+            "she has never smoked .".split()
+        )
+        lines = render(linkage).splitlines()
+        pp_row = next(i for i, l in enumerate(lines) if "PP" in l)
+        e_row = next(i for i, l in enumerate(lines) if "E" in l and
+                     "LEFT" not in l)
+        assert pp_row < e_row  # earlier line = drawn higher

@@ -1,0 +1,125 @@
+"""Dictionary coverage: canonical frames for every word class.
+
+A regression net over the hand-written lexicon: every listed word must
+parse in at least one canonical frame for its class.  A dictionary
+edit that strands a word fails here with the word's name in the test
+id.
+"""
+
+import pytest
+
+from repro.linkgrammar import LinkGrammarParser
+from repro.linkgrammar.lexicon_data import ENTRIES
+
+_PARSER = LinkGrammarParser(max_linkages=1)
+
+# Class frames: {} is replaced by the word under test.
+_FRAMES: dict[str, list[str]] = {
+    "noun": [
+        "the {} is normal .",
+        "she denies {} .",
+        "{} is normal .",
+    ],
+    "plural": ["the {} are normal .", "she denies {} ."],
+    "unit": ["five {} ago she quit .", "weight of 154 {} ."],
+    "verb": ["she {} pain .", "she {} ."],
+    "adjective": ["the {} mass is stable .", "it is {} ."],
+    "adverb": ["she {} smokes .", "she is {} a smoker ."],
+    "preposition": ["she quit {} the surgery .", "pulse {} 84 ."],
+    "determiner": ["{} mass is stable ."],
+    "number-word": ["{} years ago she quit .", "she drinks {} beers ."],
+}
+
+
+def _entry_words(substring: str) -> list[str]:
+    for words, expression in ENTRIES:
+        if substring in words.split():
+            return words.split()
+    raise AssertionError(f"no entry containing {substring!r}")
+
+
+def _parses_any(word: str, frames: list[str]) -> bool:
+    for frame in frames:
+        sentence = frame.format(word).split()
+        if _PARSER.can_parse(sentence):
+            return True
+    return False
+
+
+class TestWordClassCoverage:
+    @pytest.mark.parametrize("word", _entry_words("pressure"))
+    def test_singular_nouns(self, word):
+        assert _parses_any(word, _FRAMES["noun"]), word
+
+    @pytest.mark.parametrize("word", _entry_words("biopsies"))
+    def test_plural_nouns(self, word):
+        assert _parses_any(
+            word, _FRAMES["plural"] + _FRAMES["noun"]
+        ), word
+
+    @pytest.mark.parametrize("word", _entry_words("years"))
+    def test_unit_nouns(self, word):
+        assert _parses_any(
+            word, _FRAMES["unit"] + _FRAMES["noun"] + _FRAMES["plural"]
+        ), word
+
+    @pytest.mark.parametrize("word", _entry_words("quit"))
+    def test_transitive_verbs(self, word):
+        assert _parses_any(word, _FRAMES["verb"]), word
+
+    @pytest.mark.parametrize("word", _entry_words("significant"))
+    def test_adjectives(self, word):
+        assert _parses_any(word, _FRAMES["adjective"]), word
+
+    @pytest.mark.parametrize("word", _entry_words("never"))
+    def test_adverbs(self, word):
+        assert _parses_any(word, _FRAMES["adverb"]), word
+
+    @pytest.mark.parametrize("word", _entry_words("for"))
+    def test_prepositions(self, word):
+        assert _parses_any(word, _FRAMES["preposition"]), word
+
+    @pytest.mark.parametrize("word", _entry_words("the"))
+    def test_determiners(self, word):
+        assert _parses_any(word, _FRAMES["determiner"]), word
+
+    @pytest.mark.parametrize("word", _entry_words("five"))
+    def test_number_words(self, word):
+        assert _parses_any(word, _FRAMES["number-word"]), word
+
+
+class TestMultiConnectors:
+    """@-connector behaviour: one connector, many links.
+
+    These need the *cheapest* linkage, so they use a parser that
+    extracts enough alternatives for cost ranking to matter
+    (max_linkages=1 returns the first linkage found, not the best).
+    """
+
+    _BEST = LinkGrammarParser(max_linkages=8)
+
+    def test_multiple_adjectives_stack(self):
+        linkage = self._BEST.parse_one(
+            "the solid benign palpable mass is stable .".split()
+        )
+        a_links = [l for l in linkage.links if l.label == "A"]
+        assert len(a_links) == 3
+        assert all(
+            linkage.words[l.right] == "mass" for l in a_links
+        )
+
+    def test_mixed_an_and_a_modifiers(self):
+        linkage = self._BEST.parse_one(
+            "severe high blood pressure is present .".split()
+        )
+        labels = {l.label for l in linkage.links}
+        assert "AN" in labels and "A" in labels
+
+    def test_multiple_post_verbal_modifiers(self):
+        linkage = self._BEST.parse_one(
+            "she quit smoking five years ago with medication .".split()
+        )
+        mv_links = [
+            l for l in linkage.links if l.label.startswith("MV")
+        ]
+        assert len(mv_links) >= 2

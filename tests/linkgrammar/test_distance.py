@@ -1,0 +1,118 @@
+"""Linkage graph distances — the paper's association machinery."""
+
+import math
+
+import pytest
+
+from repro.linkgrammar import (
+    ASSOCIATION_WEIGHTS,
+    LinkGrammarParser,
+    LinkWeights,
+    linkage_distances,
+    nearest_word,
+    word_distance,
+)
+
+FIGURE1 = (
+    "blood pressure is 144/90 , pulse of 84 , temperature of 98.3 , "
+    "and weight of 154 pounds ."
+).split()
+
+
+@pytest.fixture(scope="module")
+def figure1_linkage():
+    return LinkGrammarParser().parse_one(FIGURE1)
+
+
+def position(linkage, word, nth=0):
+    hits = [i for i, w in enumerate(linkage.words) if w == word]
+    return hits[nth]
+
+
+class TestWordDistance:
+    def test_zero_for_same_word(self, figure1_linkage):
+        assert word_distance(figure1_linkage, 3, 3) == 0.0
+
+    def test_adjacent_link_distance_one(self, figure1_linkage):
+        is_pos = position(figure1_linkage, "is")
+        bp_pos = position(figure1_linkage, "144/90")
+        assert word_distance(figure1_linkage, is_pos, bp_pos) == 1.0
+
+    def test_symmetry(self, figure1_linkage):
+        a = position(figure1_linkage, "pressure")
+        b = position(figure1_linkage, "84")
+        assert word_distance(figure1_linkage, a, b) == word_distance(
+            figure1_linkage, b, a
+        )
+
+    def test_triangle_inequality_on_samples(self, figure1_linkage):
+        n = len(figure1_linkage.words)
+        for a in range(1, n, 3):
+            for b in range(1, n, 4):
+                for c in range(1, n, 5):
+                    dab = word_distance(figure1_linkage, a, b)
+                    dbc = word_distance(figure1_linkage, b, c)
+                    dac = word_distance(figure1_linkage, a, c)
+                    assert dac <= dab + dbc + 1e-9
+
+
+class TestAssociationOnFigure1:
+    """Each feature keyword must be nearest to its own number."""
+
+    @pytest.mark.parametrize(
+        "feature,number",
+        [
+            ("pressure", "144/90"),
+            ("pulse", "84"),
+            ("temperature", "98.3"),
+            ("weight", "154"),
+        ],
+    )
+    def test_feature_nearest_number(self, figure1_linkage, feature, number):
+        lk = figure1_linkage
+        numbers = [
+            i
+            for i, w in enumerate(lk.words)
+            if w in {"144/90", "84", "98.3", "154"}
+        ]
+        feature_pos = position(lk, feature)
+        best, _ = nearest_word(
+            lk, feature_pos, numbers, weights=ASSOCIATION_WEIGHTS
+        )
+        assert lk.words[best] == number
+
+
+class TestDistances:
+    def test_all_distances_finite(self, figure1_linkage):
+        distances = linkage_distances(figure1_linkage, 1)
+        assert all(d != math.inf for d in distances.values())
+
+    def test_weights_change_distances(self, figure1_linkage):
+        lk = figure1_linkage
+        is_pos = position(lk, "is")
+        bp_pos = position(lk, "144/90")
+        cheap_o = LinkWeights(overrides={"O": 0.25})
+        assert word_distance(lk, is_pos, bp_pos, cheap_o) == 0.25
+
+    def test_weight_prefix_longest_match(self):
+        weights = LinkWeights(overrides={"M": 5.0, "MV": 0.5})
+        assert weights.weight("MVp") == 0.5
+        assert weights.weight("Mp") == 5.0
+        assert weights.weight("O") == 1.0
+
+    def test_nearest_word_empty_candidates(self, figure1_linkage):
+        best, dist = nearest_word(figure1_linkage, 1, [])
+        assert best is None and dist == math.inf
+
+    def test_nearest_word_tie_breaks_left(self, figure1_linkage):
+        lk = figure1_linkage
+        # Distance from a word to itself-adjacent candidates: feed two
+        # candidates with equal distance and check leftmost wins.
+        is_pos = position(lk, "is")
+        d = linkage_distances(lk, is_pos)
+        equal = [
+            i for i in range(1, len(lk.words)) if d[i] == 2.0
+        ]
+        if len(equal) >= 2:
+            best, _ = nearest_word(lk, is_pos, equal)
+            assert best == min(equal)

@@ -1,0 +1,113 @@
+"""Expression parsing and disjunct expansion."""
+
+import pytest
+
+from repro.errors import DictionaryError
+from repro.linkgrammar.expressions import (
+    Disjunct,
+    expression_to_disjuncts,
+    parse_expression,
+)
+
+
+def spans(disjuncts):
+    """Readable (left labels, right labels, cost) set for assertions.
+
+    Connector tuples are farthest-first; we reverse them back to
+    expression (nearest-first) order for readability.
+    """
+    return {
+        (
+            tuple(c.label for c in reversed(d.left)),
+            tuple(c.label for c in reversed(d.right)),
+            d.cost,
+        )
+        for d in disjuncts
+    }
+
+
+class TestExpansion:
+    def test_single_connector(self):
+        assert spans(expression_to_disjuncts("S+")) == {((), ("S",), 0)}
+
+    def test_conjunction_preserves_order(self):
+        got = spans(expression_to_disjuncts("A- & D- & S+"))
+        assert got == {(("A", "D"), ("S",), 0)}
+
+    def test_disjunction(self):
+        got = spans(expression_to_disjuncts("S+ or O-"))
+        assert got == {((), ("S",), 0), (("O",), (), 0)}
+
+    def test_optionality_adds_empty(self):
+        got = spans(expression_to_disjuncts("{A-} & S+"))
+        assert got == {((), ("S",), 0), (("A",), ("S",), 0)}
+
+    def test_nested_braces(self):
+        got = spans(expression_to_disjuncts("{A-} & {D-}"))
+        assert ((), (), 0) in got
+        assert (("A", "D"), (), 0) in got
+        assert len(got) == 4
+
+    def test_cost_brackets(self):
+        got = spans(expression_to_disjuncts("[O-] or S+"))
+        assert (("O",), (), 1) in got
+        assert ((), ("S",), 0) in got
+
+    def test_nested_cost(self):
+        got = spans(expression_to_disjuncts("[[O-]]"))
+        assert got == {(("O",), (), 2)}
+
+    def test_parenthesized_grouping(self):
+        got = spans(expression_to_disjuncts("(A- or D-) & S+"))
+        assert got == {
+            (("A",), ("S",), 0),
+            (("D",), ("S",), 0),
+        }
+
+    def test_duplicate_disjuncts_keep_lowest_cost(self):
+        got = spans(expression_to_disjuncts("S+ or [S+]"))
+        assert got == {((), ("S",), 0)}
+
+    def test_farthest_first_storage(self):
+        [d] = expression_to_disjuncts("A- & D- & Wd-")
+        # Expression order A, D, Wd is nearest-first; stored reversed.
+        assert [c.label for c in d.left] == ["Wd", "D", "A"]
+
+    def test_multi_connector_preserved(self):
+        [d] = expression_to_disjuncts("@A- & S+")
+        assert d.left[0].multi
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "S+ &",
+            "& S+",
+            "{S+",
+            "S+}",
+            "(S+",
+            "[S+",
+            "S+ or",
+            "s+",
+            "S + O-",
+        ],
+    )
+    def test_malformed_expressions(self, bad):
+        with pytest.raises(DictionaryError):
+            expression_to_disjuncts(bad)
+
+    def test_empty_parens_allowed(self):
+        got = spans(expression_to_disjuncts("() or S+"))
+        assert ((), (), 0) in got
+
+
+class TestAst:
+    def test_or_flattening_not_required(self):
+        # Three-way or parses without error and expands fully.
+        got = spans(expression_to_disjuncts("A- or D- or S+"))
+        assert len(got) == 3
+
+    def test_precedence_and_binds_tighter(self):
+        got = spans(expression_to_disjuncts("A- & D- or S+"))
+        assert got == {(("A", "D"), (), 0), ((), ("S",), 0)}

@@ -1,0 +1,66 @@
+"""Sanity suite over the link grammar dictionary data."""
+
+import pytest
+
+from repro.errors import DictionaryError
+from repro.linkgrammar.dictionary import Dictionary, _substitute_macros
+from repro.linkgrammar.expressions import expression_to_disjuncts
+from repro.linkgrammar.lexicon_data import (
+    ENTRIES,
+    MACROS,
+    TAG_DEFAULTS,
+)
+
+
+class TestDataIntegrity:
+    @pytest.mark.parametrize(
+        "words,expression",
+        ENTRIES,
+        ids=[w.split()[0] for w, _ in ENTRIES],
+    )
+    def test_every_entry_expression_expands(self, words, expression):
+        disjuncts = expression_to_disjuncts(
+            _substitute_macros(expression)
+        )
+        assert disjuncts, f"empty expansion for {words[:30]!r}"
+
+    @pytest.mark.parametrize(
+        "tag,expression", TAG_DEFAULTS, ids=[t for t, _ in TAG_DEFAULTS]
+    )
+    def test_every_tag_default_expands(self, tag, expression):
+        assert expression_to_disjuncts(_substitute_macros(expression))
+
+    def test_macros_resolve_completely(self):
+        for name, body in MACROS.items():
+            resolved = _substitute_macros(body)
+            assert "<" not in resolved, name
+
+    def test_unresolved_macro_raises(self):
+        with pytest.raises(DictionaryError):
+            _substitute_macros("<does-not-exist>")
+
+    def test_no_duplicate_words_across_word_lists(self):
+        # A word may appear in several entries (disjuncts merge), but
+        # not twice within one entry's word list.
+        for words, _ in ENTRIES:
+            tokens = words.split()
+            assert len(tokens) == len(set(tokens)), words[:40]
+
+    def test_disjunct_counts_bounded(self):
+        # Expansion explosion guard: no entry may expand into an
+        # unmanageable disjunct set.
+        d = Dictionary()
+        for words, _ in ENTRIES:
+            word = words.split()[0]
+            assert len(d.disjuncts(word)) < 5000, word
+
+    def test_tag_default_order_longest_prefix_first(self):
+        # PRP$ must precede PRP, NNS/NNP must precede NN.
+        tags = [t for t, _ in TAG_DEFAULTS]
+        assert tags.index("PRP$") < tags.index("PRP")
+        assert tags.index("NNS") < tags.index("NN")
+        assert tags.index("NNP") < tags.index("NN")
+
+    def test_wall_entry_present(self):
+        d = Dictionary()
+        assert "###LEFT-WALL###" in d

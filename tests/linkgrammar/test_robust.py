@@ -1,0 +1,57 @@
+"""Null-word (robust) parsing tests."""
+
+import pytest
+
+from repro.errors import ParseFailure
+from repro.linkgrammar import LinkGrammarParser
+
+
+@pytest.fixture(scope="module")
+def parser():
+    return LinkGrammarParser(max_linkages=4)
+
+
+class TestParseRobust:
+    def test_parseable_sentence_skips_nothing(self, parser):
+        linkage, skipped = parser.parse_robust(
+            "she has never smoked .".split()
+        )
+        assert skipped == []
+        assert linkage.is_connected()
+
+    def test_colon_fragment_recovers_by_skipping_colon(self, parser):
+        words = "blood pressure : 144/90".split()
+        linkage, skipped = parser.parse_robust(words)
+        assert skipped == [2]
+        assert "pressure" in linkage.words
+
+    def test_token_map_refers_to_original_indices(self, parser):
+        words = "blood pressure : 144/90".split()
+        linkage, _ = parser.parse_robust(words)
+        mapped = [tm for tm in linkage.token_map if tm is not None]
+        # 144/90 is original token 3, even though token 2 was skipped.
+        assert 3 in mapped
+        assert 2 not in mapped
+
+    def test_unknown_word_skipped_first(self, parser):
+        words = "she zzgarbleq has never smoked .".split()
+        linkage, skipped = parser.parse_robust(words)
+        assert skipped == [1]
+
+    def test_hopeless_input_still_fails(self, parser):
+        with pytest.raises(ParseFailure):
+            parser.parse_robust(["zz", "qq", "ww"], max_skips=1)
+
+    def test_two_skips_when_allowed(self, parser):
+        words = "she : has never smoked : .".split()
+        with pytest.raises(ParseFailure):
+            parser.parse_robust(words, max_skips=1)
+        linkage, skipped = parser.parse_robust(words, max_skips=2)
+        assert len(skipped) == 2
+
+    def test_linkage_invariants_hold_after_skipping(self, parser):
+        linkage, _ = parser.parse_robust(
+            "blood pressure : 144/90".split()
+        )
+        assert linkage.is_planar()
+        assert linkage.is_connected()

@@ -1,0 +1,76 @@
+"""Constituent tree derivation tests (§4's second parser output)."""
+
+import pytest
+
+from repro.linkgrammar import LinkGrammarParser, constituent_tree
+from repro.nlp import analyze
+
+
+def tree_of(text):
+    document = analyze(text)
+    tokens = document.tokens()
+    words = [document.span_text(t).lower() for t in tokens]
+    tags = [t.features.get("pos", "NN") for t in tokens]
+    linkage = LinkGrammarParser().parse_one(words, tags)
+    aligned = [
+        "X" if tm is None else tags[tm] for tm in linkage.token_map
+    ]
+    return constituent_tree(linkage, aligned)
+
+
+class TestStructure:
+    def test_root_is_clause(self):
+        assert tree_of("She has never smoked.").label == "S"
+
+    def test_leaves_preserve_surface_order(self):
+        tree = tree_of(
+            "Her breast history is negative for any previous biopsies."
+        )
+        assert tree.leaves() == [
+            "her", "breast", "history", "is", "negative", "for",
+            "any", "previous", "biopsies",
+        ]
+
+    def test_verb_heads_a_vp(self):
+        tree = tree_of("She denies alcohol use.")
+        vps = tree.spans_with_label("VP")
+        assert vps
+        assert "denies" in vps[0].leaves()
+
+    def test_subject_np_present(self):
+        tree = tree_of("She denies alcohol use.")
+        nps = tree.spans_with_label("NP")
+        assert any(np.leaves() == ["she"] for np in nps)
+
+    def test_pp_nests_in_predicate(self):
+        tree = tree_of("History is negative for biopsies.")
+        pps = tree.spans_with_label("PP")
+        assert any(pp.leaves() == ["for", "biopsies"] for pp in pps)
+
+    def test_participle_chain_nested_vps(self):
+        tree = tree_of("She has never smoked.")
+        vps = tree.spans_with_label("VP")
+        assert len(vps) >= 2  # has > smoked
+
+    def test_bracketed_is_balanced(self):
+        rendered = tree_of("She quit smoking five years ago.").bracketed()
+        assert rendered.count("(") == rendered.count(")")
+
+    def test_every_word_appears_once(self):
+        text = "Blood pressure is 144/90, pulse of 84."
+        tree = tree_of(text)
+        leaves = tree.leaves()
+        assert len(leaves) == len(set(range(len(leaves))))
+        assert "pressure" in leaves and "84" in leaves
+
+    def test_fragment_tree_has_no_vp(self):
+        tree = tree_of("Smoking history, 15 years.")
+        assert tree.spans_with_label("VP") == []
+
+    def test_guessed_tags_work_without_explicit_tags(self):
+        document = analyze("She denies pain.")
+        tokens = document.tokens()
+        words = [document.span_text(t).lower() for t in tokens]
+        linkage = LinkGrammarParser().parse_one(words)
+        tree = constituent_tree(linkage)  # no tags
+        assert "denies" in tree.leaves()

@@ -1,0 +1,54 @@
+"""Cross-validation protocol tests."""
+
+import pytest
+
+from repro.ml import Dataset, cross_validate
+
+
+@pytest.fixture
+def separable():
+    pairs = []
+    for i in range(15):
+        pairs.append(((f"quit", f"noise{i}"), "former"))
+        pairs.append(((f"current", f"noise{i+100}"), "current"))
+        pairs.append(((f"never", f"noise{i+200}"), "never"))
+    return Dataset.from_pairs(pairs)
+
+
+class TestCrossValidate:
+    def test_fold_count(self, separable):
+        result = cross_validate(separable, k=5, repetitions=2, seed=1)
+        assert len(result.fold_accuracies) == 10
+        assert len(result.feature_counts) == 10
+
+    def test_separable_data_high_accuracy(self, separable):
+        result = cross_validate(separable, k=5, repetitions=3, seed=1)
+        assert result.accuracy > 0.95
+
+    def test_total_predictions(self, separable):
+        result = cross_validate(separable, k=5, repetitions=2, seed=1)
+        assert result.confusion.total() == 2 * len(separable)
+
+    def test_deterministic_given_seed(self, separable):
+        a = cross_validate(separable, k=5, repetitions=2, seed=9)
+        b = cross_validate(separable, k=5, repetitions=2, seed=9)
+        assert a.accuracy == b.accuracy
+        assert a.feature_counts == b.feature_counts
+
+    def test_seed_changes_shuffle(self, separable):
+        a = cross_validate(separable, k=5, repetitions=1, seed=1)
+        b = cross_validate(separable, k=5, repetitions=1, seed=2)
+        # Same data, same protocol — accuracies may match, but the
+        # shuffles should generally differ in fold accuracy patterns.
+        assert (
+            a.fold_accuracies != b.fold_accuracies
+            or a.feature_counts == b.feature_counts
+        )
+
+    def test_summary_contains_percentage(self, separable):
+        result = cross_validate(separable, k=5, repetitions=1, seed=1)
+        assert "%" in result.summary()
+
+    def test_feature_range_properties(self, separable):
+        result = cross_validate(separable, k=5, repetitions=1, seed=1)
+        assert 1 <= result.min_features <= result.max_features

@@ -1,0 +1,107 @@
+"""Dataset behaviour: splits, folds, shuffling."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml import Dataset, Instance
+
+
+@pytest.fixture
+def smoking_like():
+    return Dataset.from_pairs(
+        [
+            (["quit", "smoke", "year"], "former"),
+            (["current", "smoker"], "current"),
+            (["never", "smoke"], "never"),
+            (["none"], "never"),
+            (["smoke", "pack", "day"], "current"),
+            (["stop", "smoke"], "former"),
+        ]
+    )
+
+
+class TestBasics:
+    def test_labels_in_first_appearance_order(self, smoking_like):
+        assert smoking_like.labels() == ["former", "current", "never"]
+
+    def test_features_union(self, smoking_like):
+        assert "quit" in smoking_like.features()
+        assert "none" in smoking_like.features()
+
+    def test_label_counts(self, smoking_like):
+        assert smoking_like.label_counts() == {
+            "former": 2, "current": 2, "never": 2,
+        }
+
+    def test_majority_tie_breaks_earliest(self, smoking_like):
+        assert smoking_like.majority_label() == "former"
+
+    def test_majority_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            Dataset().majority_label()
+
+    def test_split(self, smoking_like):
+        yes, no = smoking_like.split("smoke")
+        assert len(yes) == 4 and len(no) == 2
+        assert all(i.has("smoke") for i in yes)
+        assert not any(i.has("smoke") for i in no)
+
+
+class TestFolds:
+    def test_folds_partition(self, smoking_like):
+        folds = smoking_like.folds(3)
+        assert len(folds) == 3
+        test_sizes = sum(len(test) for _, test in folds)
+        assert test_sizes == len(smoking_like)
+        for train, test in folds:
+            assert len(train) + len(test) == len(smoking_like)
+
+    def test_test_folds_disjoint(self, smoking_like):
+        folds = smoking_like.folds(3)
+        seen = []
+        for _, test in folds:
+            seen.extend(id(i) for i in test)
+        assert len(seen) == len(set(seen))
+
+    def test_too_many_folds_rejected(self, smoking_like):
+        with pytest.raises(ValueError):
+            smoking_like.folds(10)
+
+    def test_one_fold_rejected(self, smoking_like):
+        with pytest.raises(ValueError):
+            smoking_like.folds(1)
+
+    @given(st.integers(2, 5), st.integers(10, 40))
+    def test_fold_property_partition(self, k, n):
+        data = Dataset.from_pairs(
+            [([f"f{i}"], f"l{i % 3}") for i in range(n)]
+        )
+        folds = data.folds(k)
+        total = sum(len(test) for _, test in folds)
+        assert total == n
+
+
+class TestShuffle:
+    def test_shuffled_preserves_multiset(self, smoking_like):
+        shuffled = smoking_like.shuffled(random.Random(42))
+        assert sorted(i.label for i in shuffled) == sorted(
+            i.label for i in smoking_like
+        )
+
+    def test_shuffled_is_new_object(self, smoking_like):
+        shuffled = smoking_like.shuffled(random.Random(42))
+        assert shuffled is not smoking_like
+
+    def test_shuffle_deterministic_per_seed(self, smoking_like):
+        a = smoking_like.shuffled(random.Random(7))
+        b = smoking_like.shuffled(random.Random(7))
+        assert [i.label for i in a] == [i.label for i in b]
+
+
+class TestInstance:
+    def test_has(self):
+        inst = Instance(frozenset({"a"}), "x")
+        assert inst.has("a") and not inst.has("b")

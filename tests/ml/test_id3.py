@@ -1,0 +1,155 @@
+"""ID3 decision tree tests: entropy, gain, tree behaviour."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TrainingError
+from repro.ml import (
+    Dataset,
+    ID3Classifier,
+    entropy,
+    information_gain,
+)
+
+
+def make(pairs):
+    return Dataset.from_pairs(pairs)
+
+
+class TestEntropy:
+    def test_pure_dataset_zero(self):
+        assert entropy(make([([], "a"), ([], "a")])) == 0.0
+
+    def test_balanced_binary_one_bit(self):
+        assert entropy(make([([], "a"), ([], "b")])) == pytest.approx(1.0)
+
+    def test_empty_dataset_zero(self):
+        assert entropy(Dataset()) == 0.0
+
+    def test_uniform_four_labels_two_bits(self):
+        data = make([([], l) for l in "abcd"])
+        assert entropy(data) == pytest.approx(2.0)
+
+    @given(st.integers(1, 20), st.integers(0, 20))
+    def test_entropy_bounds(self, a, b):
+        data = make([([], "x")] * a + [([], "y")] * b)
+        h = entropy(data)
+        assert 0.0 <= h <= 1.0 + 1e-12
+
+
+class TestInformationGain:
+    def test_perfect_feature_gains_full_entropy(self):
+        data = make([(["f"], "a"), (["f"], "a"), ([], "b"), ([], "b")])
+        assert information_gain(data, "f") == pytest.approx(1.0)
+
+    def test_irrelevant_feature_zero_gain(self):
+        data = make([(["f"], "a"), ([], "a"), (["f"], "b"), ([], "b")])
+        assert information_gain(data, "f") == pytest.approx(0.0)
+
+    def test_gain_never_negative(self):
+        data = make(
+            [(["f"], "a"), ([], "a"), (["f"], "b"), ([], "b"), (["f"], "a")]
+        )
+        assert information_gain(data, "f") >= -1e-12
+
+
+class TestTraining:
+    def test_perfectly_separable(self):
+        data = make(
+            [
+                (["quit"], "former"),
+                (["quit", "year"], "former"),
+                (["current"], "current"),
+                (["current", "smoker"], "current"),
+                (["never"], "never"),
+                (["never", "smoke"], "never"),
+            ]
+        )
+        clf = ID3Classifier().fit(data)
+        for inst in data:
+            assert clf.predict(inst) == inst.label
+
+    def test_features_used_is_small(self):
+        data = make(
+            [
+                (["quit", "noise1"], "former"),
+                (["quit", "noise2"], "former"),
+                (["current", "noise3"], "current"),
+                (["current", "noise4"], "current"),
+                (["never", "noise5"], "never"),
+                (["never", "noise6"], "never"),
+            ]
+        )
+        clf = ID3Classifier().fit(data)
+        # Three discriminating features suffice; noise is ignored.
+        assert len(clf.features_used()) <= 3
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(TrainingError):
+            ID3Classifier().fit(Dataset())
+
+    def test_single_class_predicts_it_always(self):
+        clf = ID3Classifier().fit(make([(["a"], "only"), (["b"], "only")]))
+        assert clf.predict(["zzz"]) == "only"
+        assert clf.depth() == 0
+
+    def test_unpredictable_data_falls_to_majority(self):
+        # Identical features, conflicting labels.
+        data = make([(["f"], "a"), (["f"], "a"), (["f"], "b")])
+        clf = ID3Classifier().fit(data)
+        assert clf.predict(["f"]) == "a"
+
+    def test_max_depth_respected(self):
+        data = make(
+            [
+                (["a"], "w"),
+                (["b"], "x"),
+                (["c"], "y"),
+                (["d"], "z"),
+            ]
+        )
+        clf = ID3Classifier(max_depth=1).fit(data)
+        assert clf.depth() <= 1
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(TrainingError):
+            ID3Classifier().predict(["x"])
+
+    def test_deterministic_tree(self):
+        data = make(
+            [(["a", "b"], "x"), (["a"], "y"), (["b"], "x"), ([], "y")]
+        )
+        t1 = ID3Classifier().fit(data).describe()
+        t2 = ID3Classifier().fit(data).describe()
+        assert t1 == t2
+
+    def test_describe_mentions_split_feature(self):
+        data = make([(["quit"], "former"), ([], "never")])
+        assert "quit" in ID3Classifier().fit(data).describe()
+
+    def test_predict_dataset(self):
+        data = make([(["quit"], "former"), ([], "never")])
+        clf = ID3Classifier().fit(data)
+        assert clf.predict_dataset(data) == ["former", "never"]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sets(st.sampled_from("abcdef"), max_size=4),
+                st.sampled_from(["x", "y", "z"]),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_training_accuracy_at_least_majority(self, pairs):
+        data = make(pairs)
+        clf = ID3Classifier().fit(data)
+        correct = sum(
+            clf.predict(inst) == inst.label for inst in data
+        )
+        majority = max(data.label_counts().values())
+        assert correct >= majority

@@ -1,0 +1,111 @@
+"""Metric tests: confusion, paper extraction formulas."""
+
+import pytest
+
+from repro.ml import (
+    ConfusionMatrix,
+    ExtractionCounts,
+    confusion,
+    micro_extraction,
+    score_extraction,
+)
+
+
+class TestConfusion:
+    def test_accuracy(self):
+        m = confusion(["a", "a", "b"], ["a", "b", "b"])
+        assert m.accuracy() == pytest.approx(2 / 3)
+
+    def test_precision_recall_per_label(self):
+        m = confusion(
+            ["a", "a", "b", "b", "b"], ["a", "b", "b", "b", "a"]
+        )
+        assert m.precision("a") == pytest.approx(1 / 2)
+        assert m.recall("a") == pytest.approx(1 / 2)
+        assert m.precision("b") == pytest.approx(2 / 3)
+        assert m.recall("b") == pytest.approx(2 / 3)
+
+    def test_micro_equals_accuracy(self):
+        m = confusion(["a", "b", "b"], ["a", "a", "b"])
+        assert m.micro_precision_recall() == m.accuracy()
+
+    def test_unseen_label_zero(self):
+        m = confusion(["a"], ["a"])
+        assert m.precision("zzz") == 0.0
+        assert m.recall("zzz") == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            confusion(["a"], ["a", "b"])
+
+    def test_macro_averages(self):
+        m = confusion(["a", "b"], ["a", "b"])
+        assert m.macro_precision() == 1.0
+        assert m.macro_recall() == 1.0
+
+    def test_empty_matrix(self):
+        m = ConfusionMatrix()
+        assert m.accuracy() == 0.0
+        assert m.labels() == []
+
+
+class TestExtractionCounts:
+    def test_paper_formulas(self):
+        c = ExtractionCounts(etrue=3, etotal=4, tinst=5)
+        assert c.precision() == pytest.approx(3 / 4)
+        assert c.recall() == pytest.approx(3 / 5)
+
+    def test_nothing_expected_nothing_extracted_is_perfect(self):
+        c = ExtractionCounts(0, 0, 0)
+        assert c.precision() == 1.0
+        assert c.recall() == 1.0
+
+    def test_missed_everything(self):
+        c = ExtractionCounts(0, 0, 3)
+        assert c.precision() == 0.0
+        assert c.recall() == 0.0
+
+    def test_addition(self):
+        total = ExtractionCounts(1, 2, 3) + ExtractionCounts(2, 2, 2)
+        assert (total.etrue, total.etotal, total.tinst) == (3, 4, 5)
+
+
+class TestMicroExtraction:
+    def test_micro_pools_counts(self):
+        # §5: P = ΣETrue/ΣETotal, R = ΣETrue/ΣTInst.
+        subjects = [
+            ExtractionCounts(2, 2, 3),
+            ExtractionCounts(1, 3, 1),
+        ]
+        p, r = micro_extraction(subjects)
+        assert p == pytest.approx(3 / 5)
+        assert r == pytest.approx(3 / 4)
+
+    def test_micro_differs_from_macro(self):
+        subjects = [
+            ExtractionCounts(0, 1, 1),
+            ExtractionCounts(9, 9, 9),
+        ]
+        p, _ = micro_extraction(subjects)
+        macro = sum(s.precision() for s in subjects) / 2
+        assert p == pytest.approx(0.9)
+        assert macro == pytest.approx(0.5)
+
+
+class TestScoreExtraction:
+    def test_exact_match(self):
+        c = score_extraction(["a", "b"], ["b", "a"])
+        assert (c.etrue, c.etotal, c.tinst) == (2, 2, 2)
+
+    def test_false_positive(self):
+        c = score_extraction(["a", "x"], ["a"])
+        assert (c.etrue, c.etotal, c.tinst) == (1, 2, 1)
+
+    def test_false_negative(self):
+        c = score_extraction(["a"], ["a", "b"])
+        assert (c.etrue, c.etotal, c.tinst) == (1, 1, 2)
+
+    def test_duplicates_count_once_each(self):
+        c = score_extraction(["a", "a"], ["a"])
+        assert c.etrue == 1
+        assert c.etotal == 2

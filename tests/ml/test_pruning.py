@@ -1,0 +1,80 @@
+"""Reduced-error pruning tests."""
+
+import pytest
+
+from repro.errors import TrainingError
+from repro.ml import Dataset, ID3Classifier
+from repro.ml.pruning import prune_tree, train_pruned
+
+
+def noisy_dataset():
+    """Signal feature plus noise features that invite overfitting."""
+    pairs = []
+    for i in range(12):
+        pairs.append(((f"quit", f"noise{i}"), "former"))
+        pairs.append(((f"never", f"noise{i + 50}"), "never"))
+    # Conflicting labels on the noise features.
+    pairs.append((("noise0",), "never"))
+    pairs.append((("noise50",), "former"))
+    return Dataset.from_pairs(pairs)
+
+
+class TestPruning:
+    def test_pruned_tree_no_larger(self):
+        data = noisy_dataset()
+        validation = Dataset.from_pairs(
+            [(["quit"], "former"), (["never"], "never")] * 3
+        )
+        unpruned = ID3Classifier().fit(data)
+        size_before = len(unpruned.features_used())
+        pruned = prune_tree(ID3Classifier().fit(data), validation)
+        assert len(pruned.features_used()) <= size_before
+
+    def test_validation_accuracy_never_drops(self):
+        data = noisy_dataset()
+        validation = Dataset.from_pairs(
+            [(["quit", "x"], "former"), (["never", "y"], "never"),
+             (["quit"], "former"), (["never"], "never")]
+        )
+        unpruned = ID3Classifier().fit(data)
+        before = sum(
+            unpruned.predict(i) == i.label for i in validation
+        )
+        pruned = prune_tree(ID3Classifier().fit(data), validation)
+        after = sum(
+            pruned.predict(i) == i.label for i in validation
+        )
+        assert after >= before
+
+    def test_pure_tree_untouched(self):
+        data = Dataset.from_pairs(
+            [(["a"], "x"), (["a"], "x"), ([], "y"), ([], "y")]
+        )
+        validation = Dataset.from_pairs([(["a"], "x"), ([], "y")])
+        pruned = prune_tree(ID3Classifier().fit(data), validation)
+        assert pruned.predict(["a"]) == "x"
+        assert pruned.predict([]) == "y"
+
+    def test_train_pruned_convenience(self):
+        data = noisy_dataset()
+        validation = Dataset.from_pairs(
+            [(["quit"], "former"), (["never"], "never")]
+        )
+        classifier = train_pruned(data, validation)
+        assert classifier.predict(["quit"]) == "former"
+
+    def test_untrained_rejected(self):
+        with pytest.raises(TrainingError):
+            prune_tree(ID3Classifier(), Dataset.from_pairs([([], "x")]))
+
+    def test_empty_validation_rejected(self):
+        data = Dataset.from_pairs([(["a"], "x"), ([], "y")])
+        with pytest.raises(TrainingError):
+            prune_tree(ID3Classifier().fit(data), Dataset())
+
+    def test_degenerate_validation_collapses_to_majority(self):
+        # Validation says everything is "never": the tree collapses.
+        data = noisy_dataset()
+        validation = Dataset.from_pairs([([], "never")] * 5)
+        pruned = prune_tree(ID3Classifier().fit(data), validation)
+        assert pruned.predict(["quit"]) == "never"

@@ -1,0 +1,92 @@
+"""Tree serialization tests."""
+
+import json
+
+import pytest
+
+from repro.errors import TrainingError
+from repro.ml import Dataset, ID3Classifier
+from repro.ml.serialize import (
+    load_tree,
+    save_tree,
+    tree_from_dict,
+    tree_to_dict,
+)
+
+
+@pytest.fixture
+def trained():
+    data = Dataset.from_pairs(
+        [
+            (["quit", "year"], "former"),
+            (["quit"], "former"),
+            (["current"], "current"),
+            (["smoker", "current"], "current"),
+            (["never"], "never"),
+            ([], "never"),
+        ]
+    )
+    return ID3Classifier().fit(data), data
+
+
+class TestRoundTrip:
+    def test_predictions_preserved(self, trained):
+        classifier, data = trained
+        restored = tree_from_dict(tree_to_dict(classifier))
+        for instance in data:
+            assert restored.predict(instance) == classifier.predict(
+                instance
+            )
+
+    def test_features_used_preserved(self, trained):
+        classifier, _ = trained
+        restored = tree_from_dict(tree_to_dict(classifier))
+        assert restored.features_used() == classifier.features_used()
+
+    def test_file_roundtrip(self, trained, tmp_path):
+        classifier, data = trained
+        path = tmp_path / "tree.json"
+        save_tree(classifier, path)
+        restored = load_tree(path)
+        assert restored.predict(["quit"]) == classifier.predict(["quit"])
+
+    def test_file_is_plain_json(self, trained, tmp_path):
+        classifier, _ = trained
+        path = tmp_path / "tree.json"
+        save_tree(classifier, path)
+        parsed = json.loads(path.read_text())
+        assert parsed["format"] == 1
+        assert "root" in parsed
+
+    def test_hyperparameters_preserved(self):
+        data = Dataset.from_pairs([(["a"], "x"), ([], "y")])
+        classifier = ID3Classifier(max_depth=3).fit(data)
+        restored = tree_from_dict(tree_to_dict(classifier))
+        assert restored.max_depth == 3
+
+
+class TestErrors:
+    def test_untrained_rejected(self):
+        with pytest.raises(TrainingError):
+            tree_to_dict(ID3Classifier())
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(TrainingError):
+            tree_from_dict({"format": 99, "root": {"leaf": "x"}})
+
+    def test_malformed_node_rejected(self):
+        with pytest.raises(TrainingError):
+            tree_from_dict(
+                {"format": 1, "root": {"feature": "f", "present":
+                                       {"leaf": "x"}}}
+            )
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(TrainingError):
+            load_tree(tmp_path / "absent.json")
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(TrainingError):
+            load_tree(path)

@@ -1,0 +1,75 @@
+"""Inflector tests: pluralization, conjugation, phrase variants."""
+
+import pytest
+
+from repro.morphology import conjugate, pluralize, variants
+
+
+class TestPluralize:
+    @pytest.mark.parametrize(
+        "noun,expected",
+        [
+            ("pregnancy", "pregnancies"),
+            ("birth", "births"),
+            ("mass", "masses"),
+            ("biopsy", "biopsies"),
+            ("child", "children"),
+            ("woman", "women"),
+            ("box", "boxes"),
+            ("brush", "brushes"),
+            ("knife", "knives"),
+            ("day", "days"),  # vowel+y stays regular
+        ],
+    )
+    def test_plural_forms(self, noun, expected):
+        assert pluralize(noun) == expected
+
+
+class TestConjugate:
+    def test_regular_verb(self):
+        assert set(conjugate("smoke")) == {"smokes", "smoked", "smoking"}
+
+    def test_y_verb(self):
+        assert set(conjugate("deny")) == {"denies", "denied", "denying"}
+
+    def test_doubling_verb(self):
+        forms = set(conjugate("stop"))
+        assert {"stops", "stopped", "stopping"} <= forms
+
+    def test_irregular_verb_includes_exceptions(self):
+        forms = set(conjugate("undergo"))
+        assert "underwent" in forms
+        assert "undergone" in forms
+
+    def test_sibilant_verb(self):
+        assert "pushes" in conjugate("push")
+
+    def test_base_form_not_in_output(self):
+        assert "smoke" not in conjugate("smoke")
+
+
+class TestVariants:
+    def test_single_noun(self):
+        assert variants("pregnancy") == ["pregnancy", "pregnancies"]
+
+    def test_multiword_head_inflection(self):
+        assert variants("live birth") == ["live birth", "live births"]
+
+    def test_verb_phrase(self):
+        vs = variants("smoke", pos="verb")
+        assert vs[0] == "smoke"
+        assert "smokes" in vs and "smoked" in vs
+
+    def test_original_first(self):
+        assert variants("blood pressure")[0] == "blood pressure"
+
+    def test_empty_phrase(self):
+        assert variants("") == []
+
+    def test_case_normalized(self):
+        assert variants("Blood Pressure")[0] == "blood pressure"
+
+    def test_unknown_pos_returns_only_original(self):
+        assert variants("blood pressure", pos="adjective") == [
+            "blood pressure"
+        ]

@@ -1,0 +1,139 @@
+"""Lemmatizer tests: exceptions, detachment rules, POS constraints."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.morphology import Lemmatizer, lemma, pluralize
+
+
+class TestExceptions:
+    @pytest.mark.parametrize(
+        "surface,expected",
+        [
+            ("children", "child"),
+            ("women", "woman"),
+            ("diagnoses", "diagnosis"),
+            ("metastases", "metastasis"),
+            ("diverticula", "diverticulum"),
+            ("vertebrae", "vertebra"),
+            ("bronchi", "bronchus"),
+            ("appendices", "appendix"),
+        ],
+    )
+    def test_irregular_nouns(self, surface, expected):
+        assert lemma(surface, "noun") == expected
+
+    @pytest.mark.parametrize(
+        "surface,expected",
+        [
+            ("underwent", "undergo"),
+            ("was", "be"),
+            ("has", "have"),
+            ("quit", "quit"),
+            ("drank", "drink"),
+            ("felt", "feel"),
+            ("swollen", "swell"),
+        ],
+    )
+    def test_irregular_verbs(self, surface, expected):
+        assert lemma(surface, "verb") == expected
+
+    def test_irregular_adjectives(self):
+        assert lemma("worse", "adjective") == "bad"
+        assert lemma("thinner", "adjective") == "thin"
+
+
+class TestDetachmentRules:
+    @pytest.mark.parametrize(
+        "surface,expected",
+        [
+            ("pressures", "pressure"),
+            ("biopsies", "biopsy"),
+            ("masses", "mass"),
+            ("allergies", "allergy"),
+            ("pregnancies", "pregnancy"),
+            ("lesions", "lesion"),
+        ],
+    )
+    def test_noun_plurals(self, surface, expected):
+        assert lemma(surface, "noun") == expected
+
+    @pytest.mark.parametrize(
+        "surface,expected",
+        [
+            ("denies", "deny"),
+            ("denied", "deny"),
+            ("smokes", "smoke"),
+            ("smoked", "smoke"),
+            ("smoking", "smoke"),
+            ("reveals", "reveal"),
+            ("stopped", "stop"),
+        ],
+    )
+    def test_verb_inflections(self, surface, expected):
+        assert lemma(surface, "verb") == expected
+
+    def test_paper_deny_example(self):
+        # §3.3: "denies," "denied" and "deny" become the same feature.
+        assert {lemma(w, "verb") for w in ["denies", "denied", "deny"]} == {
+            "deny"
+        }
+
+
+class TestNonInflected:
+    @pytest.mark.parametrize(
+        "word", ["diabetes", "pancreas", "arthritis", "status", "uterus"]
+    )
+    def test_disease_names_unchanged(self, word):
+        assert lemma(word, "noun") == word
+
+    def test_case_insensitive(self):
+        assert lemma("Diabetes") == "diabetes"
+
+
+class TestUnknownWords:
+    def test_unknown_word_returned_as_is(self):
+        assert lemma("xyzzyq") == "xyzzyq"
+
+    def test_unknown_inflection_falls_back_to_surface(self):
+        # No lexicon entry validates any stem.
+        assert lemma("blorpings", "noun") == "blorpings"
+
+
+class TestCandidates:
+    def test_candidates_include_valid_stem(self):
+        lem = Lemmatizer()
+        assert "pressure" in lem.candidates("pressures", "noun")
+
+    def test_candidates_end_with_surface(self):
+        lem = Lemmatizer()
+        cands = lem.candidates("weirdnesses", "noun")
+        assert cands[-1] == "weirdnesses" or "weirdnesses" in cands
+
+    def test_custom_known_predicate(self):
+        vocab = {"cholecystectomy"}
+        lem = Lemmatizer(known=lambda w: w in vocab)
+        assert lem.lemma("cholecystectomies", "noun") == "cholecystectomy"
+
+
+class TestPennTagMapping:
+    def test_penn_tags_accepted(self):
+        assert lemma("denies", "VBZ") == "deny"
+        assert lemma("masses", "NNS") == "mass"
+        assert lemma("larger", "JJR") == "large"
+
+
+class TestProperties:
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1,
+                   max_size=15))
+    def test_lemma_is_idempotent(self, word):
+        first = lemma(word)
+        assert lemma(first) == first or len(lemma(first)) <= len(first)
+
+    @given(st.sampled_from([
+        "pressure", "biopsy", "mass", "lesion", "pregnancy", "history",
+        "allergy", "symptom", "murmur", "nodule",
+    ]))
+    def test_pluralize_then_lemmatize_roundtrip(self, noun):
+        assert lemma(pluralize(noun), "noun") == noun

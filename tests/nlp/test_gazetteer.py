@@ -1,0 +1,105 @@
+"""Gazetteer annotator tests."""
+
+import pytest
+
+from repro.nlp import analyze
+from repro.nlp.gazetteer import Gazetteer
+from repro.nlp.jape import Constraint, JapeEngine, Rule
+from repro.ontology import SemanticType
+
+
+class TestBasicMatching:
+    def test_single_word(self):
+        gazetteer = Gazetteer.from_lists({"disease": ["diabetes"]})
+        document = analyze("She has diabetes.")
+        [hit] = gazetteer.annotate(document)
+        assert document.span_text(hit) == "diabetes"
+        assert hit.features["majorType"] == "disease"
+
+    def test_multiword_longest_wins(self):
+        gazetteer = Gazetteer.from_lists(
+            {"disease": ["blood pressure", "high blood pressure"]}
+        )
+        document = analyze("History of high blood pressure.")
+        [hit] = gazetteer.annotate(document)
+        assert document.span_text(hit) == "high blood pressure"
+
+    def test_case_insensitive(self):
+        gazetteer = Gazetteer.from_lists({"drug": ["aspirin"]})
+        document = analyze("ASPIRIN daily.")
+        assert gazetteer.annotate(document)
+
+    def test_non_overlapping(self):
+        gazetteer = Gazetteer.from_lists(
+            {"x": ["heart disease", "disease"]}
+        )
+        document = analyze("heart disease")
+        hits = gazetteer.annotate(document)
+        assert len(hits) == 1
+
+    def test_empty_phrase_rejected(self):
+        with pytest.raises(ValueError):
+            Gazetteer().add("  ", "x")
+
+    def test_size(self):
+        gazetteer = Gazetteer.from_lists({"a": ["x", "y"], "b": ["z"]})
+        assert len(gazetteer) == 3
+
+
+class TestOntologyGazetteer:
+    def test_lookup_carries_cui(self):
+        gazetteer = Gazetteer.from_ontology(
+            semantic_types={SemanticType.PROCEDURE}
+        )
+        document = analyze("Status post cholecystectomy.")
+        hits = gazetteer.annotate(document)
+        assert any(
+            h.features["preferred"] == "cholecystectomy" for h in hits
+        )
+        assert all(h.features["cui"].startswith("C") for h in hits)
+
+    def test_semantic_type_filtering(self):
+        gazetteer = Gazetteer.from_ontology(
+            semantic_types={SemanticType.DRUG}
+        )
+        document = analyze("Aspirin for her diabetes.")
+        hits = gazetteer.annotate(document)
+        names = {h.features["preferred"] for h in hits}
+        assert "aspirin" in names
+        assert "diabetes" not in names
+
+    def test_synonym_matches_to_preferred(self):
+        gazetteer = Gazetteer.from_ontology(
+            semantic_types={SemanticType.DISEASE}
+        )
+        document = analyze("Known HTN for years.")
+        hits = gazetteer.annotate(document)
+        assert any(
+            h.features["preferred"] == "high blood pressure"
+            for h in hits
+        )
+
+
+class TestJapeIntegration:
+    def test_rule_over_lookup_annotations(self):
+        # GATE's idiom: gazetteer feeds JAPE.  "DISEASE for NUM years"
+        # becomes a DiseaseDuration annotation.
+        gazetteer = Gazetteer.from_ontology(
+            semantic_types={SemanticType.DISEASE}
+        )
+        rule = Rule(
+            name="disease-duration",
+            label="DiseaseDuration",
+            pattern=(
+                Constraint(annotation="Lookup", repeatable=True),
+                Constraint(text="for"),
+                Constraint(annotation="Number"),
+                Constraint(text_in=frozenset({"years", "months"})),
+            ),
+        )
+        document = analyze("Known hypertension for 12 years.")
+        gazetteer.annotate(document)
+        added = JapeEngine([rule]).annotate(document)
+        assert len(added) == 1
+        assert document.span_text(added[0]) == \
+            "hypertension for 12 years"

@@ -1,0 +1,158 @@
+"""JAPE-style pattern engine tests."""
+
+import pytest
+
+from repro.nlp import analyze
+from repro.nlp.jape import (
+    Constraint,
+    JapeEngine,
+    Rule,
+    duration_rules,
+    measurement_rules,
+)
+
+
+def annotate(text, rules):
+    document = analyze(text)
+    added = JapeEngine(rules).annotate(document)
+    return document, added
+
+
+class TestConstraint:
+    def test_text_match(self):
+        document = analyze("pulse of 84")
+        token = document.tokens()[1]
+        assert Constraint(text="of").matches(document, token)
+        assert not Constraint(text="is").matches(document, token)
+
+    def test_text_in(self):
+        document = analyze("five years")
+        token = document.tokens()[1]
+        assert Constraint(
+            text_in=frozenset({"years", "months"})
+        ).matches(document, token)
+
+    def test_pos_prefix(self):
+        document = analyze("She smokes.")
+        token = document.tokens()[1]
+        assert Constraint(pos="VB").matches(document, token)
+        assert not Constraint(pos="NN").matches(document, token)
+
+    def test_annotation_covering(self):
+        document = analyze("pulse of 84")
+        number_token = document.tokens()[2]
+        assert Constraint(annotation="Number").matches(
+            document, number_token
+        )
+
+    def test_predicate(self):
+        document = analyze("pulse")
+        token = document.tokens()[0]
+        constraint = Constraint(
+            predicate=lambda d, t: d.span_text(t).startswith("p")
+        )
+        assert constraint.matches(document, token)
+
+
+class TestEngine:
+    def test_simple_sequence(self):
+        rule = Rule(
+            name="r",
+            label="Hit",
+            pattern=(Constraint(text="of"), Constraint(annotation="Number")),
+        )
+        document, added = annotate("pulse of 84 and weight of 154",
+                                   [rule])
+        assert [document.span_text(a) for a in added] == [
+            "of 84", "of 154",
+        ]
+
+    def test_optional_element(self):
+        rule = Rule(
+            name="r",
+            label="Hit",
+            pattern=(
+                Constraint(annotation="Number"),
+                Constraint(text="more", optional=True),
+                Constraint(text_in=frozenset({"years"})),
+            ),
+        )
+        _, added1 = annotate("5 years", [rule])
+        _, added2 = annotate("5 more years", [rule])
+        assert len(added1) == 1 and len(added2) == 1
+
+    def test_repeatable_element(self):
+        rule = Rule(
+            name="r",
+            label="Hit",
+            pattern=(
+                Constraint(pos="JJ", repeatable=True),
+                Constraint(pos="NN"),
+            ),
+        )
+        document, added = annotate("severe chronic pain", [rule])
+        assert [document.span_text(a) for a in added] == [
+            "severe chronic pain",
+        ]
+
+    def test_priority_wins_over_length(self):
+        long_rule = Rule(
+            name="long", label="Long", priority=0,
+            pattern=(Constraint(annotation="Number"),
+                     Constraint(text_in=frozenset({"years"})),
+                     Constraint(text="ago")),
+        )
+        short_rule = Rule(
+            name="short", label="Short", priority=9,
+            pattern=(Constraint(annotation="Number"),
+                     Constraint(text_in=frozenset({"years"}))),
+        )
+        _, added = annotate("5 years ago", [long_rule, short_rule])
+        assert [a.type for a in added] == ["Short"]
+
+    def test_matches_never_overlap(self):
+        rule = Rule(
+            name="pair", label="Pair",
+            pattern=(Constraint(), Constraint()),  # any two tokens
+        )
+        document, added = annotate("a b c d e", [rule])
+        spans = [(a.start, a.end) for a in added]
+        for s1, s2 in zip(spans, spans[1:]):
+            assert s1[1] <= s2[0]
+
+
+class TestDurationRules:
+    def test_years_ago(self):
+        document, added = annotate(
+            "She quit smoking five years ago.", duration_rules()
+        )
+        [duration] = added
+        assert duration.type == "Duration"
+        assert duration.features["value"] == 5.0
+        assert duration.features["unit"] == "year"
+        assert duration.features["ago"] is True
+
+    def test_plain_duration(self):
+        document, added = annotate(
+            "Smoking history, 15 years.", duration_rules()
+        )
+        [duration] = added
+        assert duration.features["value"] == 15.0
+        assert duration.features["ago"] is False
+
+    def test_no_duration_without_unit(self):
+        _, added = annotate("Pulse of 84.", duration_rules())
+        assert added == []
+
+
+class TestMeasurementRules:
+    def test_weight_measurement(self):
+        document, added = annotate(
+            "Weight of 154 pounds.", measurement_rules()
+        )
+        [m] = added
+        assert m.features == {"value": 154.0, "unit": "pounds"}
+
+    def test_metric_units(self):
+        _, added = annotate("a 2 cm lesion", measurement_rules())
+        assert added[0].features["unit"] == "cm"

@@ -1,0 +1,70 @@
+"""Sanity suite over the embedded POS lexicon data."""
+
+import pytest
+
+from repro.nlp.lexicon import (
+    ADJECTIVES,
+    IRREGULAR_VERB_FORMS,
+    NOUN_BASES,
+    NUMBER_WORDS,
+    VERB_BASES,
+    WORD_TAGS,
+)
+
+_VALID_TAGS = {
+    "NN", "NNS", "NNP", "JJ", "JJR", "JJS", "VB", "VBD", "VBZ", "VBG",
+    "VBN", "VBP", "RB", "RBR", "IN", "DT", "CC", "CD", "PRP", "PRP$",
+    "MD", "TO", "EX", "WDT", "WP", "WP$", "WRB", "UH", "POS",
+}
+
+
+class TestLexiconIntegrity:
+    def test_all_tags_valid(self):
+        bad = {
+            (w, t) for w, t in WORD_TAGS.items() if t not in _VALID_TAGS
+        }
+        assert not bad, sorted(bad)[:5]
+
+    def test_all_words_lowercase(self):
+        assert all(w == w.lower() for w in WORD_TAGS)
+
+    def test_no_empty_words(self):
+        assert all(w.strip() for w in WORD_TAGS)
+
+    def test_size_is_substantial(self):
+        assert len(WORD_TAGS) > 700
+
+    def test_irregular_forms_have_valid_tags(self):
+        for surface, (tag, lemma) in IRREGULAR_VERB_FORMS.items():
+            assert tag in _VALID_TAGS, surface
+            assert lemma
+
+    def test_class_sets_are_subsets_of_table(self):
+        for word in VERB_BASES:
+            assert word in WORD_TAGS
+        for word in NUMBER_WORDS:
+            assert WORD_TAGS[word] == "CD"
+
+    def test_core_clinical_vocabulary_present(self):
+        for word in [
+            "pressure", "pulse", "temperature", "weight", "menarche",
+            "gravida", "para", "smoker", "biopsy", "mammogram",
+        ]:
+            assert word in WORD_TAGS, word
+
+    def test_function_words_present(self):
+        assert WORD_TAGS["the"] == "DT"
+        assert WORD_TAGS["of"] == "IN"
+        assert WORD_TAGS["and"] == "CC"
+        assert WORD_TAGS["she"] == "PRP"
+
+    def test_priority_function_words_not_shadowed(self):
+        # Words listed in several classes keep their function-word tag.
+        assert WORD_TAGS["to"] == "TO"
+        assert WORD_TAGS["there"] in {"EX", "RB"}
+
+    def test_adjective_noun_overlap_is_deliberate(self):
+        # A word in both sets must resolve to exactly one lexicon tag.
+        overlap = ADJECTIVES & NOUN_BASES
+        for word in overlap:
+            assert WORD_TAGS[word] in {"JJ", "NN"}

@@ -1,0 +1,103 @@
+"""Number annotator tests: digits, ratios, words, compounds."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nlp import analyze
+from repro.nlp.numbers import parse_number_word, parse_word_sequence
+
+
+def numbers_of(text):
+    doc = analyze(text)
+    return [(doc.span_text(n), n.features) for n in doc.numbers()]
+
+
+class TestDigitNumbers:
+    def test_integer(self):
+        [(text, feats)] = numbers_of("pulse of 84")
+        assert text == "84"
+        assert feats["value"] == 84.0
+        assert feats["form"] == "digits"
+
+    def test_decimal(self):
+        [(text, feats)] = numbers_of("temperature of 98.3")
+        assert feats["value"] == 98.3
+
+    def test_thousands(self):
+        [(_, feats)] = numbers_of("platelets 1,250")
+        assert feats["value"] == 1250.0
+
+
+class TestRatioNumbers:
+    def test_blood_pressure_reading(self):
+        [(text, feats)] = numbers_of("Blood pressure is 144/90")
+        assert text == "144/90"
+        assert feats["values"] == (144.0, 90.0)
+        assert feats["value"] == 144.0
+        assert feats["form"] == "ratio"
+
+
+class TestWordNumbers:
+    def test_single_word(self):
+        [(text, feats)] = numbers_of("menarche at age seventeen")
+        assert text == "seventeen"
+        assert feats["value"] == 17.0
+        assert feats["form"] == "words"
+
+    def test_hyphenated(self):
+        assert parse_number_word("twenty-five") == 25.0
+
+    def test_multiword_sequence(self):
+        [(text, feats)] = numbers_of("weight of one hundred fifty four")
+        assert feats["value"] == 154.0
+
+    def test_scale_words(self):
+        assert parse_word_sequence(["two", "thousand"]) == 2000.0
+        assert parse_word_sequence(["one", "hundred", "five"]) == 105.0
+
+    def test_non_number_rejected(self):
+        assert parse_number_word("pulse") is None
+        assert parse_word_sequence(["no", "numbers"]) is None
+
+    def test_empty_sequence(self):
+        assert parse_word_sequence([]) is None
+
+    @given(st.integers(0, 19))
+    def test_units_roundtrip(self, n):
+        words = [
+            "zero", "one", "two", "three", "four", "five", "six",
+            "seven", "eight", "nine", "ten", "eleven", "twelve",
+            "thirteen", "fourteen", "fifteen", "sixteen", "seventeen",
+            "eighteen", "nineteen",
+        ]
+        assert parse_number_word(words[n]) == float(n)
+
+    @given(st.integers(2, 9), st.integers(1, 9))
+    def test_hyphenated_compounds_roundtrip(self, tens, unit):
+        tens_words = {
+            2: "twenty", 3: "thirty", 4: "forty", 5: "fifty",
+            6: "sixty", 7: "seventy", 8: "eighty", 9: "ninety",
+        }
+        units = [
+            "zero", "one", "two", "three", "four", "five", "six",
+            "seven", "eight", "nine",
+        ]
+        word = f"{tens_words[tens]}-{units[unit]}"
+        assert parse_number_word(word) == float(tens * 10 + unit)
+
+
+class TestFigureOneSentence:
+    def test_all_four_numbers_found(self):
+        found = numbers_of(
+            "Blood pressure is 144/90, pulse of 84, temperature of "
+            "98.3, and weight of 154 pounds."
+        )
+        values = [f.get("values", f["value"]) for _, f in found]
+        assert values == [(144.0, 90.0), 84.0, 98.3, 154.0]
+
+    def test_gyn_history_numbers(self):
+        found = numbers_of(
+            "Menarche at age 10, gravida 4, para 3, last menstrual "
+            "period about a year ago."
+        )
+        assert [f["value"] for _, f in found] == [10.0, 4.0, 3.0]

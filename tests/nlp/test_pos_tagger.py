@@ -1,0 +1,119 @@
+"""POS tagger tests: lexicon, morphology and context layers."""
+
+from repro.nlp import analyze
+from repro.nlp.pos_tagger import tag_sentence
+
+
+def tags_of(text):
+    doc = analyze(text)
+    return [(doc.span_text(t), t.features["pos"]) for t in doc.tokens()]
+
+
+class TestLexiconLayer:
+    def test_figure1_sentence_tags(self):
+        got = dict(tags_of(
+            "Blood pressure is 144/90, pulse of 84, temperature of 98.3, "
+            "and weight of 154 pounds."
+        ))
+        assert got["pressure"] == "NN"
+        assert got["is"] == "VBZ"
+        assert got["144/90"] == "CD"
+        assert got["of"] == "IN"
+        assert got["and"] == "CC"
+        assert got["pounds"] == "NNS"
+
+    def test_determiner_and_pronoun(self):
+        got = dict(tags_of("She has a mass."))
+        assert got["She"] == "PRP"
+        assert got["a"] == "DT"
+        assert got["mass"] == "NN"
+
+    def test_number_words_are_cd(self):
+        got = dict(tags_of("five years ago"))
+        assert got["five"] == "CD"
+        assert got["years"] == "NNS"
+        assert got["ago"] == "RB"
+
+    def test_clinical_abbreviations(self):
+        got = dict(tags_of("PMH significant for COPD and HTN"))
+        assert got["PMH"] == "NN"
+        assert got["COPD"] == "NN"
+        assert got["HTN"] == "NN"
+
+    def test_medical_suffix_morphology(self):
+        # None of these need to be in the lexicon.
+        got = dict(tags_of(
+            "status post cholecystectomy with cholangitis and nephrosis"
+        ))
+        assert got["cholecystectomy"] == "NN"
+        assert got["cholangitis"] == "NN"
+        assert got["nephrosis"] == "NN"
+
+
+class TestMorphologyLayer:
+    def test_vbz_of_known_verb(self):
+        assert dict(tags_of("She denies pain."))["denies"] == "VBZ"
+
+    def test_vbd_of_known_verb(self):
+        assert dict(tags_of("She reported nausea."))["reported"] == "VBD"
+
+    def test_plural_noun(self):
+        assert dict(tags_of("two biopsies"))["biopsies"] == "NNS"
+
+    def test_gerund(self):
+        assert dict(tags_of("She is smoking."))["smoking"] == "VBG"
+
+    def test_unknown_capitalized_word_is_nnp(self):
+        assert dict(tags_of("prescribed Lipitor"))["Lipitor"] == "NNP"
+
+    def test_adverb_suffix(self):
+        assert dict(tags_of("examined bilaterally"))["bilaterally"] == "RB"
+
+
+class TestContextLayer:
+    def test_participle_after_have(self):
+        got = dict(tags_of("She has never smoked."))
+        assert got["smoked"] == "VBN"
+
+    def test_past_after_pronoun_stays_vbd(self):
+        got = dict(tags_of("She quit smoking five years ago."))
+        assert got["quit"] == "VBD"
+
+    def test_her_possessive_before_noun(self):
+        got = dict(tags_of("Her breast history is negative."))
+        assert got["Her"] == "PRP$"
+
+    def test_screening_before_noun_is_adjectival(self):
+        got = dict(tags_of("She underwent a screening mammogram."))
+        assert got["screening"] == "JJ"
+        assert got["mammogram"] == "NN"
+        assert got["underwent"] == "VBD"
+
+    def test_noun_after_determiner_not_verb(self):
+        got = dict(tags_of("The report was reviewed."))
+        assert got["report"] == "NN"
+
+
+class TestTermPatternSupport:
+    """Tags that the JJ/NN term patterns of §3.2 rely on."""
+
+    def test_past_medical_history_example(self):
+        got = dict(tags_of(
+            "Significant for a postoperative CVA after undergoing a "
+            "cholecystectomy and a midline hernia closure"
+        ))
+        assert got["postoperative"] == "JJ"
+        assert got["CVA"] == "NN"
+        assert got["cholecystectomy"] == "NN"
+        assert got["midline"] == "JJ"
+        assert got["hernia"] == "NN"
+        assert got["closure"] == "NN"
+
+    def test_high_blood_pressure(self):
+        got = dict(tags_of("history of high blood pressure"))
+        assert got["high"] == "JJ"
+        assert got["blood"] == "NN"
+        assert got["pressure"] == "NN"
+
+    def test_tag_sentence_function(self):
+        assert tag_sentence(["heart", "disease"]) == ["NN", "NN"]

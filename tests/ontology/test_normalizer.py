@@ -1,0 +1,83 @@
+"""Term normalization tests (§3.2)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ontology import TermNormalizer
+
+
+class TestPaperExamples:
+    def test_high_blood_pressures(self):
+        # The paper's worked example.
+        assert TermNormalizer().normalize("high blood pressures") == \
+            "blood high pressure"
+
+    def test_case_insensitive(self):
+        n = TermNormalizer()
+        assert n.normalize("High Blood Pressure") == n.normalize(
+            "high blood pressure"
+        )
+
+    def test_single_word_lemmatized(self):
+        assert TermNormalizer().normalize("cholecystectomies") in {
+            "cholecystectomy", "cholecystectomies",
+        }
+
+    def test_inflected_and_base_forms_agree(self):
+        n = TermNormalizer()
+        assert n.normalize("midline hernias") == n.normalize(
+            "midline hernia"
+        )
+
+    def test_word_order_irrelevant(self):
+        n = TermNormalizer()
+        assert n.normalize("hernia midline") == n.normalize(
+            "midline hernia"
+        )
+
+    def test_articles_dropped(self):
+        n = TermNormalizer()
+        assert n.normalize("removal of the gallbladder") == n.normalize(
+            "gallbladder removal"
+        )
+
+    def test_punctuation_ignored(self):
+        n = TermNormalizer()
+        assert n.normalize("non-hodgkin lymphoma") == n.normalize(
+            "non-hodgkin   lymphoma"
+        )
+
+    def test_empty_term(self):
+        assert TermNormalizer().normalize("") == ""
+
+
+class TestProperties:
+    @given(st.text(alphabet="abcdefghij ", max_size=40))
+    def test_idempotent(self, term):
+        n = TermNormalizer()
+        once = n.normalize(term)
+        assert n.normalize(once) == once
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                ["blood", "high", "pressure", "heart", "disease", "pain"]
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_permutation_invariant(self, words):
+        import itertools
+
+        n = TermNormalizer()
+        keys = {
+            n.normalize(" ".join(p))
+            for p in itertools.permutations(words)
+        }
+        assert len(keys) == 1
+
+    def test_candidates_start_with_primary(self):
+        n = TermNormalizer()
+        cands = n.normalize_candidates("high blood pressures")
+        assert cands[0] == n.normalize("high blood pressures")

@@ -1,0 +1,128 @@
+"""Ontology store tests: lookup, subsets, synonym stripping."""
+
+import pytest
+
+from repro.errors import OntologyError
+from repro.ontology import (
+    Concept,
+    OntologyStore,
+    SemanticType,
+    build_concepts,
+    default_ontology,
+)
+
+
+@pytest.fixture(scope="module")
+def store():
+    return default_ontology()
+
+
+class TestLookup:
+    def test_preferred_name_hit(self, store):
+        matches = store.lookup("cholecystectomy")
+        assert matches
+        assert matches[0].concept.preferred_name == "cholecystectomy"
+
+    def test_synonym_hit_maps_to_concept(self, store):
+        [match] = store.lookup("htn")
+        assert match.concept.preferred_name == "high blood pressure"
+
+    def test_inflected_surface_form(self, store):
+        matches = store.lookup("midline hernias")
+        names = {m.concept.preferred_name for m in matches}
+        assert "hernia" in names
+
+    def test_word_order_insensitive(self, store):
+        assert store.lookup("pressure blood high")
+
+    def test_miss_returns_empty(self, store):
+        assert store.lookup("flying purple turnip") == []
+
+    def test_contains(self, store):
+        assert "diabetes" in store
+        assert "zzzgarble" not in store
+
+    def test_paper_pmh_examples(self, store):
+        # Appendix record: "Significant for diabetes, heart disease,
+        # high blood pressure, hypercholesterolemia, bronchitis,
+        # arrhythmia, and depression."
+        for term in [
+            "diabetes", "heart disease", "high blood pressure",
+            "hypercholesterolemia", "bronchitis", "arrhythmia",
+            "depression", "postoperative cva", "cervical laminectomy",
+        ]:
+            assert store.lookup(term), term
+
+    def test_lookup_type_filters(self, store):
+        assert store.lookup_type(
+            "cholecystectomy", {SemanticType.PROCEDURE}
+        )
+        assert not store.lookup_type(
+            "cholecystectomy", {SemanticType.DISEASE}
+        )
+
+    def test_concept_by_cui(self, store):
+        c = store.concepts()[0]
+        assert store.concept(c.cui) is c
+
+    def test_unknown_cui_raises(self, store):
+        with pytest.raises(OntologyError):
+            store.concept("C9999999")
+
+
+class TestBuild:
+    def test_cuis_unique_and_wellformed(self):
+        concepts = build_concepts()
+        cuis = [c.cui for c in concepts]
+        assert len(cuis) == len(set(cuis))
+        assert all(c.cui.startswith("C") for c in concepts)
+
+    def test_vocabulary_size(self):
+        assert len(build_concepts()) >= 300
+
+    def test_duplicate_cui_rejected(self):
+        c = Concept("C0000001", "thing", SemanticType.FINDING)
+        with pytest.raises(OntologyError):
+            OntologyStore([c, c])
+
+    def test_malformed_cui_rejected(self):
+        with pytest.raises(ValueError):
+            Concept("X123", "thing", SemanticType.FINDING)
+
+    def test_deterministic_build(self):
+        a = [c.cui for c in build_concepts()]
+        b = [c.cui for c in build_concepts()]
+        assert a == b
+
+
+class TestDegradedCopies:
+    def test_subset_is_deterministic(self, store):
+        a = {c.cui for c in store.subset(0.5, seed=7).concepts()}
+        b = {c.cui for c in store.subset(0.5, seed=7).concepts()}
+        assert a == b
+
+    def test_subset_fraction_roughly_respected(self, store):
+        kept = len(store.subset(0.7, seed=1))
+        total = len(store)
+        assert 0.55 * total < kept < 0.85 * total
+
+    def test_subset_full_coverage_keeps_all(self, store):
+        assert len(store.subset(1.0)) == len(store)
+
+    def test_subset_zero_coverage_empty(self, store):
+        assert len(store.subset(0.0)) == 0
+
+    def test_subset_rejects_bad_fraction(self, store):
+        with pytest.raises(ValueError):
+            store.subset(1.5)
+
+    def test_without_synonyms_drops_synonym_lookup(self, store):
+        stripped = store.without_synonyms()
+        assert stripped.lookup("high blood pressure")
+        assert not stripped.lookup("htn")
+
+    def test_without_synonyms_targeted(self, store):
+        stripped = store.without_synonyms(for_names={"high blood pressure"})
+        assert not stripped.lookup("htn")
+        # Other concepts keep their synonyms.
+        assert stripped.lookup("gerd")

@@ -1,0 +1,132 @@
+"""Record model, section splitting and ASCII file round-trips."""
+
+import pytest
+
+from repro.errors import RecordFormatError
+from repro.records import (
+    PatientRecord,
+    Section,
+    canonical_section,
+    load_record,
+    load_records,
+    save_records,
+    split_record,
+)
+
+APPENDIX_EXCERPT = """Patient:  2
+
+Chief Complaint:  Abnormal mammogram.
+
+History of Present Illness:  Ms. 2 is a 50-year-old woman who underwent
+a screening mammogram. Her breast history is negative for any previous
+biopsies or masses.
+
+GYN History:  Menarche at age 10, gravida 4, para 3.
+
+Past Medical History:  Significant for diabetes, heart disease, high
+blood pressure, hypercholesterolemia, bronchitis, arrhythmia, and
+depression.
+
+Past Surgical History:  Cervical laminectomy.
+
+Social History:  Smoking history, 15 years.  Alcohol use, occasional.
+
+Vitals:  Blood pressure is 142/78, pulse of 96, and weight of 211.
+"""
+
+
+class TestSplitRecord:
+    def test_appendix_sections_found(self):
+        record = split_record(APPENDIX_EXCERPT)
+        names = record.section_names()
+        assert "Chief Complaint" in names
+        assert "Past Medical History" in names
+        assert "Vitals" in names
+
+    def test_patient_id_extracted(self):
+        assert split_record(APPENDIX_EXCERPT).patient_id == "2"
+
+    def test_section_text_is_body_only(self):
+        record = split_record(APPENDIX_EXCERPT)
+        vitals = record.section_text("Vitals")
+        assert vitals.startswith("Blood pressure is 142/78")
+        assert "Vitals" not in vitals
+
+    def test_multiline_section_body_joined(self):
+        record = split_record(APPENDIX_EXCERPT)
+        pmh = record.section_text("Past Medical History")
+        assert "arrhythmia" in pmh
+
+    def test_missing_section_returns_empty(self):
+        record = split_record(APPENDIX_EXCERPT)
+        assert record.section("Heart") is None
+        assert record.section_text("Heart") == ""
+
+    def test_unrecognized_text_rejected(self):
+        with pytest.raises(RecordFormatError):
+            split_record("just some prose with no headers at all")
+
+    def test_alias_headers_canonicalized(self):
+        record = split_record("PMH: diabetes.\nVital signs: pulse of 80.")
+        assert record.section("Past Medical History") is not None
+        assert record.section("Vitals") is not None
+
+    def test_non_section_colons_ignored(self):
+        # "BP: 142/78" inside a body must not start a new section.
+        record = split_record(
+            "Vitals: BP: 142/78 measured today.\nHeart: regular."
+        )
+        assert len(record.sections) == 2
+
+
+class TestCanonicalSection:
+    def test_case_insensitive(self):
+        assert canonical_section("SOCIAL HISTORY") == "Social History"
+
+    def test_unknown_returns_none(self):
+        assert canonical_section("Nonexistent Heading") is None
+
+
+class TestRender:
+    def test_render_roundtrips_through_split(self):
+        record = PatientRecord(
+            patient_id="7",
+            sections=[
+                Section("Patient", "7"),
+                Section("Vitals", "Blood pressure is 120/80."),
+                Section("Heart", "Regular."),
+            ],
+        )
+        reparsed = split_record(record.render())
+        assert reparsed.patient_id == "7"
+        assert reparsed.section_text("Vitals") == \
+            "Blood pressure is 120/80."
+
+
+class TestFiles:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        record = split_record(APPENDIX_EXCERPT)
+        record.raw_text = APPENDIX_EXCERPT
+        paths = save_records([record], tmp_path)
+        assert len(paths) == 1
+        loaded = load_record(paths[0])
+        assert loaded.patient_id == "2"
+        assert loaded.section_text("Vitals") == record.section_text(
+            "Vitals"
+        )
+
+    def test_load_records_sorted(self, tmp_path):
+        for pid in ["3", "1", "2"]:
+            record = PatientRecord(
+                patient_id=pid,
+                sections=[Section("Patient", pid),
+                          Section("Heart", "Regular.")],
+            )
+            save_records([record], tmp_path)
+        loaded = list(load_records(tmp_path))
+        assert [r.patient_id for r in loaded] == ["1", "2", "3"]
+
+    def test_bad_file_reports_name(self, tmp_path):
+        (tmp_path / "bad.txt").write_text("no headers here")
+        with pytest.raises(RecordFormatError, match="bad.txt"):
+            list(load_records(tmp_path))

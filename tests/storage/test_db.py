@@ -1,0 +1,110 @@
+"""Result store tests."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.extraction.numeric import Method, NumericExtraction
+from repro.extraction.pipeline import ExtractionResult
+from repro.storage import ResultStore
+
+
+@pytest.fixture
+def result():
+    return ExtractionResult(
+        patient_id="7",
+        numeric={
+            "pulse": NumericExtraction(
+                "pulse", 84.0, Method.LINKAGE, "pulse of 84"
+            ),
+            "blood_pressure": NumericExtraction(
+                "blood_pressure", (144.0, 90.0), Method.PATTERN,
+                "bp: 144/90",
+            ),
+            "weight": None,
+        },
+        terms={
+            "other_past_medical_history": ["gout", "migraine"],
+        },
+        categorical={"smoking": "former", "shape": None},
+    )
+
+
+@pytest.fixture
+def store(result):
+    s = ResultStore()
+    s.save(result)
+    return s
+
+
+class TestSaveLoad:
+    def test_patient_registered(self, store):
+        assert store.patients() == ["7"]
+
+    def test_scalar_numeric_roundtrip(self, store):
+        assert store.numeric_value("7", "pulse") == 84.0
+
+    def test_ratio_numeric_roundtrip(self, store):
+        assert store.numeric_value("7", "blood_pressure") == (
+            144.0, 90.0,
+        )
+
+    def test_missing_numeric_is_none(self, store):
+        assert store.numeric_value("7", "weight") is None
+
+    def test_terms_preserve_order(self, store):
+        assert store.terms("7", "other_past_medical_history") == [
+            "gout", "migraine",
+        ]
+
+    def test_categorical_roundtrip(self, store):
+        assert store.categorical_value("7", "smoking") == "former"
+        assert store.categorical_value("7", "shape") is None
+
+    def test_resave_replaces(self, store, result):
+        result.categorical["smoking"] = "never"
+        result.terms["other_past_medical_history"] = ["gout"]
+        store.save(result)
+        assert store.categorical_value("7", "smoking") == "never"
+        assert store.terms("7", "other_past_medical_history") == ["gout"]
+
+    def test_empty_patient_id_rejected(self):
+        with pytest.raises(StorageError):
+            ResultStore().save(ExtractionResult(patient_id=""))
+
+    def test_file_backed_store(self, tmp_path, result):
+        path = tmp_path / "results.db"
+        ResultStore(path).save(result)
+        reopened = ResultStore(path)
+        assert reopened.numeric_value("7", "pulse") == 84.0
+
+
+class TestAnalytics:
+    def test_label_distribution(self, store, result):
+        for pid, label in [("8", "never"), ("9", "never")]:
+            store.save(
+                ExtractionResult(
+                    patient_id=pid, categorical={"smoking": label}
+                )
+            )
+        assert store.label_distribution("smoking") == {
+            "former": 1, "never": 2,
+        }
+
+    def test_numeric_summary(self, store):
+        summary = store.numeric_summary("pulse")
+        assert summary == {
+            "min": 84.0, "mean": 84.0, "max": 84.0, "count": 1,
+        }
+
+    def test_numeric_summary_empty(self, store):
+        assert store.numeric_summary("temperature") is None
+
+    def test_term_frequencies(self, store):
+        freqs = store.term_frequencies("other_past_medical_history")
+        assert freqs == {"gout": 1, "migraine": 1}
+
+    def test_query_select_only(self, store):
+        rows = store.query("SELECT COUNT(*) FROM patients")
+        assert rows == [(1,)]
+        with pytest.raises(StorageError):
+            store.query("DELETE FROM patients")

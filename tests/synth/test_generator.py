@@ -1,0 +1,130 @@
+"""Synthetic generator tests: determinism, gold consistency, styles."""
+
+import pytest
+
+from repro.records import split_record
+from repro.synth import (
+    CohortSpec,
+    DictationStyle,
+    RecordGenerator,
+)
+
+
+@pytest.fixture(scope="module")
+def cohort():
+    generator = RecordGenerator(seed=11)
+    return generator.generate_cohort(CohortSpec.paper())
+
+
+class TestCohort:
+    def test_cohort_size(self, cohort):
+        records, golds = cohort
+        assert len(records) == 50 and len(golds) == 50
+
+    def test_smoking_composition_matches_paper(self, cohort):
+        _, golds = cohort
+        labels = [g.categorical["smoking"] for g in golds]
+        assert labels.count("never") == 28
+        assert labels.count("current") == 12
+        assert labels.count("former") == 5
+        assert labels.count(None) == 5
+
+    def test_gold_complete_for_every_record(self, cohort):
+        _, golds = cohort
+        assert all(g.complete() for g in golds)
+
+    def test_patient_ids_unique(self, cohort):
+        records, _ = cohort
+        ids = [r.patient_id for r in records]
+        assert len(set(ids)) == 50
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ValueError):
+            CohortSpec(size=10, smoking_counts={"never": 3})
+
+
+class TestDeterminism:
+    def test_same_seed_same_records(self):
+        a = RecordGenerator(seed=5).generate("1")[0].raw_text
+        b = RecordGenerator(seed=5).generate("1")[0].raw_text
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = RecordGenerator(seed=5).generate("1")[0].raw_text
+        b = RecordGenerator(seed=6).generate("1")[0].raw_text
+        assert a != b
+
+
+class TestRecordContent:
+    def test_record_reparses(self, cohort):
+        records, _ = cohort
+        for record in records[:10]:
+            reparsed = split_record(record.raw_text)
+            assert reparsed.patient_id == record.patient_id
+            assert "Vitals" in reparsed.section_names()
+
+    def test_gold_numbers_appear_in_text(self, cohort):
+        records, golds = cohort
+        for record, gold in zip(records, golds):
+            vitals = record.section_text("Vitals")
+            sys, dia = gold.numeric["blood_pressure"]
+            assert f"{int(sys)}/{int(dia)}" in vitals
+            assert str(int(gold.numeric["pulse"])) in vitals
+
+    def test_smoking_sentence_omitted_when_missing(self, cohort):
+        records, golds = cohort
+        for record, gold in zip(records, golds):
+            social = record.section_text("Social History").lower()
+            if gold.categorical["smoking"] is None:
+                assert "smok" not in social
+                assert "tobacco" not in social
+
+    def test_gold_age_in_hpi(self, cohort):
+        records, golds = cohort
+        for record, gold in zip(records, golds):
+            hpi = record.section_text("History of Present Illness")
+            assert str(int(gold.numeric["age"])) in hpi
+
+    def test_term_gold_nonempty_for_pmh(self, cohort):
+        _, golds = cohort
+        total = sum(
+            len(g.terms["other_past_medical_history"]) for g in golds
+        )
+        assert total >= 50  # at least one other condition per record
+
+
+class TestStyles:
+    def test_consistent_uses_standard_vitals_template(self):
+        generator = RecordGenerator(
+            style=DictationStyle.consistent(), seed=3
+        )
+        records, _ = generator.generate_cohort()
+        for record in records:
+            assert "Blood pressure is" in record.section_text("Vitals")
+
+    def test_varied_style_produces_fragments_sometimes(self):
+        generator = RecordGenerator(
+            style=DictationStyle.varied(1.0), seed=3
+        )
+        records, _ = generator.generate_cohort()
+        texts = [r.section_text("Vitals") for r in records]
+        assert any("BP:" in t or "Blood pressure:" in t for t in texts)
+
+    def test_varied_level_zero_equals_consistent_phrasing(self):
+        varied = DictationStyle.varied(0.0)
+        assert varied.variability == 0.0
+        assert varied.fragment_probability == 0.0
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            DictationStyle(name="bad", variability=1.5)
+
+    def test_word_numbers_appear_at_high_variability(self):
+        generator = RecordGenerator(
+            style=DictationStyle.varied(1.0), seed=9
+        )
+        records, _ = generator.generate_cohort()
+        gyn = " ".join(r.section_text("GYN History") for r in records)
+        assert any(
+            w in gyn for w in ["two", "three", "four", "five", "six"]
+        )

@@ -1,0 +1,108 @@
+"""Template pool sanity: every template renders with the generator's
+variable set, and class pools keep their separating vocabulary."""
+
+import re
+import string
+
+import pytest
+
+from repro.synth import templates as T
+
+_NUMERIC_VARS = {
+    "sys": 144, "dia": 90, "pulse": 84, "temp": 98.3, "weight": 154,
+    "pulse2": 91, "weight2": 170,
+    "menarche": 12, "gravida": 4, "para": 3,
+    "pid": "7", "age": 50, "finding": "a solid lesion",
+    "years_ago": 5, "pack_years": 20, "years": 15, "dx_age": 52,
+    "terms": "diabetes and gout", "terms_capitalized": "Diabetes",
+}
+
+
+def placeholders(template: str) -> set[str]:
+    return {
+        name
+        for _, name, _, _ in string.Formatter().parse(template)
+        if name
+    }
+
+
+def all_template_pools():
+    pools = []
+    for name in dir(T):
+        value = getattr(T, name)
+        if name.isupper() and isinstance(value, list):
+            pools.append((name, value))
+        elif name.isupper() and isinstance(value, dict):
+            for key, sub in value.items():
+                if isinstance(sub, list) and all(
+                    isinstance(s, str) for s in sub
+                ):
+                    pools.append((f"{name}[{key}]", sub))
+    return pools
+
+
+class TestTemplateIntegrity:
+    @pytest.mark.parametrize(
+        "pool_name,pool",
+        all_template_pools(),
+        ids=[n for n, _ in all_template_pools()],
+    )
+    def test_all_placeholders_known(self, pool_name, pool):
+        for template in pool:
+            unknown = placeholders(template) - set(_NUMERIC_VARS)
+            assert not unknown, f"{pool_name}: {unknown}"
+
+    @pytest.mark.parametrize(
+        "pool_name,pool",
+        all_template_pools(),
+        ids=[n for n, _ in all_template_pools()],
+    )
+    def test_all_templates_render(self, pool_name, pool):
+        for template in pool:
+            rendered = template.format(**_NUMERIC_VARS)
+            assert rendered.strip()
+            assert "{" not in rendered and "}" not in rendered
+
+    def test_vitals_standard_is_figure1_shape(self):
+        standard = T.VITALS_TEMPLATES[0].format(**_NUMERIC_VARS)
+        assert standard.startswith("Blood pressure is 144/90")
+        assert standard.endswith("pounds.")
+
+
+class TestClassSeparability:
+    """Each class pool must carry vocabulary the others lack —
+    otherwise the §5 classification task becomes unlearnable."""
+
+    def test_smoking_classes_have_distinct_signals(self):
+        text = {
+            label: " ".join(pool).lower()
+            for label, pool in T.SMOKING_TEMPLATES.items()
+        }
+        assert "quit" in text["former"]
+        assert "quit" not in text["current"]
+        assert "never" in text["never"]
+        assert "current" in text["current"]
+
+    def test_alcohol_numeric_classes_contain_numbers(self):
+        low = " ".join(T.ALCOHOL_TEMPLATES["one_two_per_week"])
+        high = " ".join(T.ALCOHOL_TEMPLATES["over_two_per_week"])
+        low_numbers = {int(n) for n in re.findall(r"\d+", low)}
+        high_numbers = {int(n) for n in re.findall(r"\d+", high)}
+        assert max(low_numbers) <= 2
+        assert min(high_numbers) >= 3
+
+    def test_shape_classes_contain_label_words(self):
+        for label in ("thin", "overweight", "obese"):
+            joined = " ".join(T.SHAPE_TEMPLATES[label]).lower()
+            assert label in joined
+
+    def test_every_class_pool_nonempty(self):
+        for pools in (
+            T.SMOKING_TEMPLATES, T.ALCOHOL_TEMPLATES, T.DRUG_TEMPLATES,
+            T.EXERCISE_TEMPLATES, T.SHAPE_TEMPLATES,
+            T.MENOPAUSE_TEMPLATES, T.HRT_TEMPLATES, T.BIOPSY_TEMPLATES,
+            T.MAMMOGRAM_TEMPLATES, T.FAMILY_HISTORY_TEMPLATES,
+            T.BREAST_PAIN_TEMPLATES, T.DISCHARGE_TEMPLATES,
+        ):
+            for label, pool in pools.items():
+                assert pool, label

@@ -1,0 +1,96 @@
+"""Corpus validator tests — and the corpus's own validation."""
+
+import pytest
+
+from repro.records import PatientRecord, Section
+from repro.synth import CohortSpec, DictationStyle, RecordGenerator
+from repro.synth.validator import (
+    validate_cohort,
+    validate_pair,
+)
+
+
+class TestCorpusIsValid:
+    def test_consistent_cohort_has_no_violations(self):
+        records, golds = RecordGenerator(seed=42).generate_cohort(
+            CohortSpec(
+                size=15,
+                smoking_counts={
+                    "never": 8, "current": 4, "former": 2, None: 1,
+                },
+            )
+        )
+        assert validate_cohort(records, golds) == []
+
+    def test_varied_cohort_has_no_violations(self):
+        records, golds = RecordGenerator(
+            style=DictationStyle.varied(1.0), seed=7
+        ).generate_cohort(
+            CohortSpec(
+                size=15,
+                smoking_counts={
+                    "never": 8, "current": 4, "former": 2, None: 1,
+                },
+            )
+        )
+        assert validate_cohort(records, golds) == []
+
+
+class TestViolationDetection:
+    @pytest.fixture
+    def pair(self):
+        return RecordGenerator(seed=3).generate("5")
+
+    def test_mismatched_ids_detected(self, pair):
+        record, gold = pair
+        gold.patient_id = "999"
+        violations = validate_pair(record, gold)
+        assert any(v.attribute == "patient_id" for v in violations)
+
+    def test_wrong_numeric_value_detected(self, pair):
+        record, gold = pair
+        gold.numeric["pulse"] = 999.0
+        violations = validate_pair(record, gold)
+        assert any(v.attribute == "pulse" for v in violations)
+
+    def test_missing_section_detected(self, pair):
+        record, gold = pair
+        record.sections = [
+            s for s in record.sections if s.name != "Vitals"
+        ]
+        violations = validate_pair(record, gold)
+        assert any("missing" in v.message for v in violations)
+
+    def test_unknown_gold_term_detected(self, pair):
+        record, gold = pair
+        gold.terms["other_past_medical_history"].append(
+            "made-up disease"
+        )
+        violations = validate_pair(record, gold)
+        assert any("not in vocabulary" in v.message for v in violations)
+
+    def test_undictated_term_detected(self, pair):
+        record, gold = pair
+        gold.terms["other_past_medical_history"].append("gout")
+        violations = validate_pair(record, gold)
+        # gout is a real concept but was not dictated in this record
+        # (extremely unlikely to collide at seed 3).
+        assert any(
+            "no surface" in v.message or "gout" in v.message
+            for v in violations
+        )
+
+    def test_bad_label_detected(self, pair):
+        record, gold = pair
+        gold.categorical["smoking"] = "sometimes"
+        violations = validate_pair(record, gold)
+        assert any(v.attribute == "smoking" for v in violations)
+
+    def test_violation_str_readable(self, pair):
+        record, gold = pair
+        gold.categorical["smoking"] = "sometimes"
+        [violation] = [
+            v for v in validate_pair(record, gold)
+            if v.attribute == "smoking"
+        ]
+        assert "sometimes" in str(violation)

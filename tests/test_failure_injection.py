@@ -1,0 +1,136 @@
+"""Failure injection: malformed, hostile, and degenerate inputs.
+
+The library must degrade gracefully (empty results, typed errors) —
+never crash with untyped exceptions — on inputs a real clinic would
+eventually produce.
+"""
+
+import pytest
+
+from repro import (
+    ParseFailure,
+    RecordExtractor,
+    RecordFormatError,
+    analyze,
+    split_record,
+)
+from repro.extraction import NumericExtractor, TermExtractor, attribute
+from repro.extraction.categorical import SentenceFeatureExtractor
+from repro.linkgrammar import LinkGrammarParser
+from repro.records import PatientRecord, Section
+
+
+class TestHostileText:
+    CASES = [
+        "",
+        " \n\t ",
+        "." * 50,
+        "1/2/3/4/5",
+        "////////",
+        "((((((((",
+        "a" * 500,
+        "\x00\x01 binary junk \xff",
+        "🩺 unicode clinical note ❤️",
+        "Blood pressure is 144/90" * 10,
+    ]
+
+    @pytest.mark.parametrize("text", CASES, ids=lambda t: repr(t[:12]))
+    def test_analyze_never_crashes(self, text):
+        document = analyze(text)
+        assert document.text == text
+
+    @pytest.mark.parametrize("text", CASES, ids=lambda t: repr(t[:12]))
+    def test_numeric_extractor_never_crashes(self, text):
+        extractor = NumericExtractor()
+        extractor.extract_attribute(attribute("pulse"), text)
+
+    @pytest.mark.parametrize("text", CASES, ids=lambda t: repr(t[:12]))
+    def test_term_extractor_never_crashes(self, text):
+        TermExtractor().extract_terms(text)
+
+    @pytest.mark.parametrize("text", CASES, ids=lambda t: repr(t[:12]))
+    def test_feature_extractor_never_crashes(self, text):
+        SentenceFeatureExtractor().extract(text)
+
+
+class TestDegenerateRecords:
+    def test_record_with_empty_sections(self):
+        record = PatientRecord(
+            patient_id="1",
+            sections=[
+                Section("Vitals", ""),
+                Section("Social History", "   "),
+            ],
+        )
+        out = RecordExtractor().extract(record)
+        assert all(v is None for v in out.numeric.values())
+
+    def test_record_with_no_sections(self):
+        record = PatientRecord(patient_id="1", sections=[])
+        out = RecordExtractor().extract(record)
+        assert out.patient_id == "1"
+        assert all(not terms for terms in out.terms.values())
+
+    def test_split_rejects_empty_text(self):
+        with pytest.raises(RecordFormatError):
+            split_record("")
+
+    def test_split_tolerates_duplicate_headers(self):
+        record = split_record(
+            "Vitals: pulse of 80.\nVitals: pulse of 90."
+        )
+        assert len(record.sections) == 2
+        # section() returns the first.
+        assert "80" in record.section_text("Vitals")
+
+    def test_header_like_body_lines(self):
+        # A line starting "Deep Tendon:" is not a known header.
+        record = split_record(
+            "Vitals: pulse of 80.\nDeep Tendon: reflexes normal."
+        )
+        assert len(record.sections) == 1
+        assert "Deep Tendon" in record.section_text("Vitals")
+
+
+class TestParserLimits:
+    def test_very_long_sentence_rejected_cleanly(self):
+        parser = LinkGrammarParser(max_words=10)
+        with pytest.raises(ParseFailure):
+            parser.parse(["she", "is"] + ["very"] * 20 + ["old"])
+
+    def test_contradictory_numbers_out_of_range(self):
+        # Plausibility guard: a pulse of 9000 is rejected, not stored.
+        extractor = NumericExtractor()
+        got = extractor.extract_attribute(
+            attribute("pulse"), "Pulse of 9000."
+        )
+        assert got is None
+
+    def test_negative_like_readings(self):
+        extractor = NumericExtractor()
+        got = extractor.extract_attribute(
+            attribute("temperature"), "Temperature of 12."
+        )
+        assert got is None
+
+
+class TestMixedContent:
+    def test_numbers_inside_words_not_extracted(self):
+        extractor = NumericExtractor()
+        got = extractor.extract_attribute(
+            attribute("pulse"), "Pulse oximetry waveform v2 normal."
+        )
+        # "2" of "v2" is not a free-standing number token.
+        assert got is None or got.value != 2.0
+
+    def test_term_extractor_ignores_numbers(self):
+        hits = TermExtractor().extract_terms("diabetes 123 456")
+        assert [h.concept_name for h in hits] == ["diabetes"]
+
+    def test_section_with_only_punctuation(self):
+        record = PatientRecord(
+            patient_id="1",
+            sections=[Section("Social History", "... --- ...")],
+        )
+        out = RecordExtractor().extract(record)
+        assert out.patient_id == "1"

@@ -1,0 +1,148 @@
+"""Golden-output matrices over full clinical sentences.
+
+These freeze the behaviour of the tagger, parser, term extractor and
+numeric extractor on a broad set of realistic dictations.  A change
+that silently shifts any of these outputs fails here with the exact
+sentence named.
+"""
+
+import pytest
+
+from repro.errors import ParseFailure
+from repro.extraction import NumericExtractor, TermExtractor, attribute
+from repro.linkgrammar import LinkGrammarParser
+from repro.nlp import analyze
+
+# sentence -> {word: expected tag} (spot checks, not exhaustive)
+TAGGER_GOLD = [
+    ("She was seen in the office today.",
+     {"She": "PRP", "was": "VBD", "seen": "VBN", "office": "NN"}),
+    ("Mammogram reveals scattered calcifications bilaterally.",
+     {"reveals": "VBZ", "calcifications": "NNS",
+      "bilaterally": "RB"}),
+    ("She denies fevers, chills, or night sweats.",
+     {"denies": "VBZ", "chills": "NNS", "or": "CC"}),
+    ("Patient underwent lumpectomy with sentinel node biopsy.",
+     {"underwent": "VBD", "lumpectomy": "NN", "biopsy": "NN"}),
+    ("No palpable axillary adenopathy was appreciated.",
+     {"No": "DT", "palpable": "JJ", "adenopathy": "NN",
+      "appreciated": "VBN"}),
+    ("Family history is remarkable for ovarian cancer.",
+     {"history": "NN", "remarkable": "JJ", "ovarian": "JJ",
+      "cancer": "NN"}),
+    ("She has been taking tamoxifen for five years.",
+     {"been": "VBN", "taking": "VBG", "five": "CD", "years": "NNS"}),
+    ("The lesion measures 2 cm in greatest dimension.",
+     {"lesion": "NN", "measures": "VBZ", "2": "CD"}),
+    ("She is gravida 4, para 3.",
+     {"gravida": "NN", "4": "CD", "para": "NN", "3": "CD"}),
+    ("Breathing issues are related to COPD, smoking, and diabetes.",
+     {"issues": "NNS", "are": "VBP", "COPD": "NN",
+      "diabetes": "NN"}),
+]
+
+
+@pytest.mark.parametrize(
+    "sentence,expected", TAGGER_GOLD, ids=[s[:28] for s, _ in TAGGER_GOLD]
+)
+def test_tagger_golden(sentence, expected):
+    document = analyze(sentence)
+    tags = {
+        document.span_text(t): t.features["pos"]
+        for t in document.tokens()
+    }
+    for word, tag in expected.items():
+        assert tags[word] == tag, f"{word}: {tags[word]} != {tag}"
+
+
+# sentence -> links that must be present in the best linkage
+PARSER_GOLD = [
+    ("she denies breast pain .",
+     {("she", "denies", "Ss"), ("denies", "pain", "O"),
+      ("breast", "pain", "A")}),
+    ("she drinks two beers per week .",
+     {("drinks", "beers", "O"), ("two", "beers", "Dn"),
+      ("per", "week", "J")}),
+    ("the patient quit smoking .",
+     {("the", "patient", "D"), ("patient", "quit", "Ss"),
+      ("quit", "smoking", "O")}),
+    ("weight of 154 pounds .",
+     {("weight", "of", "M"), ("of", "pounds", "J"),
+      ("154", "pounds", "Dn")}),
+    ("she has never smoked cigarettes .",
+     {("has", "smoked", "PP"), ("never", "smoked", "E"),
+      ("smoked", "cigarettes", "O")}),
+    ("menarche at age 13 .",
+     {("menarche", "at", "M"), ("at", "age", "J"),
+      ("age", "13", "NM")}),
+]
+
+
+@pytest.mark.parametrize(
+    "sentence,required",
+    PARSER_GOLD,
+    ids=[s[:28] for s, _ in PARSER_GOLD],
+)
+def test_parser_golden(sentence, required):
+    linkage = LinkGrammarParser(max_linkages=8).parse_one(
+        sentence.split()
+    )
+    links = {
+        (linkage.words[l.left], linkage.words[l.right], l.label)
+        for l in linkage.links
+    }
+    missing = required - links
+    assert not missing, f"missing {missing}; got {sorted(links)}"
+
+
+# (attribute, text) -> expected extracted value
+NUMERIC_GOLD = [
+    ("pulse", "Pulse of 84.", 84.0),
+    ("pulse", "Pulse is 92 and regular.", 92.0),
+    ("pulse", "Heart rate 101.", 101.0),
+    ("weight", "Weight of 154 pounds.", 154.0),
+    ("weight", "She weighs 203 pounds.", 203.0),
+    ("temperature", "Temperature of 98.3.", 98.3),
+    ("temperature", "Temp: 99.1.", 99.1),
+    ("blood_pressure", "Blood pressure is 144/90.", (144.0, 90.0)),
+    ("blood_pressure", "BP 118/72.", (118.0, 72.0)),
+    ("menarche_age", "Menarche at age 11.", 11.0),
+    ("gravida", "Gravida 5, para 2.", 5.0),
+    ("para", "Gravida 5, para 2.", 2.0),
+    ("age", "This is a 63-year-old woman.", 63.0),
+]
+
+
+@pytest.mark.parametrize(
+    "name,text,expected",
+    NUMERIC_GOLD,
+    ids=[f"{n}:{t[:20]}" for n, t, _ in NUMERIC_GOLD],
+)
+def test_numeric_golden(name, text, expected):
+    extractor = NumericExtractor()
+    got = extractor.extract_attribute(attribute(name), text)
+    assert got is not None, text
+    assert got.value == expected
+
+
+# text -> expected concept names, in order
+TERMS_GOLD = [
+    ("Significant for diabetes and gout.", ["diabetes", "gout"]),
+    ("Status post cholecystectomy and appendectomy.",
+     ["cholecystectomy", "appendectomy"]),
+    ("History of deep venous thrombosis.",
+     ["deep venous thrombosis"]),
+    ("Known gastroesophageal reflux disease and hiatal hernia.",
+     ["gastroesophageal reflux disease", "hiatal hernia"]),
+    ("She had a total knee replacement.", ["knee replacement"]),
+    ("Past history of rheumatoid arthritis.",
+     ["rheumatoid arthritis"]),
+]
+
+
+@pytest.mark.parametrize(
+    "text,expected", TERMS_GOLD, ids=[t[:28] for t, _ in TERMS_GOLD]
+)
+def test_terms_golden(text, expected):
+    hits = TermExtractor().extract_terms(text)
+    assert [h.concept_name for h in hits] == expected

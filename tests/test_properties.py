@@ -1,0 +1,165 @@
+"""Cross-cutting property-based tests over the core invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extraction import TermExtractor
+from repro.linkgrammar import LinkGrammarParser
+from repro.errors import ParseFailure
+from repro.nlp import analyze
+from repro.ontology import build_concepts, default_ontology
+
+# ------------------------------------------------------------ ontology
+
+ALL_CONCEPTS = build_concepts()
+
+
+class TestOntologyCompleteness:
+    """Every name the vocabulary ships must be findable again."""
+
+    @pytest.mark.parametrize(
+        "concept",
+        ALL_CONCEPTS,
+        ids=lambda c: c.preferred_name,
+    )
+    def test_every_name_lookupable(self, concept):
+        store = default_ontology()
+        for name in concept.all_names():
+            matches = store.lookup(name)
+            assert any(
+                m.concept.cui == concept.cui for m in matches
+            ), f"{name!r} does not resolve to {concept.cui}"
+
+
+# ----------------------------------------------------- term extraction
+
+@st.composite
+def term_sentences(draw):
+    """'Significant for X, Y, and Z.' over known disease names."""
+    names = draw(
+        st.lists(
+            st.sampled_from(
+                [
+                    "diabetes", "asthma", "gout", "migraine",
+                    "hypertension", "bronchitis", "arrhythmia",
+                    "depression", "anemia", "psoriasis",
+                ]
+            ),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        )
+    )
+    if len(names) == 1:
+        joined = names[0]
+    else:
+        joined = ", ".join(names[:-1]) + f", and {names[-1]}"
+    return f"Significant for {joined}.", names
+
+
+class TestTermExtractionProperties:
+    @given(term_sentences())
+    @settings(max_examples=30, deadline=None)
+    def test_known_single_word_terms_all_found(self, case):
+        sentence, names = case
+        extractor = TermExtractor()
+        hits = extractor.extract_terms(sentence)
+        surfaces = {h.surface.lower() for h in hits}
+        for name in names:
+            assert name in surfaces or any(
+                name in s for s in surfaces
+            )
+
+    @given(term_sentences())
+    @settings(max_examples=20, deadline=None)
+    def test_hit_spans_never_overlap(self, case):
+        sentence, _ = case
+        hits = TermExtractor().extract_terms(sentence)
+        for a, b in zip(hits, hits[1:]):
+            assert a.end_token <= b.start_token
+
+
+# --------------------------------------------------------- link parser
+
+@st.composite
+def simple_sentences(draw):
+    subject = draw(st.sampled_from(["she", "he", "the patient"]))
+    verb = draw(st.sampled_from(["denies", "reports", "notes"]))
+    obj = draw(
+        st.sampled_from(
+            ["pain", "alcohol use", "breast pain", "a mass",
+             "nipple discharge"]
+        )
+    )
+    return f"{subject} {verb} {obj} .".split()
+
+
+class TestParserProperties:
+    @given(simple_sentences())
+    @settings(max_examples=30, deadline=None)
+    def test_generated_svo_sentences_parse(self, words):
+        linkages = LinkGrammarParser().parse(words)
+        assert linkages
+
+    @given(simple_sentences())
+    @settings(max_examples=20, deadline=None)
+    def test_every_linkage_planar_connected_exclusive(self, words):
+        for linkage in LinkGrammarParser().parse(words):
+            assert linkage.is_planar()
+            assert linkage.is_connected()
+            pairs = [(l.left, l.right) for l in linkage.links]
+            assert len(pairs) == len(set(pairs))
+
+    @given(simple_sentences())
+    @settings(max_examples=15, deadline=None)
+    def test_every_word_has_a_link(self, words):
+        linkage = LinkGrammarParser().parse_one(words)
+        linked = {
+            i for l in linkage.links for i in (l.left, l.right)
+        }
+        # Every non-stripped word participates in the linkage.
+        expected = {
+            i for i, t in enumerate(linkage.token_map) if t is not None
+        } | {0}
+        assert linked == expected
+
+    @given(st.lists(st.sampled_from(["zzz", "qqq", ":", "%"]),
+                    min_size=1, max_size=5))
+    @settings(max_examples=20, deadline=None)
+    def test_garbage_never_crashes(self, words):
+        parser = LinkGrammarParser()
+        try:
+            parser.parse(words)
+        except ParseFailure:
+            pass  # expected for garbage
+
+
+# ------------------------------------------------------------ pipeline
+
+class TestPipelineProperties:
+    @given(st.text(max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_analyze_total_on_arbitrary_text(self, text):
+        document = analyze(text)
+        # Tokens nest in sentences; numbers nest in tokens' span range.
+        for sentence in document.sentences():
+            assert sentence.start <= sentence.end
+        token_count = sum(
+            len(document.tokens(s)) for s in document.sentences()
+        )
+        assert token_count == len(document.tokens())
+
+    @given(
+        st.lists(
+            st.integers(0, 400).map(str),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_all_digit_tokens_become_numbers(self, numbers):
+        text = "Counts of " + ", ".join(numbers) + "."
+        document = analyze(text)
+        values = [n.features["value"] for n in document.numbers()]
+        assert values == [float(n) for n in numbers]

@@ -1,12 +1,15 @@
 """FIG2 — the Figure 2 system architecture, end to end.
 
 Record files → section split → NLP → three extractors → result
-database, measured as throughput over the cohort.
+database, driven by the corpus runner: once through the serial
+reference path and once fanned out over worker processes, asserting
+the two runs fill identical cells.
 """
 
 from conftest import print_table
 
 from repro import RecordExtractor, ResultStore, split_record
+from repro.runtime import CorpusRunner
 
 
 def test_full_pipeline_throughput(benchmark, small_cohort):
@@ -17,13 +20,19 @@ def test_full_pipeline_throughput(benchmark, small_cohort):
     def run():
         store = ResultStore()
         reparsed = [split_record(r.raw_text) for r in records]
-        results = extractor.extract_all(reparsed)
-        store.save_all(results)
-        return store, results
+        serial = CorpusRunner(extractor, workers=1)
+        results = serial.run(reparsed)
+        store.store_many(results)
+        parallel = CorpusRunner(extractor, workers=2)
+        parallel_results = parallel.run(reparsed)
+        return store, results, serial, parallel, parallel_results
 
-    store, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    store, results, serial, parallel, parallel_results = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
 
     assert len(store.patients()) == len(records)
+    assert parallel_results == results  # fan-out is exact
     filled_numeric = sum(
         1
         for result in results
@@ -45,6 +54,14 @@ def test_full_pipeline_throughput(benchmark, small_cohort):
                 for v in r.categorical.values()
                 if v is not None
             )),
+        ],
+    )
+    print_table(
+        "Serial vs parallel throughput",
+        ["configuration", "records/s"],
+        [
+            ("serial", f"{serial.throughput():.1f}"),
+            ("workers=2", f"{parallel.throughput():.1f}"),
         ],
     )
     assert filled_numeric == 8 * len(records)

@@ -3,19 +3,36 @@
 "Means to systematically examine patient charts will provide a method
 for clinicians to examine a significantly larger set of cases."
 Manual chart review is "infinitely time-consuming"; the system's value
-is linear-time throughput.  This bench measures records/second across
-cohort sizes and checks the pipeline scales linearly (no accidental
-quadratic behaviour in the NLP or parser layers).
+is corpus-scale throughput.  This bench measures three engine
+configurations over a 200-record consistent-style cohort:
+
+* **seed** — the pre-engine hot path: per-attribute NLP re-processing,
+  per-record parse cache, no pruning statistics (timed on a slice and
+  reported as a rate; the cost per record is constant by construction);
+* **serial** — the CorpusRunner's ``workers=1`` path with the shared
+  document cache, the cross-record linkage cache, and parser pruning;
+* **parallel** — the same engine fanned out with ``workers=4``.
+
+It also checks the pipeline scales linearly (no accidental quadratic
+behaviour) and dumps one ``BENCH_scaling.json`` artifact so the perf
+trajectory is machine-readable across PRs.
 """
 
+import json
 import time
+from pathlib import Path
 
 from conftest import print_table
 
-from repro.extraction import NumericExtractor, TermExtractor
+from repro.extraction import NumericExtractor, RecordExtractor, TermExtractor
+from repro.runtime import CorpusRunner
 from repro.synth import CohortSpec, RecordGenerator
 
-SIZES = (5, 10, 20)
+SIZES = (10, 20, 40)
+CORPUS_SIZE = 200
+SEED_SLICE = 20  # seed-style emulation is ~30x slower; time a slice
+WORKERS = 4
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_scaling.json"
 
 
 def _cohort(size: int):
@@ -29,18 +46,33 @@ def _cohort(size: int):
     )
 
 
-def test_extraction_scales_linearly(benchmark):
-    numeric = NumericExtractor()
+def _seed_style_rate(records) -> float:
+    """Throughput of the pre-engine path: no shared documents, no
+    cross-record cache — every attribute re-runs the NLP pipeline and
+    every record re-parses its sentences from scratch."""
+    numeric = NumericExtractor(
+        linkage_cache=None  # fresh default cache, bounded per call
+    )
     terms = TermExtractor()
+    started = time.perf_counter()
+    for record in records:
+        numeric.linkage_cache.clear()  # emulate the per-record cache
+        for attr in numeric.attributes:
+            text = record.section_text(attr.section)
+            if text:
+                numeric.extract_attribute(attr, text)
+        terms.extract_record(record)
+    return len(records) / (time.perf_counter() - started)
 
+
+def test_extraction_scales_linearly(benchmark):
     def run():
         rows = []
+        runner = CorpusRunner(RecordExtractor())
         for size in SIZES:
             records, _ = _cohort(size)
             started = time.perf_counter()
-            for record in records:
-                numeric.extract_record(record)
-                terms.extract_record(record)
+            runner.run(records)
             elapsed = time.perf_counter() - started
             rows.append(
                 (size, f"{elapsed:.2f}s", f"{size / elapsed:.1f}",
@@ -59,3 +91,68 @@ def test_extraction_scales_linearly(benchmark):
     # allow 2x jitter for small samples.
     per_record = [row[3] / row[0] for row in rows]
     assert per_record[-1] <= per_record[0] * 2.0
+
+
+def test_corpus_engine_speedup(benchmark):
+    """Seed vs serial-engine vs parallel-engine on the 200-record
+    cohort; emits BENCH_scaling.json."""
+    records, _ = _cohort(CORPUS_SIZE)
+
+    def run():
+        seed_rate = _seed_style_rate(records[:SEED_SLICE])
+
+        serial = CorpusRunner(RecordExtractor(), workers=1)
+        serial.run(records)
+        serial_stats = serial.stats()
+
+        parallel = CorpusRunner(RecordExtractor(), workers=WORKERS)
+        parallel.run(records)
+        parallel_stats = parallel.stats()
+        return seed_rate, serial_stats, parallel_stats
+
+    seed_rate, serial_stats, parallel_stats = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    serial_rate = serial_stats["records_per_sec"]
+    parallel_rate = parallel_stats["records_per_sec"]
+    print_table(
+        f"Corpus engine ({CORPUS_SIZE} records, consistent style)",
+        ["configuration", "records/s", "vs seed"],
+        [
+            ("seed (per-attribute, no engine)", f"{seed_rate:.1f}",
+             "1.0x"),
+            ("engine serial", f"{serial_rate:.1f}",
+             f"{serial_rate / seed_rate:.1f}x"),
+            (f"engine workers={WORKERS}", f"{parallel_rate:.1f}",
+             f"{parallel_rate / seed_rate:.1f}x"),
+        ],
+    )
+    print_table(
+        "Engine internals (serial run)",
+        ["metric", "value"],
+        [
+            ("linkage cache hit rate",
+             f"{serial_stats['linkage_cache_hit_rate']:.1%}"),
+            ("prune ratio", f"{serial_stats['prune_ratio']:.1%}"),
+        ],
+    )
+
+    ARTIFACT.write_text(json.dumps(
+        {
+            "bench": "bench_scaling",
+            "corpus_size": CORPUS_SIZE,
+            "seed_records_per_sec": seed_rate,
+            "serial": serial_stats,
+            "parallel": parallel_stats,
+            "speedup_serial_vs_seed": serial_rate / seed_rate,
+            "speedup_parallel_vs_seed": parallel_rate / seed_rate,
+        },
+        indent=1,
+        sort_keys=True,
+    ))
+
+    # The acceptance bar: the engine at workers=4 must at least double
+    # the seed's serial throughput, and the cross-record cache must be
+    # earning its keep on a consistent-style cohort.
+    assert parallel_rate >= 2.0 * seed_rate
+    assert serial_stats["linkage_cache_hit_rate"] > 0.0

@@ -45,6 +45,7 @@ from repro.records import (
     save_records,
     split_record,
 )
+from repro.runtime import CorpusRunner
 from repro.storage import ResultStore
 from repro.synth import (
     CohortSpec,
@@ -84,6 +85,7 @@ __all__ = [
     "load_records",
     "save_records",
     "split_record",
+    "CorpusRunner",
     "ResultStore",
     "CohortSpec",
     "DictationStyle",

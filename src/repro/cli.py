@@ -34,10 +34,20 @@ from repro.extraction.pipeline import RecordExtractor
 from repro.linkgrammar.parser import LinkGrammarParser
 from repro.nlp.pipeline import analyze
 from repro.records.loader import load_records, save_records
+from repro.runtime.runner import CorpusRunner
 from repro.storage.db import ResultStore
 from repro.synth.generator import CohortSpec, RecordGenerator
 from repro.synth.gold import GoldAnnotations
 from repro.synth.styles import DictationStyle
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,6 +90,21 @@ def build_parser() -> argparse.ArgumentParser:
     extract.add_argument(
         "--csv", type=Path, default=None,
         help="also export one wide CSV row per patient",
+    )
+    extract.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="worker processes for extraction (1 = serial, the "
+             "deterministic default)",
+    )
+    extract.add_argument(
+        "--chunk-size", type=_positive_int, default=None,
+        help="records per parallel work unit (default: cohort split "
+             "into ~4 chunks per worker)",
+    )
+    extract.add_argument(
+        "--stats", action="store_true",
+        help="print engine metrics after extraction: records/sec, "
+             "parse-cache hit rate, prune ratio",
     )
 
     parse_cmd = sub.add_parser(
@@ -165,8 +190,13 @@ def _cmd_extract(args: argparse.Namespace) -> int:
             extractor.save_models(args.models)
             print(f"saved categorical models to {args.models}")
     store = ResultStore(args.db)
-    results = extractor.extract_all(records)
-    store.save_all(results)
+    runner = CorpusRunner(
+        extractor,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+    )
+    results = runner.run(records)
+    store.store_many(results)
     if args.csv is not None:
         store.export_csv(args.csv)
         print(f"exported CSV to {args.csv}")
@@ -178,6 +208,18 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         f"({filled} numeric cells, categorical "
         f"{'on' if extractor.categorical else 'off'})"
     )
+    if args.stats:
+        stats = runner.stats()
+        print(
+            f"throughput: {stats['records_per_sec']:.2f} records/s "
+            f"({stats['records']} records in "
+            f"{stats['extract_seconds']:.2f}s, "
+            f"workers={stats['workers']})"
+        )
+        print(
+            f"parse cache: {stats['linkage_cache_hit_rate']:.1%} hit "
+            f"rate; prune ratio: {stats['prune_ratio']:.1%}"
+        )
     return 0
 
 

@@ -30,6 +30,7 @@ from repro.ml.id3 import ID3Classifier
 from repro.morphology.lemmatizer import Lemmatizer
 from repro.nlp.pipeline import Pipeline, default_pipeline
 from repro.records.model import PatientRecord
+from repro.runtime.cache import DocumentCache, LinkageCache
 
 #: POS-class name → Penn tag prefixes.
 _POS_CLASSES: dict[str, tuple[str, ...]] = {
@@ -73,16 +74,26 @@ class SentenceFeatureExtractor:
         pipeline: Pipeline | None = None,
         parser: LinkGrammarParser | None = None,
         lemmatizer: Lemmatizer | None = None,
+        document_cache: DocumentCache | None = None,
+        linkage_cache: LinkageCache | None = None,
     ) -> None:
         self.options = options or FeatureOptions()
+        self.document_cache = document_cache
+        if pipeline is None and document_cache is not None:
+            pipeline = document_cache.pipeline
         self.pipeline = pipeline or default_pipeline()
         self.parser = parser or LinkGrammarParser(max_linkages=1)
         self.lemmatizer = lemmatizer or Lemmatizer()
+        self.linkage_cache = linkage_cache
 
     def extract(self, text: str) -> frozenset[str]:
         """Feature set of *text* (all sentences pooled)."""
         opts = self.options
-        document = self.pipeline.process_text(text)
+        document = (
+            self.document_cache.get(text)
+            if self.document_cache is not None
+            else self.pipeline.process_text(text)
+        )
         features: set[str] = set()
         for sentence in document.sentences():
             tokens = document.tokens(sentence)
@@ -128,10 +139,15 @@ class SentenceFeatureExtractor:
             return all_indices
         words = [document.span_text(t).lower() for t in tokens]
         tags = [t.features.get("pos", "NN") for t in tokens]
-        try:
-            linkage = self.parser.parse_one(words, tags)
-        except ParseFailure:
-            return all_indices
+        if self.linkage_cache is not None:
+            linkage = self.linkage_cache.lookup(self.parser, words, tags)
+            if linkage is None:
+                return all_indices
+        else:
+            try:
+                linkage = self.parser.parse_one(words, tags)
+            except ParseFailure:
+                return all_indices
         pos_to_token = {
             pos: tok_idx
             for pos, tok_idx in enumerate(linkage.token_map)
@@ -158,13 +174,19 @@ class CategoricalClassifier:
         options: FeatureOptions | None = None,
         extractor: SentenceFeatureExtractor | None = None,
         max_depth: int | None = None,
+        document_cache: DocumentCache | None = None,
+        linkage_cache: LinkageCache | None = None,
     ) -> None:
         self.attribute = attribute
         if options is None:
             options = FeatureOptions(
                 numeric_thresholds=attribute.numeric_thresholds
             )
-        self.extractor = extractor or SentenceFeatureExtractor(options)
+        self.extractor = extractor or SentenceFeatureExtractor(
+            options,
+            document_cache=document_cache,
+            linkage_cache=linkage_cache,
+        )
         self.max_depth = max_depth
         self._id3: ID3Classifier | None = None
 

@@ -23,7 +23,6 @@ import re
 from dataclasses import dataclass
 from enum import Enum
 
-from repro.errors import ParseFailure
 from repro.extraction.features import FeatureLexicon, FeatureMention
 from repro.extraction.schema import (
     NUMERIC_ATTRIBUTES,
@@ -35,6 +34,7 @@ from repro.linkgrammar.parser import LinkGrammarParser
 from repro.nlp.document import Annotation, Document
 from repro.nlp.pipeline import Pipeline, default_pipeline
 from repro.records.model import PatientRecord
+from repro.runtime.cache import DocumentCache, LinkageCache
 
 #: Words the patterns allow between the feature and its number.
 _PATTERN_GAP_WORDS = frozenset(
@@ -121,9 +121,14 @@ class NumericExtractor:
         use_linkage: bool = True,
         use_patterns: bool = True,
         use_proximity: bool = True,
+        document_cache: DocumentCache | None = None,
+        linkage_cache: LinkageCache | None = None,
     ) -> None:
         self.attributes = attributes
         self.parser = parser or LinkGrammarParser()
+        self.document_cache = document_cache
+        if pipeline is None and document_cache is not None:
+            pipeline = document_cache.pipeline
         self.pipeline = pipeline or default_pipeline()
         self.use_linkage = use_linkage
         self.use_patterns = use_patterns
@@ -131,27 +136,49 @@ class NumericExtractor:
         self._lexicons = {
             attr.name: FeatureLexicon(attr) for attr in attributes
         }
-        self._linkage_cache: dict[str, Linkage | None] = {}
+        # Cross-record parse cache: keyed by the dictionary-resolution
+        # signature of the token sequence, so it is never invalidated
+        # between records (consistent dictation styles repeat sentence
+        # shapes across a whole cohort).
+        self.linkage_cache = linkage_cache or LinkageCache()
 
     # ------------------------------------------------------------ public
 
     def extract_record(
         self, record: PatientRecord
     ) -> dict[str, NumericExtraction | None]:
-        """All numeric attributes of one record (None when absent)."""
-        self._linkage_cache.clear()
+        """All numeric attributes of one record (None when absent).
+
+        Each distinct section is run through the NLP pipeline once and
+        the resulting document shared by every attribute reading it
+        (the eight numeric attributes span only three sections).
+        """
         results: dict[str, NumericExtraction | None] = {}
+        documents: dict[str, Document] = {}
         for attr in self.attributes:
             text = record.section_text(attr.section)
-            results[attr.name] = (
-                self.extract_attribute(attr, text) if text else None
+            if not text:
+                results[attr.name] = None
+                continue
+            if attr.section not in documents:
+                documents[attr.section] = self._document(text)
+            results[attr.name] = self.extract_attribute(
+                attr, text, document=documents[attr.section]
             )
         return results
 
     def extract_attribute(
-        self, attr: NumericAttribute, text: str
+        self,
+        attr: NumericAttribute,
+        text: str,
+        document: Document | None = None,
     ) -> NumericExtraction | None:
-        """Extract one attribute from a section's free text."""
+        """Extract one attribute from a section's free text.
+
+        *document* is the already-processed NLP document of *text*;
+        when omitted it is produced here (via the shared document
+        cache when one is configured).
+        """
         for pattern in attr.regex_patterns:
             match = re.search(pattern, text, re.IGNORECASE)
             if match:
@@ -160,12 +187,18 @@ class NumericExtractor:
                     return NumericExtraction(
                         attr.name, value, Method.REGEX, match.group(0)
                     )
-        document = self.pipeline.process_text(text)
+        if document is None:
+            document = self._document(text)
         for sentence in document.sentences():
             found = self._extract_from_sentence(attr, document, sentence)
             if found is not None:
                 return found
         return None
+
+    def _document(self, text: str) -> Document:
+        if self.document_cache is not None:
+            return self.document_cache.get(text)
+        return self.pipeline.process_text(text)
 
     def explain_attribute(
         self, attr: NumericAttribute, text: str
@@ -176,7 +209,7 @@ class NumericExtractor:
         feature mention with candidate numbers, or ``None`` when no
         such sentence exists.
         """
-        document = self.pipeline.process_text(text)
+        document = self._document(text)
         for sentence in document.sentences():
             tokens = document.tokens(sentence)
             mentions = self._lexicons[attr.name].find(document, tokens)
@@ -187,7 +220,7 @@ class NumericExtractor:
                 continue
             mention = mentions[0]
             sentence_text = document.span_text(sentence)
-            linkage = self._parse_cached(document, tokens, sentence_text)
+            linkage = self._parse_cached(document, tokens)
             distances: dict[int, float] = {}
             if linkage is not None:
                 token_to_pos = {
@@ -250,7 +283,7 @@ class NumericExtractor:
         for mention in mentions:
             if self.use_linkage:
                 value = self._associate_by_linkage(
-                    document, tokens, mention, numbers, sentence_text
+                    document, tokens, mention, numbers
                 )
                 if value is not None and self._value_ok(attr, value):
                     return NumericExtraction(
@@ -307,9 +340,8 @@ class NumericExtractor:
         tokens: list[Annotation],
         mention: FeatureMention,
         numbers: list[tuple[int, float | tuple[float, float]]],
-        sentence_text: str,
     ) -> float | tuple[float, float] | None:
-        linkage = self._parse_cached(document, tokens, sentence_text)
+        linkage = self._parse_cached(document, tokens)
         if linkage is None:
             return None
         token_to_pos = {
@@ -336,23 +368,11 @@ class NumericExtractor:
         return candidates[best]
 
     def _parse_cached(
-        self,
-        document: Document,
-        tokens: list[Annotation],
-        sentence_text: str,
+        self, document: Document, tokens: list[Annotation]
     ) -> Linkage | None:
-        if sentence_text in self._linkage_cache:
-            return self._linkage_cache[sentence_text]
-        words = [document.span_text(t) for t in tokens]
+        words = [document.span_text(t).lower() for t in tokens]
         tags = [t.features.get("pos", "NN") for t in tokens]
-        try:
-            linkage = self.parser.parse_one(
-                [w.lower() for w in words], tags
-            )
-        except ParseFailure:
-            linkage = None
-        self._linkage_cache[sentence_text] = linkage
-        return linkage
+        return self.linkage_cache.lookup(self.parser, words, tags)
 
     def _associate_by_pattern(
         self,

@@ -21,6 +21,7 @@ from repro.extraction.schema import (
 )
 from repro.extraction.terms import TermExtractor
 from repro.records.model import PatientRecord
+from repro.runtime.cache import ExtractionCaches
 from repro.synth.gold import GoldAnnotations
 
 
@@ -44,16 +45,31 @@ class ExtractionResult:
 
 
 class RecordExtractor:
-    """Full-record extraction with optional categorical models."""
+    """Full-record extraction with optional categorical models.
+
+    By default all sub-extractors share one :class:`ExtractionCaches`
+    set — a document cache (each section's NLP run is reused by every
+    attribute reading that section) and a cross-record linkage cache
+    (one parse serves every sentence with the same token signature in
+    the whole cohort).  Explicitly-passed sub-extractors keep whatever
+    caches they were built with.
+    """
 
     def __init__(
         self,
         numeric: NumericExtractor | None = None,
         terms: TermExtractor | None = None,
         categorical: dict[str, CategoricalClassifier] | None = None,
+        caches: ExtractionCaches | None = None,
     ) -> None:
-        self.numeric = numeric or NumericExtractor()
-        self.terms = terms or TermExtractor()
+        self.caches = caches or ExtractionCaches()
+        self.numeric = numeric or NumericExtractor(
+            document_cache=self.caches.documents,
+            linkage_cache=self.caches.linkages,
+        )
+        self.terms = terms or TermExtractor(
+            document_cache=self.caches.documents
+        )
         self.categorical = dict(categorical or {})
 
     def train_categorical(
@@ -87,7 +103,11 @@ class RecordExtractor:
                 raise TrainingError(
                     f"no training data for {attr.name!r}"
                 )
-            classifier = CategoricalClassifier(attr)
+            classifier = CategoricalClassifier(
+                attr,
+                document_cache=self.caches.documents,
+                linkage_cache=self.caches.linkages,
+            )
             classifier.fit(texts, labels)
             self.categorical[attr.name] = classifier
 
@@ -128,3 +148,23 @@ class RecordExtractor:
         self, records: list[PatientRecord]
     ) -> list[ExtractionResult]:
         return [self.extract(record) for record in records]
+
+    # ------------------------------------------------------ engine stats
+
+    def counters(self) -> dict[str, Any]:
+        """Cumulative additive counters across the engine's layers.
+
+        Nested dict of numbers only, so worker processes can ship
+        per-chunk deltas back (see :mod:`repro.runtime.metrics`).
+        """
+        out: dict[str, Any] = {}
+        document_cache = getattr(self.numeric, "document_cache", None)
+        if document_cache is not None:
+            out["documents"] = document_cache.counters()
+        linkage_cache = getattr(self.numeric, "linkage_cache", None)
+        if linkage_cache is not None:
+            out["linkages"] = linkage_cache.counters()
+        parser = getattr(self.numeric, "parser", None)
+        if parser is not None:
+            out["parser"] = parser.stats.to_dict()
+        return out

@@ -32,6 +32,7 @@ from repro.ontology.concept import ConceptMatch, SemanticType
 from repro.ontology.normalizer import TermNormalizer
 from repro.ontology.store import OntologyStore
 from repro.records.model import PatientRecord
+from repro.runtime.cache import DocumentCache
 
 #: The paper's ordered candidate patterns (longest first).
 POS_PATTERNS: tuple[tuple[str, ...], ...] = (
@@ -73,8 +74,12 @@ class TermExtractor:
         pipeline: Pipeline | None = None,
         use_synonyms: bool = False,
         normalizer: TermNormalizer | None = None,
+        document_cache: DocumentCache | None = None,
     ) -> None:
         self.ontology = ontology or default_ontology()
+        self.document_cache = document_cache
+        if pipeline is None and document_cache is not None:
+            pipeline = document_cache.pipeline
         self.pipeline = pipeline or default_pipeline()
         self.use_synonyms = use_synonyms
         self.normalizer = normalizer or TermNormalizer()
@@ -108,7 +113,11 @@ class TermExtractor:
         semantic_types: set[SemanticType] | None = None,
     ) -> list[TermHit]:
         """All term hits in free text, in reading order."""
-        document = self.pipeline.process_text(text)
+        document = (
+            self.document_cache.get(text)
+            if self.document_cache is not None
+            else self.pipeline.process_text(text)
+        )
         hits: list[TermHit] = []
         for sentence in document.sentences():
             tokens = document.tokens(sentence)

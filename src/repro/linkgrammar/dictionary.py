@@ -103,6 +103,29 @@ class Dictionary:
                     return disjuncts
         return []
 
+    def resolution_key(self, word: str, tag: str | None = None) -> str:
+        """Equivalence class of ``disjuncts(word, tag)``.
+
+        Two tokens with the same key resolve to the *same* disjunct
+        list, so any parse outcome (link structure, costs, failures)
+        is identical between them.  This is what lets the runtime's
+        cross-record linkage cache share one parse between sentences
+        that differ only in their numeric values ("pulse of 84" vs
+        "pulse of 96").  Must mirror :meth:`disjuncts` case for case.
+        """
+        lowered = word.lower()
+        if lowered in self._words:
+            return lowered
+        if tag == "CD" or _looks_numeric(word):
+            return "#NUM#"
+        if tag:
+            for prefix, _ in self._tag_defaults:
+                if tag == prefix or (
+                    len(prefix) <= len(tag) and tag.startswith(prefix)
+                ):
+                    return f"#TAG:{prefix}#"
+        return "#NONE#"
+
 
 def _looks_numeric(word: str) -> bool:
     return bool(word) and word[0].isdigit()

@@ -31,6 +31,8 @@ catches to fall back on the paper's pattern approach.
 from __future__ import annotations
 
 import itertools
+import time
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.errors import ParseFailure
@@ -56,18 +58,66 @@ _STRIP_TOKENS = {".", "!", "?", ";"}
 ConnList = tuple[Connector, ...]
 
 
+@dataclass
+class ParserStats:
+    """Additive per-parser counters for the engine's metrics layer.
+
+    ``disjuncts_before``/``disjuncts_after`` count disjuncts entering
+    the region recurrence without and with the pruning pass; their
+    ratio is the benchmark's "prune ratio".
+    """
+
+    sentences: int = 0
+    failures: int = 0
+    disjuncts_before: int = 0
+    disjuncts_after: int = 0
+    parse_seconds: float = 0.0
+
+    def prune_ratio(self) -> float:
+        """Fraction of disjuncts the pruning pass deleted."""
+        if not self.disjuncts_before:
+            return 0.0
+        return 1.0 - self.disjuncts_after / self.disjuncts_before
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "sentences": self.sentences,
+            "failures": self.failures,
+            "disjuncts_before": self.disjuncts_before,
+            "disjuncts_after": self.disjuncts_after,
+            "parse_seconds": self.parse_seconds,
+        }
+
+    def reset(self) -> None:
+        self.sentences = 0
+        self.failures = 0
+        self.disjuncts_before = 0
+        self.disjuncts_after = 0
+        self.parse_seconds = 0.0
+
+
 class LinkGrammarParser:
-    """Parses token sequences into cost-ranked linkages."""
+    """Parses token sequences into cost-ranked linkages.
+
+    ``prune=False`` disables the Sleator–Temperley power-pruning pass
+    before the region recurrence — the linkages are identical either
+    way (pruned disjuncts can never appear in a complete linkage);
+    the flag exists so that equivalence stays testable and ablations
+    can measure what pruning buys.
+    """
 
     def __init__(
         self,
         dictionary: Dictionary | None = None,
         max_linkages: int = 16,
         max_words: int = 40,
+        prune: bool = True,
     ) -> None:
         self.dictionary = dictionary or default_dictionary()
         self.max_linkages = max_linkages
         self.max_words = max_words
+        self.prune = prune
+        self.stats = ParserStats()
 
     # ------------------------------------------------------------ public
 
@@ -81,6 +131,21 @@ class LinkGrammarParser:
         *tags* are optional Penn POS tags used for unknown words.
         Raises :class:`ParseFailure` when no linkage exists.
         """
+        started = time.perf_counter()
+        self.stats.sentences += 1
+        try:
+            return self._parse(words, tags)
+        except ParseFailure:
+            self.stats.failures += 1
+            raise
+        finally:
+            self.stats.parse_seconds += time.perf_counter() - started
+
+    def _parse(
+        self,
+        words: list[str],
+        tags: list[str] | None = None,
+    ) -> list[Linkage]:
         if not words:
             raise ParseFailure(words, "empty sentence")
         kept, token_map = self._strip(words)
@@ -104,7 +169,9 @@ class LinkGrammarParser:
             ]
             raise ParseFailure(words, f"no entry for {missing[0]!r}")
 
-        session = _ParseSession(sentence, disjuncts)
+        session = _ParseSession(sentence, disjuncts, prune=self.prune)
+        self.stats.disjuncts_before += session.disjuncts_before
+        self.stats.disjuncts_after += session.disjuncts_after
         linkages = session.linkages(self.max_linkages)
         if not linkages:
             raise ParseFailure(words, "no complete linkage")
@@ -215,23 +282,46 @@ class _ParseSession:
     """One sentence's memo tables and extraction state."""
 
     def __init__(
-        self, sentence: list[str], disjuncts: list[list[Disjunct]]
+        self,
+        sentence: list[str],
+        disjuncts: list[list[Disjunct]],
+        prune: bool = True,
     ) -> None:
         self.sentence = sentence
         self.disjuncts = [list(d) for d in disjuncts]
         self.n = len(sentence)
         self._count_memo: dict[tuple, int] = {}
-        self._match_memo: dict[tuple[str, str], bool] = {}
-        self._prune()
+        self._table = self._build_match_table()
+        self.disjuncts_before = sum(len(d) for d in self.disjuncts)
+        if prune:
+            self._prune()
+        self.disjuncts_after = sum(len(d) for d in self.disjuncts)
+
+    def _build_match_table(self) -> dict[tuple[str, str], bool]:
+        """Precompute label-pair matches for this sentence's connectors.
+
+        The recurrence and the pruning pass both test the same small
+        set of (right-pointing, left-pointing) label pairs millions of
+        times; one pass over the distinct labels replaces every
+        ``connectors_match`` call with a dict lookup.
+        """
+        plus: dict[str, Connector] = {}
+        minus: dict[str, Connector] = {}
+        for ds in self.disjuncts:
+            for d in ds:
+                for c in d.right:
+                    plus.setdefault(c.label, c)
+                for c in d.left:
+                    minus.setdefault(c.label, c)
+        return {
+            (pl, ml): connectors_match(pc, mc)
+            for pl, pc in plus.items()
+            for ml, mc in minus.items()
+        }
 
     def _match(self, plus: Connector, minus: Connector) -> bool:
-        """connectors_match with per-sentence label memoization."""
-        key = (plus.label, minus.label)
-        found = self._match_memo.get(key)
-        if found is None:
-            found = connectors_match(plus, minus)
-            self._match_memo[key] = found
-        return found
+        """Precomputed label-pair lookup (see _build_match_table)."""
+        return self._table[plus.label, minus.label]
 
     def _prune(self) -> None:
         """Power pruning: drop disjuncts with unconnectable connectors.
@@ -241,42 +331,52 @@ class _ParseSession:
         each right connector some left connector on a later word.
         Iterates to a fixpoint; typically removes the large majority of
         tag-default disjuncts and makes the O(n³) recurrence fast.
-        """
-        match_memo: dict[tuple, bool] = {}
 
-        def can_match(plus: Connector, minus: Connector) -> bool:
-            key = (plus.label, minus.label)
-            found = match_memo.get(key)
-            if found is None:
-                found = connectors_match(plus, minus)
-                match_memo[key] = found
-            return found
+        Label sets: for every left-pointing label the set of right-
+        pointing labels that can reach it (and vice versa) is derived
+        once from the match table, so each fixpoint sweep is set
+        algebra over label strings instead of connector pairs.
+        """
+        matchers_for_left: dict[str, set[str]] = {}
+        matchers_for_right: dict[str, set[str]] = {}
+        for (pl, ml), ok in self._table.items():
+            if ok:
+                matchers_for_left.setdefault(ml, set()).add(pl)
+                matchers_for_right.setdefault(pl, set()).add(ml)
+        empty: set[str] = set()
 
         changed = True
         while changed:
             changed = False
-            rights_before: list[set] = []
-            pool: set = set()
+            # Right-pointing labels available strictly before word i.
+            rights_before: list[set[str]] = []
+            pool: set[str] = set()
             for ds in self.disjuncts:
                 rights_before.append(set(pool))
                 for d in ds:
-                    pool.update(d.right)
-            lefts_after: list[set] = [set() for _ in range(self.n)]
+                    pool.update(c.label for c in d.right)
+            # Left-pointing labels available strictly after word i.
+            lefts_after: list[set[str]] = [set() for _ in range(self.n)]
             pool = set()
             for i in range(self.n - 1, -1, -1):
                 lefts_after[i] = set(pool)
                 for d in self.disjuncts[i]:
-                    pool.update(d.left)
+                    pool.update(c.label for c in d.left)
             for i, ds in enumerate(self.disjuncts):
+                before, after = rights_before[i], lefts_after[i]
                 kept = [
                     d
                     for d in ds
                     if all(
-                        any(can_match(r, c) for r in rights_before[i])
+                        not before.isdisjoint(
+                            matchers_for_left.get(c.label, empty)
+                        )
                         for c in d.left
                     )
                     and all(
-                        any(can_match(c, l) for l in lefts_after[i])
+                        not after.isdisjoint(
+                            matchers_for_right.get(c.label, empty)
+                        )
                         for c in d.right
                     )
                 ]

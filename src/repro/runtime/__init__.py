@@ -1,0 +1,32 @@
+"""Corpus-scale extraction runtime: caching, metrics, parallel fan-out.
+
+The batch engine behind ``repro extract --workers N``:
+
+* :mod:`repro.runtime.cache` — bounded LRU document and cross-record
+  linkage caches shared by every extractor in one engine;
+* :mod:`repro.runtime.metrics` — monotonic timers and counters, merged
+  across worker processes and dumped as JSON by the benchmarks;
+* :mod:`repro.runtime.runner` — the :class:`CorpusRunner` that fans
+  record chunks out over a process pool with per-worker extraction
+  stacks, keeping ``workers=1`` as the deterministic serial default.
+"""
+
+from repro.runtime.cache import (
+    DocumentCache,
+    ExtractionCaches,
+    LinkageCache,
+    LRUCache,
+)
+from repro.runtime.metrics import Metrics, diff_stats, merge_stats
+from repro.runtime.runner import CorpusRunner
+
+__all__ = [
+    "CorpusRunner",
+    "DocumentCache",
+    "ExtractionCaches",
+    "LRUCache",
+    "LinkageCache",
+    "Metrics",
+    "diff_stats",
+    "merge_stats",
+]

@@ -1,0 +1,264 @@
+"""Bounded LRU caches for the extraction hot path.
+
+Two cache layers feed the batch engine:
+
+* :class:`DocumentCache` — section text → processed
+  :class:`~repro.nlp.document.Document`.  Several attributes read the
+  same section (the eight numeric attributes span three sections; the
+  term and categorical extractors revisit them), so one record used to
+  run the NLP pipeline on identical text up to eight times.
+* :class:`LinkageCache` — token-sequence signature → parse outcome.
+  Keys are built from :meth:`Dictionary.resolution_key
+  <repro.linkgrammar.dictionary.Dictionary.resolution_key>`, the
+  equivalence class of the dictionary lookup, so two sentences that
+  differ only in values ("pulse of 84" / "pulse of 96") share one
+  parse: the link structure, costs, and token map depend only on the
+  disjunct sequence, and the word list is rebuilt per hit.  Unlike the
+  old per-record cache this one survives across records — consistent
+  dictation styles repeat sentence shapes across a whole cohort.
+
+Both caches are bounded (LRU eviction) and expose additive
+hit/miss/eviction counters that the corpus runner merges across
+worker processes.  Caches are not thread-safe and assume the shared
+:class:`Dictionary` is not mutated after the first parse; call
+:meth:`LinkageCache.clear` after ``Dictionary.add``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Sequence
+
+from repro.errors import ParseFailure
+from repro.linkgrammar.dictionary import LEFT_WALL
+from repro.linkgrammar.linkage import Linkage
+from repro.linkgrammar.parser import _STRIP_TOKENS, LinkGrammarParser
+from repro.nlp.document import Document
+from repro.nlp.pipeline import Pipeline, default_pipeline
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A bounded mapping with move-to-front reads and counters."""
+
+    def __init__(self, maxsize: int = 1024, name: str = "cache") -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        found = self._data.get(key, _MISSING)
+        if found is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._data.move_to_end(key)
+        return found
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    # ------------------------------------------------------------ stats
+
+    def counters(self) -> dict[str, int]:
+        """Additive counters (safe to merge across processes)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, Any]:
+        """Human-facing snapshot (includes derived, non-additive fields)."""
+        return {
+            "name": self.name,
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hit_rate": round(self.hit_rate(), 4),
+            **self.counters(),
+        }
+
+
+class DocumentCache:
+    """Shared ``section text → Document`` cache over one pipeline.
+
+    Documents are annotated once and then only read; every consumer
+    (numeric, term, categorical extraction) must treat them as frozen.
+    """
+
+    def __init__(
+        self,
+        pipeline: Pipeline | None = None,
+        maxsize: int = 256,
+    ) -> None:
+        self.pipeline = pipeline or default_pipeline()
+        self._lru = LRUCache(maxsize, name="documents")
+
+    def get(self, text: str) -> Document:
+        document = self._lru.get(text)
+        if document is None:
+            document = self.pipeline.process_text(text)
+            self._lru.put(text, document)
+        return document
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def counters(self) -> dict[str, int]:
+        return self._lru.counters()
+
+    def hit_rate(self) -> float:
+        return self._lru.hit_rate()
+
+    def stats(self) -> dict[str, Any]:
+        return self._lru.stats()
+
+
+#: Cached marker for sentences the parser cannot link.
+_PARSE_FAILED = object()
+
+
+class LinkageCache:
+    """Cross-record parse cache keyed by dictionary-resolution signature.
+
+    Stores the structural outcome of ``parser.parse_one`` — the link
+    set, cost, and token map, or the fact that parsing failed — and
+    rebuilds a fresh :class:`Linkage` with the caller's actual words
+    on every hit, so cached values are never aliased or mutated.
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        self._lru = LRUCache(maxsize, name="linkages")
+
+    # ------------------------------------------------------------- keys
+
+    @staticmethod
+    def signature(
+        parser: LinkGrammarParser,
+        words: Sequence[str],
+        tags: Sequence[str] | None,
+    ) -> tuple:
+        """Token-sequence key under which a parse may be shared.
+
+        Sentence-final punctuation is stripped by the parser before any
+        dictionary lookup, so those tokens keep their literal form;
+        every other token collapses to its dictionary resolution class.
+        The parser's identity-relevant configuration leads the key:
+        ``max_linkages`` changes which linkage ``parse_one`` returns
+        (extraction stops at the cap before cost-ranking all linkages)
+        and different dictionaries resolve tokens differently, so one
+        cache can serve differently-configured parsers safely.
+        """
+        head = (
+            id(parser.dictionary), parser.max_linkages, parser.max_words
+        )
+        return head + tuple(
+            word
+            if word in _STRIP_TOKENS
+            else parser.dictionary.resolution_key(
+                word, tags[i] if tags else None
+            )
+            for i, word in enumerate(words)
+        )
+
+    # ----------------------------------------------------------- lookup
+
+    def lookup(
+        self,
+        parser: LinkGrammarParser,
+        words: Sequence[str],
+        tags: Sequence[str] | None = None,
+    ) -> Linkage | None:
+        """Cheapest linkage of *words*, or ``None`` on parse failure.
+
+        *words* are used exactly as given (callers lowercase them
+        first, matching the extraction pipeline's convention).
+        """
+        key = self.signature(parser, words, tags)
+        entry = self._lru.get(key, _MISSING)
+        if entry is _MISSING:
+            try:
+                linkage = parser.parse_one(list(words), list(tags) if tags else None)
+            except ParseFailure:
+                self._lru.put(key, _PARSE_FAILED)
+                return None
+            self._lru.put(
+                key,
+                (tuple(linkage.links), linkage.cost,
+                 tuple(linkage.token_map)),
+            )
+            return linkage
+        if entry is _PARSE_FAILED:
+            return None
+        links, cost, token_map = entry
+        return Linkage(
+            words=[LEFT_WALL] + [words[i] for i in token_map[1:]],
+            links=list(links),
+            cost=cost,
+            token_map=list(token_map),
+        )
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def counters(self) -> dict[str, int]:
+        return self._lru.counters()
+
+    def hit_rate(self) -> float:
+        return self._lru.hit_rate()
+
+    def stats(self) -> dict[str, Any]:
+        return self._lru.stats()
+
+
+class ExtractionCaches:
+    """The shared cache set one extraction engine hands its extractors."""
+
+    def __init__(
+        self,
+        pipeline: Pipeline | None = None,
+        document_maxsize: int = 256,
+        linkage_maxsize: int = 4096,
+    ) -> None:
+        self.documents = DocumentCache(pipeline, maxsize=document_maxsize)
+        self.linkages = LinkageCache(maxsize=linkage_maxsize)
+
+    def clear(self) -> None:
+        self.documents.clear()
+        self.linkages.clear()
+
+    def counters(self) -> dict[str, dict[str, int]]:
+        return {
+            "documents": self.documents.counters(),
+            "linkages": self.linkages.counters(),
+        }
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "documents": self.documents.stats(),
+            "linkages": self.linkages.stats(),
+        }

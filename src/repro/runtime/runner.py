@@ -1,0 +1,199 @@
+"""Corpus-scale extraction: serial by default, process fan-out on demand.
+
+A :class:`CorpusRunner` drives
+:meth:`~repro.extraction.pipeline.RecordExtractor.extract_all` over a
+cohort.  ``workers=1`` (the default) runs in-process and stays the
+deterministic reference path.  ``workers>1`` fans chunks of records
+out over a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* each worker builds its extraction stack **once** in a pool
+  initializer — dictionary expansion, pipeline, ontology, and the
+  categorical models (shipped as serialized ID3 trees) are per-worker
+  constants, not per-record costs;
+* work is distributed in contiguous chunks so each worker's
+  cross-record caches see runs of similar records;
+* results come back tagged with their chunk index and are reassembled
+  in input order, so parallel output is byte-identical to serial;
+* each finished chunk also returns the delta of the worker's engine
+  counters (cache hits, prune ratio, parse time), which the parent
+  merges into one metrics view.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.records.model import PatientRecord
+from repro.runtime.metrics import Metrics, diff_stats, merge_stats
+
+if TYPE_CHECKING:  # real imports are deferred: extraction imports us
+    from repro.extraction.pipeline import (
+        ExtractionResult,
+        RecordExtractor,
+    )
+
+#: Per-process extractor, created by the pool initializer.
+_WORKER_EXTRACTOR: "RecordExtractor | None" = None
+
+
+def _serialize_models(
+    extractor: "RecordExtractor",
+) -> dict[str, dict] | None:
+    """Categorical models as picklable JSON-shaped dicts."""
+    from repro.ml.serialize import tree_to_dict
+
+    models = {
+        name: tree_to_dict(classifier._id3)
+        for name, classifier in extractor.categorical.items()
+        if classifier._id3 is not None
+    }
+    return models or None
+
+
+def _init_worker(models: dict[str, dict] | None) -> None:
+    """Build one extraction stack per worker process."""
+    global _WORKER_EXTRACTOR
+    from repro.extraction.categorical import CategoricalClassifier
+    from repro.extraction.pipeline import RecordExtractor
+    from repro.extraction.schema import attribute as lookup
+    from repro.ml.serialize import tree_from_dict
+
+    extractor = RecordExtractor()
+    for name, tree in (models or {}).items():
+        classifier = CategoricalClassifier(
+            lookup(name),
+            document_cache=extractor.caches.documents,
+            linkage_cache=extractor.caches.linkages,
+        )
+        classifier._id3 = tree_from_dict(tree)
+        extractor.categorical[name] = classifier
+    _WORKER_EXTRACTOR = extractor
+
+
+def _extract_chunk(
+    payload: tuple[int, list[PatientRecord]],
+) -> tuple[int, list[ExtractionResult], dict[str, Any]]:
+    """Extract one chunk; returns (index, results, counter deltas)."""
+    index, records = payload
+    assert _WORKER_EXTRACTOR is not None, "pool initializer did not run"
+    before = _WORKER_EXTRACTOR.counters()
+    results = _WORKER_EXTRACTOR.extract_all(records)
+    delta = diff_stats(_WORKER_EXTRACTOR.counters(), before)
+    return index, results, delta
+
+
+class CorpusRunner:
+    """Batch extraction engine with optional process parallelism."""
+
+    def __init__(
+        self,
+        extractor: "RecordExtractor | None" = None,
+        workers: int = 1,
+        chunk_size: int | None = None,
+    ) -> None:
+        from repro.extraction.pipeline import RecordExtractor
+
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        self.extractor = extractor or RecordExtractor()
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.metrics = Metrics()
+        #: Merged engine counters (caches, parser) from the last runs.
+        self.engine_stats: dict[str, Any] = {}
+
+    # ------------------------------------------------------------ public
+
+    def run(
+        self, records: Sequence[PatientRecord]
+    ) -> list[ExtractionResult]:
+        """Extract every record, results in input order."""
+        records = list(records)
+        with self.metrics.time("extract_seconds"):
+            if self.workers == 1 or len(records) <= 1:
+                results = self._run_serial(records)
+            else:
+                results = self._run_parallel(records)
+        self.metrics.count("records", len(records))
+        return results
+
+    def throughput(self) -> float:
+        """Records per second across every ``run`` so far."""
+        return self.metrics.rate("records", "extract_seconds")
+
+    def stats(self) -> dict[str, Any]:
+        """One JSON-dumpable view over runner + engine metrics."""
+        parser = self.engine_stats.get("parser", {})
+        linkages = self.engine_stats.get("linkages", {})
+        hits = linkages.get("hits", 0)
+        lookups = hits + linkages.get("misses", 0)
+        before = parser.get("disjuncts_before", 0)
+        return {
+            "workers": self.workers,
+            "records": self.metrics.counters.get("records", 0),
+            "extract_seconds": self.metrics.timers.get(
+                "extract_seconds", 0.0
+            ),
+            "records_per_sec": self.throughput(),
+            "linkage_cache_hit_rate": hits / lookups if lookups else 0.0,
+            "prune_ratio": (
+                1.0 - parser.get("disjuncts_after", 0) / before
+                if before
+                else 0.0
+            ),
+            "engine": self.engine_stats,
+        }
+
+    # ---------------------------------------------------------- serial
+
+    def _run_serial(
+        self, records: list[PatientRecord]
+    ) -> list[ExtractionResult]:
+        before = self.extractor.counters()
+        results = self.extractor.extract_all(records)
+        merge_stats(
+            self.engine_stats,
+            diff_stats(self.extractor.counters(), before),
+        )
+        return results
+
+    # -------------------------------------------------------- parallel
+
+    def _chunks(
+        self, records: list[PatientRecord]
+    ) -> list[tuple[int, list[PatientRecord]]]:
+        size = self.chunk_size or max(
+            1, math.ceil(len(records) / (self.workers * 4))
+        )
+        return [
+            (index, records[start:start + size])
+            for index, start in enumerate(range(0, len(records), size))
+        ]
+
+    def _run_parallel(
+        self, records: list[PatientRecord]
+    ) -> list[ExtractionResult]:
+        chunks = self._chunks(records)
+        models = _serialize_models(self.extractor)
+        collected: dict[int, list[ExtractionResult]] = {}
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(chunks)),
+            initializer=_init_worker,
+            initargs=(models,),
+        ) as pool:
+            for index, results, delta in pool.map(
+                _extract_chunk, chunks
+            ):
+                collected[index] = results
+                merge_stats(self.engine_stats, delta)
+        return [
+            result
+            for index in sorted(collected)
+            for result in collected[index]
+        ]

@@ -55,50 +55,77 @@ class ResultStore:
 
     def save(self, result: ExtractionResult) -> None:
         """Insert or replace one record's extraction output."""
-        if not result.patient_id:
-            raise StorageError("result has no patient_id")
-        cur = self._connection.cursor()
-        cur.execute(
-            "INSERT OR REPLACE INTO patients VALUES (?)",
-            (result.patient_id,),
-        )
-        for attribute, extraction in result.numeric.items():
-            value = value2 = method = sentence = None
-            if extraction is not None:
-                method = extraction.method.value
-                sentence = extraction.sentence
-                if isinstance(extraction.value, tuple):
-                    value, value2 = extraction.value
-                else:
-                    value = extraction.value
-            cur.execute(
-                "INSERT OR REPLACE INTO numeric_values VALUES "
-                "(?, ?, ?, ?, ?, ?)",
-                (result.patient_id, attribute, value, value2, method,
-                 sentence),
-            )
-        for attribute, terms in result.terms.items():
-            cur.execute(
-                "DELETE FROM term_values WHERE patient_id=? AND "
-                "attribute=?",
-                (result.patient_id, attribute),
-            )
-            for position, term in enumerate(terms):
-                cur.execute(
-                    "INSERT INTO term_values VALUES (?, ?, ?, ?)",
-                    (result.patient_id, attribute, position, term),
-                )
-        for attribute, label in result.categorical.items():
-            cur.execute(
-                "INSERT OR REPLACE INTO categorical_values VALUES "
-                "(?, ?, ?)",
-                (result.patient_id, attribute, label),
-            )
-        self._connection.commit()
+        self.store_many([result])
 
     def save_all(self, results: list[ExtractionResult]) -> None:
+        self.store_many(results)
+
+    def store_many(self, results: list[ExtractionResult]) -> int:
+        """Bulk-insert many records in one transaction.
+
+        Rows for all results are batched per table and written with
+        ``executemany`` — the corpus runner's sink.  Returns the number
+        of records stored.
+        """
         for result in results:
-            self.save(result)
+            if not result.patient_id:
+                raise StorageError("result has no patient_id")
+        patient_rows: list[tuple] = []
+        numeric_rows: list[tuple] = []
+        term_deletes: list[tuple] = []
+        term_rows: list[tuple] = []
+        categorical_rows: list[tuple] = []
+        for result in results:
+            patient_rows.append((result.patient_id,))
+            for attribute, extraction in result.numeric.items():
+                value = value2 = method = sentence = None
+                if extraction is not None:
+                    method = extraction.method.value
+                    sentence = extraction.sentence
+                    if isinstance(extraction.value, tuple):
+                        value, value2 = extraction.value
+                    else:
+                        value = extraction.value
+                numeric_rows.append(
+                    (result.patient_id, attribute, value, value2,
+                     method, sentence)
+                )
+            for attribute, terms in result.terms.items():
+                term_deletes.append((result.patient_id, attribute))
+                term_rows.extend(
+                    (result.patient_id, attribute, position, term)
+                    for position, term in enumerate(terms)
+                )
+            for attribute, label in result.categorical.items():
+                categorical_rows.append(
+                    (result.patient_id, attribute, label)
+                )
+        with self._connection:  # one transaction for the whole batch
+            cur = self._connection.cursor()
+            cur.executemany(
+                "INSERT OR REPLACE INTO patients VALUES (?)",
+                patient_rows,
+            )
+            cur.executemany(
+                "INSERT OR REPLACE INTO numeric_values VALUES "
+                "(?, ?, ?, ?, ?, ?)",
+                numeric_rows,
+            )
+            cur.executemany(
+                "DELETE FROM term_values WHERE patient_id=? AND "
+                "attribute=?",
+                term_deletes,
+            )
+            cur.executemany(
+                "INSERT INTO term_values VALUES (?, ?, ?, ?)",
+                term_rows,
+            )
+            cur.executemany(
+                "INSERT OR REPLACE INTO categorical_values VALUES "
+                "(?, ?, ?)",
+                categorical_rows,
+            )
+        return len(results)
 
     # ------------------------------------------------------------- read
 

@@ -1,0 +1,126 @@
+"""Disjunct power-pruning: pure speed, zero behaviour change.
+
+The Sleator–Temperley pruning pass deletes disjuncts whose connectors
+cannot match any surviving connector in the allowed direction before
+the O(n³) recurrence runs.  Pruned disjuncts can never take part in a
+complete linkage, so linkages with pruning on must equal linkages with
+pruning off — on the paper's Figure 1 sentence and across a generated
+corpus sample — while the disjunct count entering the recurrence
+strictly drops.
+"""
+
+import pytest
+
+from repro.errors import ParseFailure
+from repro.linkgrammar import LinkGrammarParser
+from repro.nlp import analyze
+from repro.synth import CohortSpec, RecordGenerator
+
+FIGURE1 = (
+    "blood pressure is 144/90 , pulse of 84 , temperature of 98.3 , "
+    "and weight of 154 pounds ."
+).split()
+
+
+def canonical(linkages):
+    return sorted((lk.cost, lk.links) for lk in linkages)
+
+
+def corpus_sentences(max_tokens: int = 12, limit: int = 10):
+    """Distinct (words, tags) sentences from a small generated cohort."""
+    records, _ = RecordGenerator(seed=21).generate_cohort(
+        CohortSpec(
+            size=3,
+            smoking_counts={
+                "never": 1, "current": 1, "former": 1,
+            },
+        )
+    )
+    seen: set[tuple] = set()
+    out: list[tuple[list[str], list[str]]] = []
+    for record in records:
+        document = analyze(record.raw_text)
+        for sentence in document.sentences():
+            tokens = document.tokens(sentence)
+            if not tokens or len(tokens) > max_tokens:
+                continue
+            words = [document.span_text(t).lower() for t in tokens]
+            tags = [t.features.get("pos", "NN") for t in tokens]
+            key = tuple(words)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append((words, tags))
+            if len(out) >= limit:
+                return out
+    return out
+
+
+class TestFigure1:
+    def test_pruning_preserves_all_linkages(self):
+        pruned = LinkGrammarParser(prune=True)
+        unpruned = LinkGrammarParser(prune=False)
+        assert canonical(pruned.parse(FIGURE1)) == canonical(
+            unpruned.parse(FIGURE1)
+        )
+
+    def test_pruning_strictly_reduces_disjuncts(self):
+        parser = LinkGrammarParser(prune=True)
+        parser.parse(FIGURE1)
+        stats = parser.stats
+        assert stats.disjuncts_after < stats.disjuncts_before
+        assert stats.prune_ratio() > 0.5
+
+    def test_pruning_off_counts_match(self):
+        parser = LinkGrammarParser(prune=False)
+        parser.parse(FIGURE1)
+        assert (
+            parser.stats.disjuncts_after
+            == parser.stats.disjuncts_before
+        )
+
+
+class TestCorpusSample:
+    @pytest.mark.parametrize(
+        "words,tags",
+        corpus_sentences(),
+        ids=lambda value: " ".join(value)[:40]
+        if isinstance(value, list) and value and value[0].islower()
+        else None,
+    )
+    def test_equivalence_on_corpus(self, words, tags):
+        pruned = LinkGrammarParser(prune=True)
+        unpruned = LinkGrammarParser(prune=False)
+        try:
+            with_prune = canonical(pruned.parse(words, tags))
+        except ParseFailure:
+            with pytest.raises(ParseFailure):
+                unpruned.parse(words, tags)
+            return
+        assert with_prune == canonical(unpruned.parse(words, tags))
+        assert (
+            pruned.stats.disjuncts_after
+            <= pruned.stats.disjuncts_before
+        )
+
+
+class TestStats:
+    def test_reset(self):
+        parser = LinkGrammarParser()
+        parser.parse(FIGURE1)
+        parser.stats.reset()
+        assert parser.stats.sentences == 0
+        assert parser.stats.parse_seconds == 0.0
+
+    def test_failures_counted(self):
+        parser = LinkGrammarParser()
+        with pytest.raises(ParseFailure):
+            parser.parse("blood pressure : 144/90".split(),
+                         ["NN", "NN", ":", "CD"])
+        assert parser.stats.failures == 1
+        assert parser.stats.sentences == 1
+
+    def test_parse_time_accumulates(self):
+        parser = LinkGrammarParser()
+        parser.parse(FIGURE1)
+        assert parser.stats.parse_seconds > 0.0

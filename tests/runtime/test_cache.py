@@ -1,0 +1,141 @@
+"""LRU, document, and linkage cache behaviour."""
+
+import pytest
+
+from repro.linkgrammar import LinkGrammarParser
+from repro.runtime.cache import (
+    DocumentCache,
+    ExtractionCaches,
+    LinkageCache,
+    LRUCache,
+)
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.counters() == {
+            "hits": 1, "misses": 0, "evictions": 0,
+        }
+
+    def test_miss_counts(self):
+        cache = LRUCache(maxsize=2)
+        assert cache.get("nope") is None
+        assert cache.misses == 1
+
+    def test_eviction_is_lru(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")        # refresh a; b is now least-recent
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.evictions == 1
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=0)
+
+    def test_hit_rate(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.hit_rate() == 0.5
+
+    def test_stats_shape(self):
+        stats = LRUCache(maxsize=4, name="x").stats()
+        assert stats["name"] == "x"
+        assert {"size", "maxsize", "hits", "misses", "evictions",
+                "hit_rate"} <= set(stats)
+
+
+class TestDocumentCache:
+    def test_same_text_same_document(self):
+        cache = DocumentCache(maxsize=4)
+        first = cache.get("Pulse of 84.")
+        second = cache.get("Pulse of 84.")
+        assert first is second
+        assert cache.counters()["hits"] == 1
+
+    def test_document_is_processed(self):
+        document = DocumentCache(maxsize=4).get("Pulse of 84.")
+        assert document.sentences()
+        assert document.numbers()
+
+
+class TestLinkageCache:
+    SENTENCE_84 = "pulse of 84 .".split()
+    SENTENCE_96 = "pulse of 96 .".split()
+    TAGS = ["NN", "IN", "CD", "."]
+
+    def test_parse_and_hit(self):
+        parser = LinkGrammarParser()
+        cache = LinkageCache()
+        first = cache.lookup(parser, self.SENTENCE_84, self.TAGS)
+        second = cache.lookup(parser, self.SENTENCE_84, self.TAGS)
+        assert first is not None
+        assert second is not None
+        assert cache.counters() == {
+            "hits": 1, "misses": 1, "evictions": 0,
+        }
+        assert second.links == first.links
+        assert second.words == first.words
+
+    def test_numeric_variants_share_one_parse(self):
+        """Sentences differing only in values hit the same entry."""
+        parser = LinkGrammarParser()
+        cache = LinkageCache()
+        first = cache.lookup(parser, self.SENTENCE_84, self.TAGS)
+        second = cache.lookup(parser, self.SENTENCE_96, self.TAGS)
+        assert cache.counters()["hits"] == 1
+        # Structure is shared, surface words are the caller's own.
+        assert second.links == first.links
+        assert "96" in second.words and "84" not in second.words
+        fresh = parser.parse_one(self.SENTENCE_96, self.TAGS)
+        assert second.words == fresh.words
+        assert sorted(second.links) == sorted(fresh.links)
+        assert second.token_map == fresh.token_map
+        assert second.cost == fresh.cost
+
+    def test_parse_failure_cached(self):
+        parser = LinkGrammarParser()
+        cache = LinkageCache()
+        fragment = "blood pressure : 144/90".split()
+        tags = ["NN", "NN", ":", "CD"]
+        assert cache.lookup(parser, fragment, tags) is None
+        assert cache.lookup(parser, fragment, tags) is None
+        assert cache.counters() == {
+            "hits": 1, "misses": 1, "evictions": 0,
+        }
+
+    def test_parser_config_partitions_entries(self):
+        """A max_linkages=1 parser must not reuse a 16-linkage parse."""
+        cache = LinkageCache()
+        wide = LinkGrammarParser(max_linkages=16)
+        narrow = LinkGrammarParser(max_linkages=1)
+        cache.lookup(wide, self.SENTENCE_84, self.TAGS)
+        cache.lookup(narrow, self.SENTENCE_84, self.TAGS)
+        assert cache.counters()["misses"] == 2
+
+    def test_clear(self):
+        parser = LinkGrammarParser()
+        cache = LinkageCache()
+        cache.lookup(parser, self.SENTENCE_84, self.TAGS)
+        cache.clear()
+        cache.lookup(parser, self.SENTENCE_84, self.TAGS)
+        assert cache.counters()["misses"] == 2
+
+
+class TestExtractionCaches:
+    def test_bundle(self):
+        caches = ExtractionCaches()
+        caches.documents.get("Pulse of 84.")
+        counters = caches.counters()
+        assert counters["documents"]["misses"] == 1
+        assert "linkages" in counters
+        caches.clear()
+        assert caches.stats()["documents"]["size"] == 0

@@ -1,0 +1,101 @@
+"""CorpusRunner: chunking, ordering, parallel/serial identity, stats."""
+
+import pytest
+
+from repro.extraction import RecordExtractor
+from repro.runtime import CorpusRunner
+from repro.synth import CohortSpec, RecordGenerator
+
+
+@pytest.fixture(scope="module")
+def cohort():
+    return RecordGenerator(seed=5).generate_cohort(
+        CohortSpec(
+            size=6,
+            smoking_counts={
+                "never": 3, "current": 1, "former": 1, None: 1,
+            },
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_results(cohort):
+    records, _ = cohort
+    return CorpusRunner(RecordExtractor()).run(records)
+
+
+class TestValidation:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CorpusRunner(workers=0)
+
+    def test_chunk_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CorpusRunner(chunk_size=0)
+
+
+class TestChunking:
+    def test_explicit_chunk_size(self):
+        runner = CorpusRunner(workers=2, chunk_size=2)
+        chunks = runner._chunks(list(range(5)))
+        assert [c for _, c in chunks] == [[0, 1], [2, 3], [4]]
+        assert [i for i, _ in chunks] == [0, 1, 2]
+
+    def test_default_chunking_covers_everything(self):
+        runner = CorpusRunner(workers=3)
+        chunks = runner._chunks(list(range(100)))
+        flattened = [x for _, c in chunks for x in c]
+        assert flattened == list(range(100))
+
+
+class TestSerial:
+    def test_order_and_count(self, cohort, serial_results):
+        records, _ = cohort
+        assert [r.patient_id for r in serial_results] == [
+            r.patient_id for r in records
+        ]
+
+    def test_stats_populated(self, cohort):
+        records, _ = cohort
+        runner = CorpusRunner(RecordExtractor())
+        runner.run(records)
+        stats = runner.stats()
+        assert stats["records"] == len(records)
+        assert stats["records_per_sec"] > 0
+        assert 0.0 < stats["prune_ratio"] < 1.0
+        assert "linkages" in stats["engine"]
+
+
+class TestParallel:
+    def test_matches_serial_exactly(self, cohort, serial_results):
+        records, _ = cohort
+        runner = CorpusRunner(
+            RecordExtractor(), workers=2, chunk_size=2
+        )
+        assert runner.run(records) == serial_results
+
+    def test_worker_metrics_merged(self, cohort):
+        records, _ = cohort
+        runner = CorpusRunner(
+            RecordExtractor(), workers=2, chunk_size=3
+        )
+        runner.run(records)
+        engine = runner.engine_stats
+        assert engine["parser"]["sentences"] > 0
+        assert engine["linkages"]["misses"] > 0
+
+    def test_trained_categorical_ships_to_workers(self, cohort):
+        records, golds = cohort
+        extractor = RecordExtractor()
+        extractor.train_categorical(records, golds)
+        serial = CorpusRunner(extractor).run(records)
+        parallel = CorpusRunner(
+            extractor, workers=2, chunk_size=3
+        ).run(records)
+        assert parallel == serial
+        assert any(
+            v is not None
+            for result in parallel
+            for v in result.categorical.values()
+        )

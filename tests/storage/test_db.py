@@ -78,6 +78,44 @@ class TestSaveLoad:
         assert reopened.numeric_value("7", "pulse") == 84.0
 
 
+class TestStoreMany:
+    def _result(self, pid, pulse):
+        return ExtractionResult(
+            patient_id=pid,
+            numeric={
+                "pulse": NumericExtraction(
+                    "pulse", pulse, Method.PATTERN, f"pulse {pulse}"
+                ),
+            },
+            terms={"other_past_medical_history": ["gout"]},
+            categorical={"smoking": "never"},
+        )
+
+    def test_batch_insert(self):
+        store = ResultStore()
+        results = [self._result(str(i), 60.0 + i) for i in range(5)]
+        assert store.store_many(results) == 5
+        assert store.patients() == [str(i) for i in range(5)]
+        assert store.numeric_value("3", "pulse") == 63.0
+
+    def test_empty_batch(self):
+        assert ResultStore().store_many([]) == 0
+
+    def test_batch_replaces_existing(self, store):
+        assert store.store_many([self._result("7", 99.0)]) == 1
+        assert store.numeric_value("7", "pulse") == 99.0
+        assert store.terms("7", "other_past_medical_history") == ["gout"]
+        assert store.patients() == ["7"]
+
+    def test_invalid_id_rejects_whole_batch(self):
+        store = ResultStore()
+        batch = [self._result("1", 60.0),
+                 ExtractionResult(patient_id="")]
+        with pytest.raises(StorageError):
+            store.store_many(batch)
+        assert store.patients() == []
+
+
 class TestAnalytics:
     def test_label_distribution(self, store, result):
         for pid, label in [("8", "never"), ("9", "never")]:

@@ -92,6 +92,31 @@ class TestExtract:
         header = csv_path.read_text().splitlines()[0]
         assert "patient_id" in header and "smoking" in header
 
+    def test_extract_parallel_with_stats(self, notes, tmp_path, capsys):
+        db = tmp_path / "parallel.db"
+        code = main([
+            "extract", "--input", str(notes), "--db", str(db),
+            "--workers", "2", "--stats",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert len(ResultStore(db).patients()) == 8
+        assert "records/s" in out
+        assert "parse cache" in out
+        assert "prune ratio" in out
+
+    def test_parallel_matches_serial_extract(self, notes, tmp_path):
+        serial_db = tmp_path / "serial.db"
+        parallel_db = tmp_path / "parallel.db"
+        main(["extract", "--input", str(notes), "--db", str(serial_db)])
+        main(["extract", "--input", str(notes), "--db", str(parallel_db),
+              "--workers", "2", "--chunk-size", "2"])
+        a, b = ResultStore(serial_db), ResultStore(parallel_db)
+        assert a.patients() == b.patients()
+        for pid in a.patients():
+            assert a.numeric_value(pid, "pulse") == \
+                b.numeric_value(pid, "pulse")
+
     def test_extract_without_gold_skips_categorical(
         self, notes, tmp_path
     ):

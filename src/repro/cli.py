@@ -35,6 +35,12 @@ from repro.linkgrammar.parser import LinkGrammarParser
 from repro.nlp.pipeline import analyze
 from repro.records.loader import load_records, save_records
 from repro.runtime.runner import CorpusRunner
+from repro.runtime.tracing import (
+    Tracer,
+    build_manifest,
+    model_fingerprint,
+    read_jsonl,
+)
 from repro.storage.db import ResultStore
 from repro.synth.generator import CohortSpec, RecordGenerator
 from repro.synth.gold import GoldAnnotations
@@ -106,6 +112,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="print engine metrics after extraction: records/sec, "
              "parse-cache hit rate, prune ratio",
     )
+    extract.add_argument(
+        "--trace", type=Path, default=None, metavar="JSONL",
+        help="record one decision-span tree per record and write "
+             "them (plus a run manifest line) to this JSONL file",
+    )
+    extract.add_argument(
+        "--parse-budget", type=float, default=10.0, metavar="SECONDS",
+        help="per-sentence parser time budget; a timed-out sentence "
+             "degrades to the linguistic-pattern fallback instead of "
+             "hanging (default: 10.0, 0 disables the parser entirely)",
+    )
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="inspect a trace file written by extract --trace",
+    )
+    trace_cmd.add_argument("file", type=Path)
+    trace_cmd.add_argument(
+        "--record", default=None, metavar="PATIENT_ID",
+        help="pretty-print this record's full decision tree "
+             "(default: list all records with span counts)",
+    )
 
     parse_cmd = sub.add_parser(
         "parse", help="print the link grammar diagram of a sentence"
@@ -166,7 +194,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_extract(args: argparse.Namespace) -> int:
     records = list(load_records(args.input))
-    extractor = RecordExtractor()
+    extractor = RecordExtractor(parse_budget=args.parse_budget)
     if args.gold is None and args.models is not None:
         loaded = extractor.load_models(args.models)
         print(f"loaded {loaded} categorical models from {args.models}")
@@ -190,13 +218,41 @@ def _cmd_extract(args: argparse.Namespace) -> int:
             extractor.save_models(args.models)
             print(f"saved categorical models to {args.models}")
     store = ResultStore(args.db)
+    tracer = Tracer() if args.trace is not None else None
     runner = CorpusRunner(
         extractor,
         workers=args.workers,
         chunk_size=args.chunk_size,
+        tracer=tracer,
     )
     results = runner.run(records)
     store.store_many(results)
+    if tracer is not None:
+        manifest = build_manifest(
+            tracer,
+            config={
+                "workers": args.workers,
+                "chunk_size": args.chunk_size,
+                "parse_budget_s": args.parse_budget,
+                "records": len(records),
+                "categorical_models": sorted(extractor.categorical),
+            },
+            dictionary_signature=(
+                extractor.numeric.parser.dictionary.signature()
+            ),
+            model_fingerprints={
+                name: model_fingerprint(classifier.to_dict()["tree"])
+                for name, classifier in sorted(
+                    extractor.categorical.items()
+                )
+            },
+        )
+        written = tracer.write_jsonl(args.trace, manifest)
+        print(
+            f"traced {written} records -> {args.trace} "
+            f"(config {manifest['config_hash']}, dictionary "
+            f"{manifest['dictionary_signature']})"
+        )
     if args.csv is not None:
         store.export_csv(args.csv)
         print(f"exported CSV to {args.csv}")
@@ -218,9 +274,49 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         )
         print(
             f"parse cache: {stats['linkage_cache_hit_rate']:.1%} hit "
-            f"rate; prune ratio: {stats['prune_ratio']:.1%}"
+            f"rate; prune ratio: {stats['prune_ratio']:.1%}; "
+            f"parse timeouts: {stats['parse_timeouts']}"
         )
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if not args.file.exists():
+        print(f"error: no such trace file: {args.file}",
+              file=sys.stderr)
+        return 2
+    manifest, spans = read_jsonl(args.file)
+    if args.record is None:
+        if manifest is not None:
+            config = manifest.get("config", {})
+            print(
+                f"manifest: config {manifest.get('config_hash', '?')} "
+                f"dictionary {manifest.get('dictionary_signature', '?')} "
+                f"workers={config.get('workers', '?')}"
+            )
+            for kind, stats in manifest.get(
+                "timing_percentiles", {}
+            ).items():
+                print(
+                    f"  {kind:16s} n={int(stats['count']):6d} "
+                    f"p50={stats['p50_s'] * 1000:8.3f}ms "
+                    f"p99={stats['p99_s'] * 1000:8.3f}ms"
+                )
+        print(f"{len(spans)} record span trees:")
+        for root in spans:
+            descendants = sum(1 for _ in root.walk()) - 1
+            print(
+                f"  {root.name:12s} {descendants:4d} spans "
+                f"{root.duration * 1000:8.2f}ms"
+            )
+        return 0
+    for root in spans:
+        if root.name == args.record:
+            print(root.render())
+            return 0
+    print(f"error: no record {args.record!r} in {args.file}",
+          file=sys.stderr)
+    return 2
 
 
 def _cmd_parse(args: argparse.Namespace) -> int:
@@ -283,6 +379,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "generate": _cmd_generate,
     "extract": _cmd_extract,
+    "trace": _cmd_trace,
     "parse": _cmd_parse,
     "analyze": _cmd_analyze,
     "evaluate": _cmd_evaluate,

@@ -39,6 +39,21 @@ class ParseFailure(ReproError):
         super().__init__(f"{reason}: {' '.join(self.words)!r}")
 
 
+class ParseTimeout(ParseFailure):
+    """The parser exceeded its per-sentence time budget.
+
+    A subclass of :class:`ParseFailure` so every caller that degrades
+    to the paper's pattern fallback on an unparseable sentence degrades
+    the same way on a pathological one, instead of hanging.
+    """
+
+    def __init__(self, words, budget: float):
+        self.budget = budget
+        super().__init__(
+            words, f"parse budget of {budget:g}s exceeded"
+        )
+
+
 class OntologyError(ReproError):
     """The ontology store is missing, corrupt, or queried incorrectly."""
 

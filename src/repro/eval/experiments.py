@@ -75,6 +75,16 @@ class NumericExperimentResult:
         default_factory=dict
     )
     methods: dict[str, int] = field(default_factory=dict)
+    #: method → number of *wrong* values it produced (provenance-aware
+    #: error breakdown: which association route makes the mistakes).
+    method_errors: dict[str, int] = field(default_factory=dict)
+
+    def method_rows(self) -> list[tuple[str, int, int]]:
+        """(method, extracted, wrong) per association method."""
+        return [
+            (method, count, self.method_errors.get(method, 0))
+            for method, count in sorted(self.methods.items())
+        ]
 
     def precision(self, name: str) -> float:
         return self.per_attribute[name].precision()
@@ -130,6 +140,10 @@ def numeric_experiment(
             )
             if value == target:
                 counts.etrue += 1
+            else:
+                result.method_errors[got.method.value] = (
+                    result.method_errors.get(got.method.value, 0) + 1
+                )
     return result
 
 

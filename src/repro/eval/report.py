@@ -38,6 +38,10 @@ class ReproductionReport:
     smoking_accuracy: float
     smoking_feature_range: tuple[int, int]
     smoking_interval: "Interval | None" = None
+    #: Provenance-aware breakdown: (method, extracted, wrong) — which
+    #: association route (linkage, pattern, regex, proximity)
+    #: produced each numeric value and where the errors concentrate.
+    numeric_methods: list[tuple[str, int, int]] | None = None
 
     def numeric_perfect(self) -> bool:
         return all(
@@ -55,6 +59,21 @@ class ReproductionReport:
             lines.append(f"  {name:18s} P={p:6.1%}  R={r:6.1%}")
         verdict = "exact" if self.numeric_perfect() else "DIVERGED"
         lines.append(f"  -> {verdict}")
+
+        if self.numeric_methods:
+            lines.append("")
+            lines.append(
+                "[PROV] association method breakdown "
+                "(provenance-aware)"
+            )
+            for method, extracted, wrong in self.numeric_methods:
+                status = (
+                    "clean" if wrong == 0 else f"{wrong} wrong"
+                )
+                lines.append(
+                    f"  {method:12s} {extracted:4d} values  "
+                    f"({status})"
+                )
 
         lines.append("")
         lines.append("[TAB1] medical term extraction")
@@ -101,6 +120,7 @@ def full_report(
     table1 = table1_experiment(records, golds)
     smoking = smoking_experiment(records, golds)
     return ReproductionReport(
+        numeric_methods=numeric.method_rows(),
         numeric_rows=numeric.rows(),
         table1=table1,
         smoking_accuracy=smoking.accuracy,

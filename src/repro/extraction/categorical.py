@@ -30,6 +30,7 @@ from repro.ml.id3 import ID3Classifier
 from repro.morphology.lemmatizer import Lemmatizer
 from repro.nlp.pipeline import Pipeline, default_pipeline
 from repro.records.model import PatientRecord
+from repro.runtime import tracing
 from repro.runtime.cache import DocumentCache, LinkageCache
 
 #: POS-class name → Penn tag prefixes.
@@ -225,9 +226,40 @@ class CategoricalClassifier:
             )
         return self._id3.predict(self.features(text))
 
+    def predict_with_path(
+        self, text: str
+    ) -> tuple[str, list[str]]:
+        """Predict a label plus the ID3 root-to-leaf path taken."""
+        if self._id3 is None:
+            raise TrainingError(
+                f"classifier for {self.attribute.name!r} is not trained"
+            )
+        return self._id3.predict_with_path(self.features(text))
+
     def predict_record(self, record: PatientRecord) -> str | None:
         text = record.section_text(self.attribute.section)
         return self.predict(text) if text else None
+
+    def predict_record_detailed(
+        self, record: PatientRecord
+    ) -> tuple[str | None, str]:
+        """(label, decision-path detail) for one record.
+
+        The detail string is the ID3 leaf path, e.g.
+        ``smoker=absent > quit=present``; empty when the record has no
+        text for the attribute's section.
+        """
+        text = record.section_text(self.attribute.section)
+        if not text:
+            return None, ""
+        with tracing.span(
+            "classification", self.attribute.name
+        ):
+            label, path = self.predict_with_path(text)
+            detail = " > ".join(path)
+            if tracing.enabled():
+                tracing.annotate(label=label, path=detail)
+            return label, detail
 
     def features_used(self) -> set[str]:
         if self._id3 is None:
@@ -241,26 +273,25 @@ class CategoricalClassifier:
 
     # --------------------------------------------------- persistence
 
-    def save(self, path) -> None:
-        """Write the trained model (tree + attribute name) to JSON."""
-        import json
-        from pathlib import Path
-
+    def to_dict(self) -> dict:
+        """The trained model as a JSON-shaped dict (tree + name)."""
         from repro.ml.serialize import tree_to_dict
 
         if self._id3 is None:
             raise TrainingError(
                 f"classifier for {self.attribute.name!r} is not trained"
             )
-        Path(path).write_text(
-            json.dumps(
-                {
-                    "attribute": self.attribute.name,
-                    "tree": tree_to_dict(self._id3),
-                },
-                indent=1,
-            )
-        )
+        return {
+            "attribute": self.attribute.name,
+            "tree": tree_to_dict(self._id3),
+        }
+
+    def save(self, path) -> None:
+        """Write the trained model (tree + attribute name) to JSON."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.to_dict(), indent=1))
 
     @classmethod
     def load(cls, path) -> "CategoricalClassifier":

@@ -34,6 +34,7 @@ from repro.linkgrammar.parser import LinkGrammarParser
 from repro.nlp.document import Annotation, Document
 from repro.nlp.pipeline import Pipeline, default_pipeline
 from repro.records.model import PatientRecord
+from repro.runtime import tracing
 from repro.runtime.cache import DocumentCache, LinkageCache
 
 #: Words the patterns allow between the feature and its number.
@@ -55,12 +56,18 @@ class Method(str, Enum):
 
 @dataclass(frozen=True)
 class NumericExtraction:
-    """One extracted numeric value with provenance."""
+    """One extracted numeric value with provenance.
+
+    ``detail`` names the exact decision inside the method: the regex
+    pattern that fired, the linkage graph distance, the fallback
+    pattern's gap words, or the proximity token distance.
+    """
 
     attribute: str
     value: float | tuple[float, float]
     method: Method
     sentence: str
+    detail: str = ""
 
 
 @dataclass(frozen=True)
@@ -161,10 +168,19 @@ class NumericExtractor:
                 results[attr.name] = None
                 continue
             if attr.section not in documents:
-                documents[attr.section] = self._document(text)
-            results[attr.name] = self.extract_attribute(
-                attr, text, document=documents[attr.section]
-            )
+                with tracing.span("section", attr.section):
+                    documents[attr.section] = self._document(text)
+            with tracing.span(
+                "attribute", attr.name, section=attr.section
+            ):
+                found = self.extract_attribute(
+                    attr, text, document=documents[attr.section]
+                )
+                if found is not None and tracing.enabled():
+                    tracing.annotate(
+                        method=found.method.value, detail=found.detail
+                    )
+                results[attr.name] = found
         return results
 
     def extract_attribute(
@@ -185,7 +201,11 @@ class NumericExtractor:
                 value = float(match.group(1))
                 if self._in_range(attr, value):
                     return NumericExtraction(
-                        attr.name, value, Method.REGEX, match.group(0)
+                        attr.name,
+                        value,
+                        Method.REGEX,
+                        match.group(0),
+                        detail=f"regex:{pattern}",
                     )
         if document is None:
             document = self._document(text)
@@ -280,31 +300,71 @@ class NumericExtractor:
             return None
         sentence_text = document.span_text(sentence)
 
+        with tracing.span(
+            "sentence",
+            sentence_text,
+            attribute=attr.name,
+            mentions=len(mentions),
+            candidates=len(numbers),
+        ):
+            found = self._associate_mentions(
+                attr, document, tokens, mentions, numbers,
+                sentence_text,
+            )
+            if found is not None and tracing.enabled():
+                tracing.annotate(
+                    method=found.method.value,
+                    value=str(found.value),
+                    detail=found.detail,
+                )
+            return found
+
+    def _associate_mentions(
+        self,
+        attr: NumericAttribute,
+        document: Document,
+        tokens: list[Annotation],
+        mentions: list[FeatureMention],
+        numbers: list[tuple[int, float | tuple[float, float]]],
+        sentence_text: str,
+    ) -> NumericExtraction | None:
         for mention in mentions:
             if self.use_linkage:
-                value = self._associate_by_linkage(
-                    document, tokens, mention, numbers
-                )
-                if value is not None and self._value_ok(attr, value):
-                    return NumericExtraction(
-                        attr.name, value, Method.LINKAGE, sentence_text
+                with tracing.span(
+                    "association", mention.surface, strategy="linkage"
+                ):
+                    hit = self._associate_by_linkage(
+                        document, tokens, mention, numbers
                     )
-                if value is not None:
+                if hit is not None:
+                    value, detail = hit
+                    if self._value_ok(attr, value):
+                        return NumericExtraction(
+                            attr.name, value, Method.LINKAGE,
+                            sentence_text, detail=detail,
+                        )
                     continue  # associated but implausible: next mention
             if self.use_patterns:
                 texts = [document.span_text(t).lower() for t in tokens]
-                value = self._associate_by_pattern(texts, mention, numbers)
-                if value is not None and self._value_ok(attr, value):
-                    return NumericExtraction(
-                        attr.name, value, Method.PATTERN, sentence_text
-                    )
+                hit = self._associate_by_pattern(
+                    texts, mention, numbers
+                )
+                if hit is not None:
+                    value, detail = hit
+                    if self._value_ok(attr, value):
+                        return NumericExtraction(
+                            attr.name, value, Method.PATTERN,
+                            sentence_text, detail=detail,
+                        )
             if self.use_proximity:
-                value = self._associate_by_proximity(mention, numbers)
-                if value is not None and self._value_ok(attr, value):
-                    return NumericExtraction(
-                        attr.name, value, Method.PROXIMITY,
-                        sentence_text,
-                    )
+                hit = self._associate_by_proximity(mention, numbers)
+                if hit is not None:
+                    value, detail = hit
+                    if self._value_ok(attr, value):
+                        return NumericExtraction(
+                            attr.name, value, Method.PROXIMITY,
+                            sentence_text, detail=detail,
+                        )
         return None
 
     def _candidate_numbers(
@@ -340,7 +400,7 @@ class NumericExtractor:
         tokens: list[Annotation],
         mention: FeatureMention,
         numbers: list[tuple[int, float | tuple[float, float]]],
-    ) -> float | tuple[float, float] | None:
+    ) -> tuple[float | tuple[float, float], str] | None:
         linkage = self._parse_cached(document, tokens)
         if linkage is None:
             return None
@@ -365,7 +425,7 @@ class NumericExtractor:
         )
         if best is None or math.isinf(distance):
             return None
-        return candidates[best]
+        return candidates[best], f"graph-distance={distance:g}"
 
     def _parse_cached(
         self, document: Document, tokens: list[Annotation]
@@ -379,28 +439,33 @@ class NumericExtractor:
         texts: list[str],
         mention: FeatureMention,
         numbers: list[tuple[int, float | tuple[float, float]]],
-    ) -> float | tuple[float, float] | None:
+    ) -> tuple[float | tuple[float, float], str] | None:
         """CONCEPT is/of/,/: NUMBER — a number shortly after the feature.
 
         The gap may only contain pattern words ("is", "of", ",", ":",
-        articles); any other word breaks the pattern.
+        articles); any other word breaks the pattern.  The returned
+        detail spells out the instantiated pattern, e.g.
+        ``CONCEPT of NUMBER``.
         """
         by_index = dict(numbers)
+        gap: list[str] = []
         for index in range(
             mention.end_token,
             min(mention.end_token + _PATTERN_WINDOW + 1, len(texts)),
         ):
             if index in by_index:
-                return by_index[index]
+                shape = " ".join(["CONCEPT", *gap, "NUMBER"])
+                return by_index[index], f"pattern:{shape}"
             if texts[index] not in _PATTERN_GAP_WORDS:
                 return None
+            gap.append(texts[index])
         return None
 
     def _associate_by_proximity(
         self,
         mention: FeatureMention,
         numbers: list[tuple[int, float | tuple[float, float]]],
-    ) -> float | tuple[float, float] | None:
+    ) -> tuple[float | tuple[float, float], str] | None:
         """Nearest number by token distance, rightward ties first."""
         if not numbers:
             return None
@@ -411,7 +476,8 @@ class NumericExtractor:
                 0 if pair[0] > mention.head_token else 1,
             ),
         )
-        return best[1]
+        distance = abs(best[0] - mention.head_token)
+        return best[1], f"token-distance={distance}"
 
     # ------------------------------------------------------- validation
 

@@ -21,8 +21,32 @@ from repro.extraction.schema import (
 )
 from repro.extraction.terms import TermExtractor
 from repro.records.model import PatientRecord
+from repro.runtime import tracing
 from repro.runtime.cache import ExtractionCaches
 from repro.synth.gold import GoldAnnotations
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """How one stored value was produced.
+
+    One row per emitted value, regardless of kind:
+
+    * numeric — ``method`` is the association route (``linkage``,
+      ``pattern``, ``regex``, ``proximity``) and ``detail`` the exact
+      decision (graph distance, instantiated fallback pattern, regex);
+    * term — ``method`` is ``pos-pattern`` and ``detail`` carries the
+      candidate POS pattern plus the matched concept;
+    * categorical — ``method`` is ``id3`` and ``detail`` the
+      root-to-leaf decision path.
+    """
+
+    attribute: str
+    kind: str  # "numeric" | "term" | "categorical"
+    value: str
+    method: str
+    detail: str = ""
+    position: int = 0  # ordinal for multi-valued (term) attributes
 
 
 @dataclass
@@ -35,6 +59,7 @@ class ExtractionResult:
     )
     terms: dict[str, list[str]] = field(default_factory=dict)
     categorical: dict[str, str | None] = field(default_factory=dict)
+    provenance: list[Provenance] = field(default_factory=list)
 
     def numeric_values(self) -> dict[str, Any]:
         """Attribute → plain value (no provenance)."""
@@ -42,6 +67,12 @@ class ExtractionResult:
             name: (extraction.value if extraction else None)
             for name, extraction in self.numeric.items()
         }
+
+
+def _numeric_value_str(value: float | tuple[float, float]) -> str:
+    if isinstance(value, tuple):
+        return "/".join(f"{component:g}" for component in value)
+    return f"{value:g}"
 
 
 class RecordExtractor:
@@ -61,12 +92,19 @@ class RecordExtractor:
         terms: TermExtractor | None = None,
         categorical: dict[str, CategoricalClassifier] | None = None,
         caches: ExtractionCaches | None = None,
+        parse_budget: float | None = None,
     ) -> None:
         self.caches = caches or ExtractionCaches()
-        self.numeric = numeric or NumericExtractor(
-            document_cache=self.caches.documents,
-            linkage_cache=self.caches.linkages,
-        )
+        self.parse_budget = parse_budget
+        if numeric is None:
+            from repro.linkgrammar.parser import LinkGrammarParser
+
+            numeric = NumericExtractor(
+                parser=LinkGrammarParser(time_budget=parse_budget),
+                document_cache=self.caches.documents,
+                linkage_cache=self.caches.linkages,
+            )
+        self.numeric = numeric
         self.terms = terms or TermExtractor(
             document_cache=self.caches.documents
         )
@@ -136,12 +174,66 @@ class RecordExtractor:
         return count
 
     def extract(self, record: PatientRecord) -> ExtractionResult:
-        """Extract every attribute the extractor knows how to handle."""
+        """Extract every attribute the extractor knows how to handle.
+
+        Every emitted value also gets a :class:`Provenance` entry; the
+        whole record runs under one ``record`` span when tracing is
+        active.
+        """
         result = ExtractionResult(patient_id=record.patient_id)
-        result.numeric = self.numeric.extract_record(record)
-        result.terms = self.terms.extract_record(record)
-        for name, classifier in self.categorical.items():
-            result.categorical[name] = classifier.predict_record(record)
+        with tracing.span("record", record.patient_id):
+            result.numeric = self.numeric.extract_record(record)
+            terms, assigned = self.terms.extract_record_detailed(
+                record
+            )
+            result.terms = terms
+            paths: dict[str, str] = {}
+            for name, classifier in self.categorical.items():
+                label, path = classifier.predict_record_detailed(
+                    record
+                )
+                result.categorical[name] = label
+                paths[name] = path
+            for name, extraction in result.numeric.items():
+                if extraction is None:
+                    continue
+                result.provenance.append(
+                    Provenance(
+                        attribute=name,
+                        kind="numeric",
+                        value=_numeric_value_str(extraction.value),
+                        method=extraction.method.value,
+                        detail=extraction.detail,
+                    )
+                )
+            for name, pairs in assigned.items():
+                for position, (canonical, hit) in enumerate(pairs):
+                    result.provenance.append(
+                        Provenance(
+                            attribute=name,
+                            kind="term",
+                            value=canonical,
+                            method="pos-pattern",
+                            detail=(
+                                f"pattern:{hit.pattern} "
+                                f"surface:{hit.surface} "
+                                f"cui:{hit.cui}"
+                            ),
+                            position=position,
+                        )
+                    )
+            for name, label in result.categorical.items():
+                if label is None:
+                    continue
+                result.provenance.append(
+                    Provenance(
+                        attribute=name,
+                        kind="categorical",
+                        value=label,
+                        method="id3",
+                        detail=paths.get(name, ""),
+                    )
+                )
         return result
 
     def extract_all(

@@ -32,6 +32,7 @@ from repro.ontology.concept import ConceptMatch, SemanticType
 from repro.ontology.normalizer import TermNormalizer
 from repro.ontology.store import OntologyStore
 from repro.records.model import PatientRecord
+from repro.runtime import tracing
 from repro.runtime.cache import DocumentCache
 
 #: The paper's ordered candidate patterns (longest first).
@@ -54,7 +55,11 @@ _SLOT_TAGS: dict[str, frozenset[str]] = {
 
 @dataclass(frozen=True)
 class TermHit:
-    """One extracted term occurrence."""
+    """One extracted term occurrence.
+
+    ``pattern`` is the candidate POS pattern that proposed the term
+    (e.g. ``"JJ NN"``) — the provenance of the hit.
+    """
 
     surface: str
     normalized: str
@@ -63,6 +68,7 @@ class TermHit:
     semantic_type: SemanticType
     start_token: int
     end_token: int
+    pattern: str = ""
 
 
 class TermExtractor:
@@ -90,22 +96,42 @@ class TermExtractor:
         self, record: PatientRecord
     ) -> dict[str, list[str]]:
         """All four term attributes → lists of canonical term names."""
+        results, _ = self.extract_record_detailed(record)
+        return results
+
+    def extract_record_detailed(
+        self, record: PatientRecord
+    ) -> tuple[
+        dict[str, list[str]],
+        dict[str, list[tuple[str, TermHit]]],
+    ]:
+        """Like :meth:`extract_record`, plus per-value provenance.
+
+        The second mapping pairs every emitted canonical name with the
+        :class:`TermHit` that produced it (surface form, POS pattern,
+        matched concept).
+        """
         results: dict[str, list[str]] = {}
+        assigned: dict[str, list[tuple[str, TermHit]]] = {}
         section_hits: dict[str, list[TermHit]] = {}
         for attr in TERMS_ATTRIBUTES:
             if attr.section not in section_hits:
                 text = record.section_text(attr.section)
-                section_hits[attr.section] = (
-                    self.extract_terms(
-                        text, semantic_types=set(attr.semantic_types)
+                with tracing.span("section", attr.section):
+                    section_hits[attr.section] = (
+                        self.extract_terms(
+                            text,
+                            semantic_types=set(attr.semantic_types),
+                        )
+                        if text
+                        else []
                     )
-                    if text
-                    else []
-                )
-            results[attr.name] = self._assign(
+            pairs = self._assign_hits(
                 attr, section_hits[attr.section]
             )
-        return results
+            assigned[attr.name] = pairs
+            results[attr.name] = [name for name, _ in pairs]
+        return results, assigned
 
     def extract_terms(
         self,
@@ -166,7 +192,7 @@ class TermExtractor:
             surface = " ".join(texts[start:end])
             match = self._lookup(surface, semantic_types)
             if match is not None:
-                return TermHit(
+                hit = TermHit(
                     surface=surface,
                     normalized=match.normalized,
                     concept_name=match.concept.preferred_name,
@@ -174,7 +200,17 @@ class TermExtractor:
                     semantic_type=match.concept.semantic_type,
                     start_token=start,
                     end_token=end,
+                    pattern=" ".join(pattern),
                 )
+                if tracing.enabled():
+                    tracing.event(
+                        "lookup",
+                        surface,
+                        pattern=hit.pattern,
+                        concept=hit.concept_name,
+                        cui=hit.cui,
+                    )
+                return hit
         return None
 
     def _lookup(
@@ -195,11 +231,20 @@ class TermExtractor:
         self, attr: TermsAttribute, hits: list[TermHit]
     ) -> list[str]:
         """Split hits into the predefined or the "other" column."""
+        return [
+            name for name, _ in self._assign_hits(attr, hits)
+        ]
+
+    def _assign_hits(
+        self, attr: TermsAttribute, hits: list[TermHit]
+    ) -> list[tuple[str, TermHit]]:
+        """Assigned (canonical name, originating hit) pairs."""
         predefined_keys = {
             self.normalizer.normalize(name): name
             for name in attr.predefined
         }
-        out: list[str] = []
+        out: list[tuple[str, TermHit]] = []
+        seen: set[str] = set()
         for hit in hits:
             if self.use_synonyms:
                 is_predefined = hit.concept_name in attr.predefined
@@ -214,8 +259,11 @@ class TermExtractor:
                     if is_predefined
                     else hit.concept_name
                 )
-            if attr.predefined_only == is_predefined and canonical not in out:
-                out.append(canonical)
+            if attr.predefined_only == is_predefined and (
+                canonical not in seen
+            ):
+                seen.add(canonical)
+                out.append((canonical, hit))
         return out
 
 

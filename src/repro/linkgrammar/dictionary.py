@@ -103,6 +103,25 @@ class Dictionary:
                     return disjuncts
         return []
 
+    def signature(self) -> str:
+        """Stable fingerprint of the dictionary's contents.
+
+        Hashes every word with its disjunct count and total cost plus
+        the tag defaults, so any :meth:`add` (or a different seed
+        lexicon) changes the signature.  Recorded in trace manifests:
+        two runs with the same signature resolved tokens identically.
+        """
+        import hashlib
+
+        payload = "|".join(
+            f"{word}:{len(ds)}:{sum(d.cost for d in ds)}"
+            for word, ds in sorted(self._words.items())
+        )
+        payload += "||" + "|".join(
+            f"{tag}:{len(ds)}" for tag, ds in self._tag_defaults
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
     def resolution_key(self, word: str, tag: str | None = None) -> str:
         """Equivalence class of ``disjuncts(word, tag)``.
 

@@ -35,7 +35,7 @@ import time
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.errors import ParseFailure
+from repro.errors import ParseFailure, ParseTimeout
 from repro.linkgrammar.connectors import (
     Connector,
     connectors_match,
@@ -69,6 +69,7 @@ class ParserStats:
 
     sentences: int = 0
     failures: int = 0
+    timeouts: int = 0
     disjuncts_before: int = 0
     disjuncts_after: int = 0
     parse_seconds: float = 0.0
@@ -83,6 +84,7 @@ class ParserStats:
         return {
             "sentences": self.sentences,
             "failures": self.failures,
+            "timeouts": self.timeouts,
             "disjuncts_before": self.disjuncts_before,
             "disjuncts_after": self.disjuncts_after,
             "parse_seconds": self.parse_seconds,
@@ -91,6 +93,7 @@ class ParserStats:
     def reset(self) -> None:
         self.sentences = 0
         self.failures = 0
+        self.timeouts = 0
         self.disjuncts_before = 0
         self.disjuncts_after = 0
         self.parse_seconds = 0.0
@@ -112,11 +115,17 @@ class LinkGrammarParser:
         max_linkages: int = 16,
         max_words: int = 40,
         prune: bool = True,
+        time_budget: float | None = None,
     ) -> None:
+        if time_budget is not None and time_budget < 0:
+            raise ValueError(
+                f"time_budget must be >= 0, got {time_budget}"
+            )
         self.dictionary = dictionary or default_dictionary()
         self.max_linkages = max_linkages
         self.max_words = max_words
         self.prune = prune
+        self.time_budget = time_budget
         self.stats = ParserStats()
 
     # ------------------------------------------------------------ public
@@ -134,7 +143,11 @@ class LinkGrammarParser:
         started = time.perf_counter()
         self.stats.sentences += 1
         try:
-            return self._parse(words, tags)
+            return self._parse(words, tags, started)
+        except ParseTimeout:
+            self.stats.timeouts += 1
+            self.stats.failures += 1
+            raise
         except ParseFailure:
             self.stats.failures += 1
             raise
@@ -145,6 +158,7 @@ class LinkGrammarParser:
         self,
         words: list[str],
         tags: list[str] | None = None,
+        started: float | None = None,
     ) -> list[Linkage]:
         if not words:
             raise ParseFailure(words, "empty sentence")
@@ -169,7 +183,18 @@ class LinkGrammarParser:
             ]
             raise ParseFailure(words, f"no entry for {missing[0]!r}")
 
-        session = _ParseSession(sentence, disjuncts, prune=self.prune)
+        deadline = None
+        if self.time_budget is not None:
+            deadline = (
+                started if started is not None else time.perf_counter()
+            ) + self.time_budget
+        session = _ParseSession(
+            sentence,
+            disjuncts,
+            prune=self.prune,
+            deadline=deadline,
+            budget=self.time_budget,
+        )
         self.stats.disjuncts_before += session.disjuncts_before
         self.stats.disjuncts_after += session.disjuncts_after
         linkages = session.linkages(self.max_linkages)
@@ -286,10 +311,15 @@ class _ParseSession:
         sentence: list[str],
         disjuncts: list[list[Disjunct]],
         prune: bool = True,
+        deadline: float | None = None,
+        budget: float | None = None,
     ) -> None:
         self.sentence = sentence
         self.disjuncts = [list(d) for d in disjuncts]
         self.n = len(sentence)
+        self._deadline = deadline
+        self._budget = budget
+        self._ops = 0
         self._count_memo: dict[tuple, int] = {}
         self._table = self._build_match_table()
         self.disjuncts_before = sum(len(d) for d in self.disjuncts)
@@ -384,12 +414,30 @@ class _ParseSession:
                     self.disjuncts[i] = kept
                     changed = True
 
+    def _check_deadline(self) -> None:
+        """Raise :class:`ParseTimeout` once the budget is exhausted.
+
+        Called unconditionally when extraction starts and every 256
+        recurrence steps after, so even a zero budget fails fast and a
+        pathological sentence cannot wedge the engine: the timeout is
+        a :class:`ParseFailure`, so callers fall back to the paper's
+        linguistic patterns exactly as they do for fragments.
+        """
+        if (
+            self._deadline is not None
+            and time.perf_counter() > self._deadline
+        ):
+            raise ParseTimeout(
+                self.sentence[1:], self._budget or 0.0
+            )
+
     # The wall's disjuncts have no left connectors; the virtual right
     # boundary is position n with an empty connector list.
 
     def linkages(
         self, limit: int
     ) -> list[tuple[frozenset[Link], int]]:
+        self._check_deadline()
         found: dict[frozenset[Link], int] = {}
         for disjunct in self.disjuncts[0]:
             if disjunct.left:
@@ -410,6 +458,9 @@ class _ParseSession:
 
     def _count(self, L: int, R: int, le: ConnList, re: ConnList) -> int:
         """Number of linkages of region (L, R) — capped, used to prune."""
+        self._ops += 1
+        if not self._ops & 255:
+            self._check_deadline()
         if R == L + 1:
             return 1 if not le and not re else 0
         if not le and not re:

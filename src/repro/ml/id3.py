@@ -147,6 +147,33 @@ class ID3Classifier:
     def predict_dataset(self, dataset: Dataset) -> list[str]:
         return [self.predict(inst) for inst in dataset]
 
+    def predict_with_path(
+        self, features
+    ) -> tuple[str, list[str]]:
+        """Predict and return the root-to-leaf decision path.
+
+        The path lists every tested feature with the branch taken
+        (``smoker=present``), ending at the predicted label — the
+        provenance of one categorical value.
+        """
+        if self._root is None:
+            raise TrainingError("classifier is not trained")
+        instance = (
+            features
+            if isinstance(features, Instance)
+            else Instance(frozenset(features), "")
+        )
+        node = self._root
+        path: list[str] = []
+        while isinstance(node, _Node):
+            present = instance.has(node.feature)
+            path.append(
+                f"{node.feature}="
+                f"{'present' if present else 'absent'}"
+            )
+            node = node.present if present else node.absent
+        return node.label, path
+
     # ------------------------------------------------------- inspection
 
     def features_used(self) -> set[str]:

@@ -8,9 +8,16 @@ The batch engine behind ``repro extract --workers N``:
   across worker processes and dumped as JSON by the benchmarks;
 * :mod:`repro.runtime.runner` — the :class:`CorpusRunner` that fans
   record chunks out over a process pool with per-worker extraction
-  stacks, keeping ``workers=1`` as the deterministic serial default.
+  stacks, keeping ``workers=1`` as the deterministic serial default;
+* :mod:`repro.runtime.tracing` — hierarchical span tracing and run
+  manifests (zero-cost no-op when disabled), the engine's
+  observability layer.
+
+Import order note: :mod:`repro.runtime.tracing` must stay dependency-
+free within the package (cache and runner import it).
 """
 
+from repro.runtime import tracing
 from repro.runtime.cache import (
     DocumentCache,
     ExtractionCaches,
@@ -19,14 +26,27 @@ from repro.runtime.cache import (
 )
 from repro.runtime.metrics import Metrics, diff_stats, merge_stats
 from repro.runtime.runner import CorpusRunner
+from repro.runtime.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    build_manifest,
+)
 
 __all__ = [
+    "NULL_TRACER",
     "CorpusRunner",
     "DocumentCache",
     "ExtractionCaches",
     "LRUCache",
     "LinkageCache",
     "Metrics",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "build_manifest",
     "diff_stats",
     "merge_stats",
+    "tracing",
 ]

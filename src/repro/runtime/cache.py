@@ -29,12 +29,13 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Hashable, Sequence
 
-from repro.errors import ParseFailure
+from repro.errors import ParseFailure, ParseTimeout
 from repro.linkgrammar.dictionary import LEFT_WALL
 from repro.linkgrammar.linkage import Linkage
 from repro.linkgrammar.parser import _STRIP_TOKENS, LinkGrammarParser
 from repro.nlp.document import Document
 from repro.nlp.pipeline import Pipeline, default_pipeline
+from repro.runtime import tracing
 
 _MISSING = object()
 
@@ -138,8 +139,11 @@ class DocumentCache:
         return self._lru.stats()
 
 
-#: Cached marker for sentences the parser cannot link.
+#: Cached marker for sentences the parser cannot link.  A timed-out
+#: sentence is cached under a distinct marker so traces can tell "no
+#: linkage exists" apart from "the budget ran out" on later hits.
 _PARSE_FAILED = object()
+_PARSE_TIMED_OUT = object()
 
 
 class LinkageCache:
@@ -200,9 +204,40 @@ class LinkageCache:
         """
         key = self.signature(parser, words, tags)
         entry = self._lru.get(key, _MISSING)
+        if not tracing.enabled():
+            return self._resolve(parser, words, tags, key, entry)
+        with tracing.span(
+            "parse",
+            " ".join(words),
+            cache_hit=entry is not _MISSING,
+        ):
+            linkage = self._resolve(parser, words, tags, key, entry)
+            tracing.annotate(
+                outcome="linked" if linkage is not None else "failed"
+            )
+            return linkage
+
+    def _resolve(
+        self,
+        parser: LinkGrammarParser,
+        words: Sequence[str],
+        tags: Sequence[str] | None,
+        key: tuple,
+        entry: Any,
+    ) -> Linkage | None:
         if entry is _MISSING:
             try:
-                linkage = parser.parse_one(list(words), list(tags) if tags else None)
+                linkage = parser.parse_one(
+                    list(words), list(tags) if tags else None
+                )
+            except ParseTimeout as timeout:
+                tracing.event(
+                    "parse-timeout",
+                    " ".join(words),
+                    budget_s=timeout.budget,
+                )
+                self._lru.put(key, _PARSE_TIMED_OUT)
+                return None
             except ParseFailure:
                 self._lru.put(key, _PARSE_FAILED)
                 return None
@@ -212,6 +247,9 @@ class LinkageCache:
                  tuple(linkage.token_map)),
             )
             return linkage
+        if entry is _PARSE_TIMED_OUT:
+            tracing.annotate(timeout=True)
+            return None
         if entry is _PARSE_FAILED:
             return None
         links, cost, token_map = entry

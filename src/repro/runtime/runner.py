@@ -26,7 +26,9 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.records.model import PatientRecord
+from repro.runtime import tracing
 from repro.runtime.metrics import Metrics, diff_stats, merge_stats
+from repro.runtime.tracing import Span, Tracer
 
 if TYPE_CHECKING:  # real imports are deferred: extraction imports us
     from repro.extraction.pipeline import (
@@ -52,7 +54,10 @@ def _serialize_models(
     return models or None
 
 
-def _init_worker(models: dict[str, dict] | None) -> None:
+def _init_worker(
+    models: dict[str, dict] | None,
+    parse_budget: float | None = None,
+) -> None:
     """Build one extraction stack per worker process."""
     global _WORKER_EXTRACTOR
     from repro.extraction.categorical import CategoricalClassifier
@@ -60,7 +65,7 @@ def _init_worker(models: dict[str, dict] | None) -> None:
     from repro.extraction.schema import attribute as lookup
     from repro.ml.serialize import tree_from_dict
 
-    extractor = RecordExtractor()
+    extractor = RecordExtractor(parse_budget=parse_budget)
     for name, tree in (models or {}).items():
         classifier = CategoricalClassifier(
             lookup(name),
@@ -73,15 +78,30 @@ def _init_worker(models: dict[str, dict] | None) -> None:
 
 
 def _extract_chunk(
-    payload: tuple[int, list[PatientRecord]],
-) -> tuple[int, list[ExtractionResult], dict[str, Any]]:
-    """Extract one chunk; returns (index, results, counter deltas)."""
-    index, records = payload
+    payload: tuple[int, list[PatientRecord], bool],
+) -> tuple[
+    int, list[ExtractionResult], dict[str, Any], list[dict]
+]:
+    """Extract one chunk; returns (index, results, deltas, spans).
+
+    With tracing requested, the chunk runs under a worker-local
+    :class:`Tracer` and ships its span trees back serialized, exactly
+    like the counter deltas — the parent re-assembles them in input
+    order so a parallel trace equals a serial one record-for-record.
+    """
+    index, records, trace = payload
     assert _WORKER_EXTRACTOR is not None, "pool initializer did not run"
     before = _WORKER_EXTRACTOR.counters()
-    results = _WORKER_EXTRACTOR.extract_all(records)
+    spans: list[dict] = []
+    if trace:
+        tracer = Tracer()
+        with tracing.activated(tracer):
+            results = _WORKER_EXTRACTOR.extract_all(records)
+        spans = [root.to_dict() for root in tracer.roots]
+    else:
+        results = _WORKER_EXTRACTOR.extract_all(records)
     delta = diff_stats(_WORKER_EXTRACTOR.counters(), before)
-    return index, results, delta
+    return index, results, delta, spans
 
 
 class CorpusRunner:
@@ -92,6 +112,7 @@ class CorpusRunner:
         extractor: "RecordExtractor | None" = None,
         workers: int = 1,
         chunk_size: int | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         from repro.extraction.pipeline import RecordExtractor
 
@@ -105,6 +126,9 @@ class CorpusRunner:
         self.workers = workers
         self.chunk_size = chunk_size
         self.metrics = Metrics()
+        #: When set, every run records one span tree per record here
+        #: (worker trees are merged back in input order).
+        self.tracer = tracer
         #: Merged engine counters (caches, parser) from the last runs.
         self.engine_stats: dict[str, Any] = {}
 
@@ -142,6 +166,7 @@ class CorpusRunner:
             ),
             "records_per_sec": self.throughput(),
             "linkage_cache_hit_rate": hits / lookups if lookups else 0.0,
+            "parse_timeouts": parser.get("timeouts", 0),
             "prune_ratio": (
                 1.0 - parser.get("disjuncts_after", 0) / before
                 if before
@@ -156,7 +181,11 @@ class CorpusRunner:
         self, records: list[PatientRecord]
     ) -> list[ExtractionResult]:
         before = self.extractor.counters()
-        results = self.extractor.extract_all(records)
+        if self.tracer is not None:
+            with tracing.activated(self.tracer):
+                results = self.extractor.extract_all(records)
+        else:
+            results = self.extractor.extract_all(records)
         merge_stats(
             self.engine_stats,
             diff_stats(self.extractor.counters(), before),
@@ -167,12 +196,13 @@ class CorpusRunner:
 
     def _chunks(
         self, records: list[PatientRecord]
-    ) -> list[tuple[int, list[PatientRecord]]]:
+    ) -> list[tuple[int, list[PatientRecord], bool]]:
         size = self.chunk_size or max(
             1, math.ceil(len(records) / (self.workers * 4))
         )
+        trace = self.tracer is not None
         return [
-            (index, records[start:start + size])
+            (index, records[start:start + size], trace)
             for index, start in enumerate(range(0, len(records), size))
         ]
 
@@ -182,16 +212,26 @@ class CorpusRunner:
         chunks = self._chunks(records)
         models = _serialize_models(self.extractor)
         collected: dict[int, list[ExtractionResult]] = {}
+        collected_spans: dict[int, list[Span]] = {}
         with ProcessPoolExecutor(
             max_workers=min(self.workers, len(chunks)),
             initializer=_init_worker,
-            initargs=(models,),
+            initargs=(
+                models,
+                getattr(self.extractor, "parse_budget", None),
+            ),
         ) as pool:
-            for index, results, delta in pool.map(
+            for index, results, delta, spans in pool.map(
                 _extract_chunk, chunks
             ):
                 collected[index] = results
+                collected_spans[index] = [
+                    Span.from_dict(span) for span in spans
+                ]
                 merge_stats(self.engine_stats, delta)
+        if self.tracer is not None:
+            for index in sorted(collected_spans):
+                self.tracer.merge(collected_spans[index])
         return [
             result
             for index in sorted(collected)

@@ -41,6 +41,16 @@ CREATE TABLE IF NOT EXISTS categorical_values (
     label TEXT,
     PRIMARY KEY (patient_id, attribute)
 );
+CREATE TABLE IF NOT EXISTS provenance (
+    patient_id TEXT NOT NULL REFERENCES patients(patient_id),
+    kind TEXT NOT NULL,       -- numeric | term | categorical
+    attribute TEXT NOT NULL,
+    position INTEGER NOT NULL DEFAULT 0,
+    value TEXT,
+    method TEXT,
+    detail TEXT,
+    PRIMARY KEY (patient_id, kind, attribute, position)
+);
 """
 
 
@@ -75,8 +85,17 @@ class ResultStore:
         term_deletes: list[tuple] = []
         term_rows: list[tuple] = []
         categorical_rows: list[tuple] = []
+        provenance_deletes: list[tuple] = []
+        provenance_rows: list[tuple] = []
         for result in results:
             patient_rows.append((result.patient_id,))
+            provenance_deletes.append((result.patient_id,))
+            provenance_rows.extend(
+                (result.patient_id, entry.kind, entry.attribute,
+                 entry.position, entry.value, entry.method,
+                 entry.detail)
+                for entry in result.provenance
+            )
             for attribute, extraction in result.numeric.items():
                 value = value2 = method = sentence = None
                 if extraction is not None:
@@ -125,6 +144,14 @@ class ResultStore:
                 "(?, ?, ?)",
                 categorical_rows,
             )
+            cur.executemany(
+                "DELETE FROM provenance WHERE patient_id=?",
+                provenance_deletes,
+            )
+            cur.executemany(
+                "INSERT INTO provenance VALUES (?, ?, ?, ?, ?, ?, ?)",
+                provenance_rows,
+            )
         return len(results)
 
     # ------------------------------------------------------------- read
@@ -164,6 +191,80 @@ class ResultStore:
             (patient_id, attribute),
         ).fetchone()
         return row[0] if row else None
+
+    def provenance(
+        self,
+        patient_id: str,
+        attribute: str | None = None,
+    ) -> list[dict[str, Any]]:
+        """Provenance rows for one patient (optionally one attribute).
+
+        Each row answers "where did this cell come from": the kind of
+        value, the method that produced it (``linkage``, ``pattern``,
+        ``regex``, ``proximity``, ``pos-pattern``, ``id3``) and the
+        method-specific decision detail.
+        """
+        sql = (
+            "SELECT kind, attribute, position, value, method, detail "
+            "FROM provenance WHERE patient_id=?"
+        )
+        parameters: tuple = (patient_id,)
+        if attribute is not None:
+            sql += " AND attribute=?"
+            parameters += (attribute,)
+        sql += " ORDER BY kind, attribute, position"
+        return [
+            {
+                "kind": kind,
+                "attribute": attr,
+                "position": position,
+                "value": value,
+                "method": method,
+                "detail": detail,
+            }
+            for kind, attr, position, value, method, detail
+            in self._connection.execute(sql, parameters)
+        ]
+
+    def method_counts(self, kind: str | None = None) -> dict[str, int]:
+        """How many stored values each method produced."""
+        sql = (
+            "SELECT method, COUNT(*) FROM provenance"
+            + (" WHERE kind=?" if kind is not None else "")
+            + " GROUP BY method ORDER BY method"
+        )
+        parameters = (kind,) if kind is not None else ()
+        return dict(self._connection.execute(sql, parameters))
+
+    def missing_provenance(self) -> list[tuple[str, str, str]]:
+        """Stored values with no provenance row: (kind, patient, attr).
+
+        The CI smoke job gates on this returning an empty list —
+        every non-null numeric value, every term, and every non-null
+        categorical label must join to exactly one provenance row.
+        """
+        out = self._connection.execute(
+            "SELECT 'numeric', v.patient_id, v.attribute "
+            "FROM numeric_values v LEFT JOIN provenance p ON "
+            "p.kind='numeric' AND p.patient_id=v.patient_id AND "
+            "p.attribute=v.attribute "
+            "WHERE v.value IS NOT NULL AND p.patient_id IS NULL"
+        ).fetchall()
+        out += self._connection.execute(
+            "SELECT 'term', v.patient_id, v.attribute "
+            "FROM term_values v LEFT JOIN provenance p ON "
+            "p.kind='term' AND p.patient_id=v.patient_id AND "
+            "p.attribute=v.attribute AND p.position=v.position "
+            "WHERE p.patient_id IS NULL"
+        ).fetchall()
+        out += self._connection.execute(
+            "SELECT 'categorical', v.patient_id, v.attribute "
+            "FROM categorical_values v LEFT JOIN provenance p ON "
+            "p.kind='categorical' AND p.patient_id=v.patient_id AND "
+            "p.attribute=v.attribute "
+            "WHERE v.label IS NOT NULL AND p.patient_id IS NULL"
+        ).fetchall()
+        return [tuple(row) for row in out]
 
     def query(self, sql: str, parameters: tuple = ()) -> list[tuple]:
         """Arbitrary read-only research query over the result tables."""

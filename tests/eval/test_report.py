@@ -44,6 +44,17 @@ class TestReport:
         low, high = report.smoking_feature_range
         assert 0 < low <= high
 
+    def test_provenance_breakdown_rendered(self, report):
+        assert report.numeric_methods  # (method, extracted, wrong)
+        for _, extracted, wrong in report.numeric_methods:
+            assert 0 <= wrong <= extracted
+        text = report.render()
+        assert "[PROV] association method breakdown" in text
+        for method, _, wrong in report.numeric_methods:
+            assert method in text
+            if wrong == 0:
+                assert "clean" in text
+
 
 class TestReportDataclass:
     def test_diverged_flagging(self):

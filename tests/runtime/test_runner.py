@@ -39,13 +39,14 @@ class TestChunking:
     def test_explicit_chunk_size(self):
         runner = CorpusRunner(workers=2, chunk_size=2)
         chunks = runner._chunks(list(range(5)))
-        assert [c for _, c in chunks] == [[0, 1], [2, 3], [4]]
-        assert [i for i, _ in chunks] == [0, 1, 2]
+        assert [c for _, c, _ in chunks] == [[0, 1], [2, 3], [4]]
+        assert [i for i, _, _ in chunks] == [0, 1, 2]
+        assert all(trace is False for _, _, trace in chunks)
 
     def test_default_chunking_covers_everything(self):
         runner = CorpusRunner(workers=3)
         chunks = runner._chunks(list(range(100)))
-        flattened = [x for _, c in chunks for x in c]
+        flattened = [x for _, c, _ in chunks for x in c]
         assert flattened == list(range(100))
 
 

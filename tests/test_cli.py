@@ -57,6 +57,45 @@ class TestExtract:
         assert store.categorical_value(store.patients()[0], "smoking") \
             is not None or True  # smoking may be missing for a record
 
+    def test_extract_trace_and_replay(self, notes, tmp_path, capsys):
+        db = tmp_path / "study.db"
+        trace = tmp_path / "trace.jsonl"
+        code = main([
+            "extract", "--input", str(notes),
+            "--gold", str(notes / "gold.json"), "--db", str(db),
+            "--trace", str(trace),
+        ])
+        assert code == 0
+        lines = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+        ]
+        assert lines[0]["type"] == "manifest"
+        assert sum(1 for l in lines if l["type"] == "span") == 8
+        assert ResultStore(db).missing_provenance() == []
+        capsys.readouterr()
+
+        assert main(["trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "manifest:" in out
+        assert "8 record span trees" in out
+
+        record = lines[1]["name"]
+        assert main(["trace", str(trace), "--record", record]) == 0
+        out = capsys.readouterr().out
+        assert f"record '{record}'" in out
+
+    def test_trace_unknown_record_is_nonzero(self, notes, tmp_path):
+        db = tmp_path / "study.db"
+        trace = tmp_path / "trace.jsonl"
+        main([
+            "extract", "--input", str(notes), "--db", str(db),
+            "--trace", str(trace),
+        ])
+        assert main(
+            ["trace", str(trace), "--record", "no-such-id"]
+        ) != 0
+
     def test_model_save_and_reuse(self, notes, tmp_path):
         models = tmp_path / "models"
         db1 = tmp_path / "a.db"

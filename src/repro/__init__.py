@@ -23,6 +23,7 @@ from repro.errors import (
     ParseFailure,
     RecordFormatError,
     ReproError,
+    ResilienceError,
     SchemaError,
     StorageError,
     TokenizationError,
@@ -45,7 +46,12 @@ from repro.records import (
     save_records,
     split_record,
 )
-from repro.runtime import CorpusRunner
+from repro.runtime import (
+    CorpusRunner,
+    FaultPlan,
+    ResilientCorpusRunner,
+    RetryPolicy,
+)
 from repro.storage import ResultStore
 from repro.synth import (
     CohortSpec,
@@ -86,6 +92,10 @@ __all__ = [
     "save_records",
     "split_record",
     "CorpusRunner",
+    "FaultPlan",
+    "ResilienceError",
+    "ResilientCorpusRunner",
+    "RetryPolicy",
     "ResultStore",
     "CohortSpec",
     "DictationStyle",

@@ -24,6 +24,12 @@ import sys
 from pathlib import Path
 
 from repro.errors import ParseFailure, ReproError
+from repro.runtime.faults import FaultPlan, InjectedInterrupt
+from repro.runtime.resilience import (
+    Journal,
+    ResilientCorpusRunner,
+    RetryPolicy,
+)
 from repro.eval import (
     numeric_experiment,
     paper_cohort,
@@ -34,7 +40,6 @@ from repro.extraction.pipeline import RecordExtractor
 from repro.linkgrammar.parser import LinkGrammarParser
 from repro.nlp.pipeline import analyze
 from repro.records.loader import load_records, save_records
-from repro.runtime.runner import CorpusRunner
 from repro.runtime.tracing import (
     Tracer,
     build_manifest,
@@ -122,6 +127,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-sentence parser time budget; a timed-out sentence "
              "degrades to the linguistic-pattern fallback instead of "
              "hanging (default: 10.0, 0 disables the parser entirely)",
+    )
+    extract.add_argument(
+        "--retries", type=_positive_int, default=3,
+        metavar="ATTEMPTS",
+        help="executions of a failing chunk before it is bisected "
+             "down to the poison record, which is quarantined "
+             "(default: 3)",
+    )
+    extract.add_argument(
+        "--run-id", default=None, metavar="NAME",
+        help="name this run and checkpoint completed chunks to "
+             "<db>.<NAME>.journal so an interrupted run can be "
+             "resumed with --resume NAME",
+    )
+    extract.add_argument(
+        "--resume", default=None, metavar="RUN_ID",
+        help="resume the run named RUN_ID: skip every chunk already "
+             "in its journal; the finished store is bit-for-bit "
+             "identical to an uninterrupted run",
+    )
+    extract.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="debug: fire deterministic faults while extracting, "
+             "e.g. 'raise@3;kill@mid' — grammar KIND@INDEX[:MODE] "
+             "with KIND in raise|hang|kill|corrupt|interrupt, INDEX "
+             "an integer or first|mid|last, MODE once|always (see "
+             "docs/robustness.md)",
     )
 
     trace_cmd = sub.add_parser(
@@ -217,16 +249,43 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         if args.models is not None:
             extractor.save_models(args.models)
             print(f"saved categorical models to {args.models}")
-    store = ResultStore(args.db)
+    run_id = args.resume or args.run_id
+    journal = (
+        Journal(str(args.db) + f".{run_id}.journal")
+        if run_id
+        else None
+    )
+    fault_plan = (
+        FaultPlan.parse(args.inject_faults)
+        if args.inject_faults
+        else None
+    )
     tracer = Tracer() if args.trace is not None else None
-    runner = CorpusRunner(
+    runner = ResilientCorpusRunner(
         extractor,
         workers=args.workers,
         chunk_size=args.chunk_size,
         tracer=tracer,
+        policy=RetryPolicy(max_attempts=args.retries),
+        journal=journal,
+        fault_plan=fault_plan,
+        resume=args.resume is not None,
+        run_id=run_id or "",
     )
     results = runner.run(records)
+    # The store is only opened once the run survived end to end; an
+    # interrupted run leaves nothing behind but its journal.
+    store = ResultStore(args.db)
     store.store_many(results)
+    if runner.quarantine:
+        store.save_quarantine(runner.quarantine, run_id=run_id or "")
+        for entry in runner.quarantine:
+            print(
+                f"quarantined record {entry.record_id} "
+                f"(index {entry.record_index}): {entry.error_type} "
+                f"after {entry.attempts} attempts",
+                file=sys.stderr,
+            )
     if tracer is not None:
         manifest = build_manifest(
             tracer,
@@ -276,6 +335,14 @@ def _cmd_extract(args: argparse.Namespace) -> int:
             f"parse cache: {stats['linkage_cache_hit_rate']:.1%} hit "
             f"rate; prune ratio: {stats['prune_ratio']:.1%}; "
             f"parse timeouts: {stats['parse_timeouts']}"
+        )
+        print(
+            f"resilience: {stats['retries']} retries, "
+            f"{stats['bisections']} bisections, "
+            f"{stats['quarantined']} quarantined, "
+            f"{stats['requeued_chunks']} requeued chunks, "
+            f"{stats['pool_rebuilds']} pool rebuilds, "
+            f"{stats['resumed_chunks']} chunks resumed from journal"
         )
     return 0
 
@@ -390,6 +457,17 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except InjectedInterrupt as interrupt:
+        run_id = getattr(args, "resume", None) or getattr(
+            args, "run_id", None
+        )
+        hint = (
+            f"; resume with --resume {run_id}"
+            if run_id
+            else " (no --run-id, so no journal to resume from)"
+        )
+        print(f"interrupted: {interrupt}{hint}", file=sys.stderr)
+        return 130
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

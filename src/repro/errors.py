@@ -72,3 +72,17 @@ class TrainingError(ReproError):
 
 class StorageError(ReproError):
     """The result database rejected an operation."""
+
+
+class ResilienceError(ReproError):
+    """The fault-tolerant corpus runner could not make progress.
+
+    Raised when recovery machinery itself is exhausted — e.g. the
+    worker pool broke more times than the retry policy allows, or a
+    checkpoint journal belongs to a different corpus — never for a
+    single bad record, which is quarantined instead.
+    """
+
+
+class FaultSpecError(ReproError):
+    """An ``--inject-faults`` specification string is malformed."""

@@ -11,10 +11,19 @@ The batch engine behind ``repro extract --workers N``:
   stacks, keeping ``workers=1`` as the deterministic serial default;
 * :mod:`repro.runtime.tracing` — hierarchical span tracing and run
   manifests (zero-cost no-op when disabled), the engine's
-  observability layer.
+  observability layer;
+* :mod:`repro.runtime.resilience` — the fault-tolerant
+  :class:`ResilientCorpusRunner`: retry with backoff, chunk bisection,
+  poison-record quarantine, worker-pool recovery, and journal-based
+  checkpoint/resume;
+* :mod:`repro.runtime.faults` — deterministic, seed-reproducible
+  fault injection (``--inject-faults``) that proves the resilience
+  layer works.
 
 Import order note: :mod:`repro.runtime.tracing` must stay dependency-
-free within the package (cache and runner import it).
+free within the package (cache and runner import it), and
+:mod:`repro.runtime.runner` must not import
+:mod:`repro.runtime.resilience` (the reverse dependency is real).
 """
 
 from repro.runtime import tracing
@@ -24,7 +33,15 @@ from repro.runtime.cache import (
     LinkageCache,
     LRUCache,
 )
+from repro.runtime.faults import Fault, FaultPlan
 from repro.runtime.metrics import Metrics, diff_stats, merge_stats
+from repro.runtime.resilience import (
+    Journal,
+    QuarantineEntry,
+    ResilientCorpusRunner,
+    RetryPolicy,
+    corpus_digest,
+)
 from repro.runtime.runner import CorpusRunner
 from repro.runtime.tracing import (
     NULL_TRACER,
@@ -39,13 +56,20 @@ __all__ = [
     "CorpusRunner",
     "DocumentCache",
     "ExtractionCaches",
+    "Fault",
+    "FaultPlan",
+    "Journal",
     "LRUCache",
     "LinkageCache",
     "Metrics",
     "NullTracer",
+    "QuarantineEntry",
+    "ResilientCorpusRunner",
+    "RetryPolicy",
     "Span",
     "Tracer",
     "build_manifest",
+    "corpus_digest",
     "diff_stats",
     "merge_stats",
     "tracing",

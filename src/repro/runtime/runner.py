@@ -35,6 +35,7 @@ if TYPE_CHECKING:  # real imports are deferred: extraction imports us
         ExtractionResult,
         RecordExtractor,
     )
+    from repro.runtime.resilience import Journal
 
 #: Per-process extractor, created by the pool initializer.
 _WORKER_EXTRACTOR: "RecordExtractor | None" = None
@@ -113,6 +114,7 @@ class CorpusRunner:
         workers: int = 1,
         chunk_size: int | None = None,
         tracer: Tracer | None = None,
+        journal: "Journal | None" = None,
     ) -> None:
         from repro.extraction.pipeline import RecordExtractor
 
@@ -129,6 +131,10 @@ class CorpusRunner:
         #: When set, every run records one span tree per record here
         #: (worker trees are merged back in input order).
         self.tracer = tracer
+        #: When set, every completed chunk is checkpointed here
+        #: *before* any later failure can propagate, so a crashed run
+        #: keeps its finished work (see runtime.resilience.Journal).
+        self.journal = journal
         #: Merged engine counters (caches, parser) from the last runs.
         self.engine_stats: dict[str, Any] = {}
 
@@ -180,6 +186,8 @@ class CorpusRunner:
     def _run_serial(
         self, records: list[PatientRecord]
     ) -> list[ExtractionResult]:
+        if self.journal is not None:
+            return self._run_serial_journaled(records)
         before = self.extractor.counters()
         if self.tracer is not None:
             with tracing.activated(self.tracer):
@@ -190,6 +198,38 @@ class CorpusRunner:
             self.engine_stats,
             diff_stats(self.extractor.counters(), before),
         )
+        return results
+
+    def _run_serial_journaled(
+        self, records: list[PatientRecord]
+    ) -> list[ExtractionResult]:
+        """Serial run with per-chunk checkpointing.
+
+        Each chunk is journaled the moment it completes, so a record
+        that blows up later in the corpus cannot take the finished
+        work down with it.
+        """
+        assert self.journal is not None
+        results: list[ExtractionResult] = []
+        start = 0
+        for _, chunk_records, _ in self._chunks(records):
+            before = self.extractor.counters()
+            if self.tracer is not None:
+                with tracing.activated(self.tracer):
+                    chunk_results = self.extractor.extract_all(
+                        chunk_records
+                    )
+            else:
+                chunk_results = self.extractor.extract_all(
+                    chunk_records
+                )
+            merge_stats(
+                self.engine_stats,
+                diff_stats(self.extractor.counters(), before),
+            )
+            self.journal.append_chunk(start, chunk_results)
+            results.extend(chunk_results)
+            start += len(chunk_records)
         return results
 
     # -------------------------------------------------------- parallel
@@ -210,6 +250,11 @@ class CorpusRunner:
         self, records: list[PatientRecord]
     ) -> list[ExtractionResult]:
         chunks = self._chunks(records)
+        chunk_starts: dict[int, int] = {}
+        position = 0
+        for index, chunk_records, _ in chunks:
+            chunk_starts[index] = position
+            position += len(chunk_records)
         models = _serialize_models(self.extractor)
         collected: dict[int, list[ExtractionResult]] = {}
         collected_spans: dict[int, list[Span]] = {}
@@ -221,6 +266,9 @@ class CorpusRunner:
                 getattr(self.extractor, "parse_budget", None),
             ),
         ) as pool:
+            # pool.map yields chunks in input order and re-raises a
+            # chunk's exception when its turn comes — every chunk
+            # journaled before that point survives the failure.
             for index, results, delta, spans in pool.map(
                 _extract_chunk, chunks
             ):
@@ -229,6 +277,10 @@ class CorpusRunner:
                     Span.from_dict(span) for span in spans
                 ]
                 merge_stats(self.engine_stats, delta)
+                if self.journal is not None:
+                    self.journal.append_chunk(
+                        chunk_starts[index], results
+                    )
         if self.tracer is not None:
             for index in sorted(collected_spans):
                 self.tracer.merge(collected_spans[index])

@@ -1,5 +1,5 @@
 """Result storage substrate (Access-database substitute on SQLite)."""
 
-from repro.storage.db import ResultStore
+from repro.storage.db import QUARANTINE_COLUMNS, ResultStore
 
-__all__ = ["ResultStore"]
+__all__ = ["QUARANTINE_COLUMNS", "ResultStore"]

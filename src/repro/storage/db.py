@@ -51,7 +51,31 @@ CREATE TABLE IF NOT EXISTS provenance (
     detail TEXT,
     PRIMARY KEY (patient_id, kind, attribute, position)
 );
+CREATE TABLE IF NOT EXISTS quarantine (
+    run_id TEXT NOT NULL DEFAULT '',
+    record_id TEXT NOT NULL,
+    record_index INTEGER NOT NULL,
+    error_type TEXT NOT NULL,
+    message TEXT,
+    traceback_digest TEXT,
+    trace_span TEXT,
+    attempts INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (run_id, record_id)
+);
 """
+
+#: The pinned quarantine-table shape — the CI resilience job fails on
+#: any drift between this and ``PRAGMA table_info(quarantine)``.
+QUARANTINE_COLUMNS: tuple[tuple[str, str], ...] = (
+    ("run_id", "TEXT"),
+    ("record_id", "TEXT"),
+    ("record_index", "INTEGER"),
+    ("error_type", "TEXT"),
+    ("message", "TEXT"),
+    ("traceback_digest", "TEXT"),
+    ("trace_span", "TEXT"),
+    ("attempts", "INTEGER"),
+)
 
 
 class ResultStore:
@@ -154,7 +178,102 @@ class ResultStore:
             )
         return len(results)
 
+    def save_quarantine(
+        self, entries: list[Any], run_id: str = ""
+    ) -> int:
+        """Record poisoned records set aside by the resilient runner.
+
+        *entries* are :class:`~repro.runtime.resilience.QuarantineEntry`
+        objects or dicts with the same fields.  Returns the number of
+        rows written.
+        """
+        rows: list[tuple] = []
+        for entry in entries:
+            data = (
+                entry if isinstance(entry, dict) else entry.to_dict()
+            )
+            try:
+                rows.append(
+                    (
+                        run_id,
+                        data["record_id"],
+                        data["record_index"],
+                        data["error_type"],
+                        data.get("message", ""),
+                        data.get("traceback_digest", ""),
+                        data.get("trace_span", ""),
+                        data.get("attempts", 0),
+                    )
+                )
+            except KeyError as missing:
+                raise StorageError(
+                    f"quarantine entry missing field {missing}"
+                ) from None
+        with self._connection:
+            self._connection.executemany(
+                "INSERT OR REPLACE INTO quarantine VALUES "
+                "(?, ?, ?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+        return len(rows)
+
     # ------------------------------------------------------------- read
+
+    def quarantined(
+        self, run_id: str | None = None
+    ) -> list[dict[str, Any]]:
+        """Quarantine rows, optionally restricted to one run."""
+        sql = (
+            "SELECT run_id, record_id, record_index, error_type, "
+            "message, traceback_digest, trace_span, attempts "
+            "FROM quarantine"
+        )
+        parameters: tuple = ()
+        if run_id is not None:
+            sql += " WHERE run_id=?"
+            parameters = (run_id,)
+        sql += " ORDER BY run_id, record_index"
+        names = [column for column, _ in QUARANTINE_COLUMNS]
+        return [
+            dict(zip(names, row))
+            for row in self._connection.execute(sql, parameters)
+        ]
+
+    def quarantine_schema(self) -> list[tuple[str, str]]:
+        """Live (column, type) pairs for the quarantine table.
+
+        Compared against :data:`QUARANTINE_COLUMNS` by the CI
+        resilience job so schema drift cannot slip in unnoticed.
+        """
+        return [
+            (row[1], row[2])
+            for row in self._connection.execute(
+                "PRAGMA table_info(quarantine)"
+            )
+        ]
+
+    def content_digest(self) -> str:
+        """Order-independent fingerprint of the extraction content.
+
+        Covers patients, values, and provenance — not quarantine
+        bookkeeping — so a run that quarantined a poison record and a
+        run that never saw it hash identically.
+        """
+        import hashlib
+
+        hasher = hashlib.sha256()
+        for table, order in (
+            ("patients", "patient_id"),
+            ("numeric_values", "patient_id, attribute"),
+            ("term_values", "patient_id, attribute, position"),
+            ("categorical_values", "patient_id, attribute"),
+            ("provenance", "patient_id, kind, attribute, position"),
+        ):
+            for row in self._connection.execute(
+                f"SELECT * FROM {table} ORDER BY {order}"
+            ):
+                hasher.update(repr((table, row)).encode())
+        return hasher.hexdigest()[:16]
 
     def patients(self) -> list[str]:
         rows = self._connection.execute(

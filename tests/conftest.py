@@ -1,0 +1,51 @@
+"""Shared fixtures for the whole test suite.
+
+``HOSTILE_TEXTS`` is the canonical collection of malformed, degenerate,
+and adversarial inputs a real clinic would eventually produce.  It was
+born in ``tests/test_failure_injection.py`` and is promoted here so the
+integration, runner, and CLI suites can all push the same hostile
+corpus through their respective entry points.
+"""
+
+import pytest
+
+from repro.records import PatientRecord, Section
+
+HOSTILE_TEXTS = [
+    "",
+    " \n\t ",
+    "." * 50,
+    "1/2/3/4/5",
+    "////////",
+    "((((((((",
+    "a" * 500,
+    "\x00\x01 binary junk \xff",
+    "🩺 unicode clinical note ❤️",
+    "Blood pressure is 144/90" * 10,
+]
+
+
+@pytest.fixture(params=HOSTILE_TEXTS, ids=lambda t: repr(t[:12]))
+def hostile_text(request):
+    """One hostile input string per parametrized test instance."""
+    return request.param
+
+
+@pytest.fixture(scope="session")
+def hostile_corpus():
+    """Patient records whose section bodies are the hostile strings.
+
+    Every hostile text appears both as a numeric-bearing section
+    (``Vitals``) and as a categorical-bearing one (``Social History``),
+    so all three extractor kinds chew on it during a corpus run.
+    """
+    return [
+        PatientRecord(
+            patient_id=f"hostile-{i}",
+            sections=[
+                Section("Vitals", text),
+                Section("Social History", text),
+            ],
+        )
+        for i, text in enumerate(HOSTILE_TEXTS)
+    ]

@@ -100,3 +100,68 @@ class TestParallel:
             for result in parallel
             for v in result.categorical.values()
         )
+
+
+def _poison_record():
+    # sections=None crashes extraction with an untyped TypeError in
+    # whichever process touches it — parent or pool worker.
+    from repro.records import PatientRecord
+
+    return PatientRecord(patient_id="poison", sections=None)
+
+
+class TestJournaledPartialResults:
+    """Regression: a failing chunk must not lose completed chunks.
+
+    The runner used to return (or journal) nothing when any chunk
+    raised; with a journal attached, every chunk completed before the
+    failure must already be on disk when the exception propagates.
+    """
+
+    def test_serial_failure_preserves_earlier_chunks(
+        self, cohort, tmp_path
+    ):
+        from repro.runtime import Journal
+
+        records, _ = cohort
+        poisoned = list(records) + [_poison_record()]
+        journal = Journal(tmp_path / "serial.journal")
+        journal.write_header({"run_id": "t"})
+        runner = CorpusRunner(
+            RecordExtractor(), chunk_size=2, journal=journal
+        )
+        with pytest.raises(TypeError):
+            runner.run(poisoned)
+        _, chunks, _ = journal.load()
+        journaled = [
+            r for start in sorted(chunks) for r in chunks[start]
+        ]
+        # Every full chunk before the poisoned tail chunk survived.
+        assert [r.patient_id for r in journaled] == [
+            r.patient_id for r in records
+        ]
+
+    def test_parallel_failure_preserves_earlier_chunks(
+        self, cohort, tmp_path
+    ):
+        from repro.runtime import Journal
+
+        records, _ = cohort
+        poisoned = list(records) + [_poison_record()]
+        journal = Journal(tmp_path / "parallel.journal")
+        journal.write_header({"run_id": "t"})
+        runner = CorpusRunner(
+            RecordExtractor(),
+            workers=2,
+            chunk_size=2,
+            journal=journal,
+        )
+        with pytest.raises(TypeError):
+            runner.run(poisoned)
+        _, chunks, _ = journal.load()
+        journaled = [
+            r for start in sorted(chunks) for r in chunks[start]
+        ]
+        assert [r.patient_id for r in journaled] == [
+            r.patient_id for r in records
+        ]

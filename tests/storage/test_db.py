@@ -146,3 +146,63 @@ class TestAnalytics:
         assert rows == [(1,)]
         with pytest.raises(StorageError):
             store.query("DELETE FROM patients")
+
+
+class TestQuarantineTable:
+    @pytest.fixture
+    def entry(self):
+        from repro.runtime import QuarantineEntry
+
+        return QuarantineEntry(
+            record_id="p-9",
+            record_index=9,
+            error_type="InjectedFailure",
+            message="injected failure at record 9",
+            traceback_digest="ab" * 8,
+            trace_span='{"kind": "quarantine", "name": "p-9"}',
+            attempts=3,
+        )
+
+    def test_save_and_load_roundtrip(self, entry):
+        store = ResultStore()
+        store.save_quarantine([entry], run_id="r1")
+        rows = store.quarantined()
+        assert len(rows) == 1
+        assert rows[0]["run_id"] == "r1"
+        assert rows[0]["record_id"] == "p-9"
+        assert rows[0]["error_type"] == "InjectedFailure"
+        assert rows[0]["attempts"] == 3
+
+    def test_filter_by_run_id(self, entry):
+        store = ResultStore()
+        store.save_quarantine([entry], run_id="r1")
+        store.save_quarantine([entry.to_dict()], run_id="r2")
+        assert len(store.quarantined()) == 2
+        assert len(store.quarantined(run_id="r2")) == 1
+
+    def test_replace_on_same_run_and_record(self, entry):
+        store = ResultStore()
+        store.save_quarantine([entry], run_id="r1")
+        store.save_quarantine([entry], run_id="r1")
+        assert len(store.quarantined()) == 1
+
+    def test_dict_missing_field_is_storage_error(self):
+        store = ResultStore()
+        with pytest.raises(StorageError):
+            store.save_quarantine([{"record_id": "p-9"}])
+
+    def test_schema_matches_pinned_columns(self):
+        # CI gates on this: any drift of the on-disk quarantine
+        # schema must be an explicit change to QUARANTINE_COLUMNS.
+        from repro.storage import QUARANTINE_COLUMNS
+
+        store = ResultStore()
+        assert store.quarantine_schema() == list(QUARANTINE_COLUMNS)
+
+    def test_content_digest_ignores_quarantine(self, result, entry):
+        a = ResultStore()
+        a.save(result)
+        b = ResultStore()
+        b.save(result)
+        b.save_quarantine([entry], run_id="r1")
+        assert a.content_digest() == b.content_digest()

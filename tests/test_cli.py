@@ -196,3 +196,82 @@ class TestAnalyze:
         assert code == 0
         assert "Pulse" in out and "84" in out
         assert "number:" in out
+
+
+class TestResilienceCLI:
+    @pytest.fixture
+    def notes(self, tmp_path):
+        out = tmp_path / "notes"
+        main(["generate", "--count", "8", "--seed", "3",
+              "--output", str(out)])
+        return out
+
+    def test_injected_poison_quarantined(self, notes, tmp_path,
+                                         capsys):
+        db = tmp_path / "faulted.db"
+        code = main([
+            "extract", "--input", str(notes), "--db", str(db),
+            "--inject-faults", "raise@2", "--run-id", "r1",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "quarantined record" in err
+        store = ResultStore(db)
+        assert len(store.patients()) == 7
+        rows = store.quarantined(run_id="r1")
+        assert [r["error_type"] for r in rows] == ["InjectedFailure"]
+
+    def test_interrupt_then_resume_bit_identical(self, notes,
+                                                 tmp_path, capsys):
+        plain = tmp_path / "plain.db"
+        assert main([
+            "extract", "--input", str(notes), "--db", str(plain),
+        ]) == 0
+
+        db = tmp_path / "resumed.db"
+        code = main([
+            "extract", "--input", str(notes), "--db", str(db),
+            "--inject-faults", "interrupt@5", "--run-id", "r2",
+        ])
+        assert code == 130
+        assert "--resume r2" in capsys.readouterr().err
+        assert not db.exists()  # only the journal survived
+
+        assert main([
+            "extract", "--input", str(notes), "--db", str(db),
+            "--resume", "r2",
+        ]) == 0
+        assert db.read_bytes() == plain.read_bytes()
+
+    def test_worker_kill_survived(self, notes, tmp_path):
+        db = tmp_path / "killed.db"
+        code = main([
+            "extract", "--input", str(notes), "--db", str(db),
+            "--inject-faults", "kill@3", "--workers", "2",
+        ])
+        assert code == 0
+        store = ResultStore(db)
+        assert len(store.patients()) == 8
+        assert store.quarantined() == []
+
+    def test_bad_fault_spec_is_exit_2(self, notes, tmp_path, capsys):
+        code = main([
+            "extract", "--input", str(notes),
+            "--db", str(tmp_path / "x.db"),
+            "--inject-faults", "explode@nowhere",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_hostile_corpus_through_cli(self, hostile_corpus,
+                                        tmp_path):
+        from repro.records import save_records
+
+        notes = tmp_path / "hostile"
+        save_records(hostile_corpus, notes)
+        db = tmp_path / "hostile.db"
+        code = main([
+            "extract", "--input", str(notes), "--db", str(db),
+        ])
+        assert code == 0
+        assert len(ResultStore(db).patients()) == len(hostile_corpus)

@@ -3,6 +3,7 @@
 Subcommands mirror the paper's workflow end to end::
 
     python -m repro generate --count 50 --output notes/
+    python -m repro compile
     python -m repro extract  --input notes/ --gold notes/gold.json \\
                              --db study.db
     python -m repro parse "Blood pressure is 144/90, pulse of 84."
@@ -21,9 +22,16 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
-from repro.errors import ParseFailure, ReproError
+from repro.errors import ArtifactError, ParseFailure, ReproError
+from repro.runtime.compiled import (
+    CompiledArtifact,
+    artifact_cache_dir,
+    cached_artifact,
+    source_fingerprint,
+)
 from repro.runtime.faults import FaultPlan, InjectedInterrupt
 from repro.runtime.resilience import (
     Journal,
@@ -83,6 +91,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     generate.add_argument("--output", required=True, type=Path)
 
+    compile_cmd = sub.add_parser(
+        "compile",
+        help="ahead-of-time compile the extraction stack (grammar "
+             "disjunct tables, ontology index) into a warm-start "
+             "artifact",
+    )
+    compile_cmd.add_argument(
+        "--output", type=Path, default=None, metavar="PATH",
+        help="artifact file to write (default: the fingerprint-keyed "
+             "cache entry extract warm-starts from automatically)",
+    )
+    compile_cmd.add_argument(
+        "--force", action="store_true",
+        help="rebuild even when an up-to-date artifact exists",
+    )
+
     extract = sub.add_parser(
         "extract", help="extract all attributes into a SQLite database"
     )
@@ -111,6 +135,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk-size", type=_positive_int, default=None,
         help="records per parallel work unit (default: cohort split "
              "into ~4 chunks per worker)",
+    )
+    extract.add_argument(
+        "--artifact", type=Path, default=None, metavar="PATH",
+        help="warm-start from this compiled artifact (see `repro "
+             "compile --output`); fails if it is stale",
+    )
+    extract.add_argument(
+        "--no-warm-start", action="store_true",
+        help="build the extraction stack from source instead of "
+             "using (and maintaining) the compiled-artifact cache",
     )
     extract.add_argument(
         "--stats", action="store_true",
@@ -224,9 +258,69 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compile(args: argparse.Namespace) -> int:
+    path = args.output
+    if path is None:
+        path = (
+            artifact_cache_dir()
+            / f"artifact-{source_fingerprint()}.pkl"
+        )
+    if path.exists() and not args.force:
+        try:
+            artifact = CompiledArtifact.load(path)
+        except ArtifactError:
+            pass  # stale or corrupt: rebuild below
+        else:
+            print(
+                f"{path} is up to date "
+                f"(fingerprint {artifact.fingerprint}); "
+                "use --force to rebuild"
+            )
+            return 0
+    started = time.perf_counter()
+    artifact = CompiledArtifact.build()
+    built = time.perf_counter() - started
+    size = artifact.save(path)
+    stats = artifact.stats()
+    print(
+        f"compiled {stats['words']} dictionary words and "
+        f"{stats['concepts']} ontology concepts in {built:.2f}s"
+    )
+    print(
+        f"wrote {path} ({size / 1e6:.1f} MB, fingerprint "
+        f"{stats['fingerprint']}, grammar "
+        f"{stats['grammar_signature']})"
+    )
+    return 0
+
+
+def _resolve_artifact(
+    args: argparse.Namespace,
+) -> "CompiledArtifact | None":
+    """The warm-start artifact for this extract run, if any.
+
+    ``--artifact`` loads the named file (stale → hard error, the
+    caller asked for that exact artifact); otherwise the
+    fingerprint-keyed cache is used — and refreshed when stale —
+    unless ``--no-warm-start`` disables the whole mechanism.
+    """
+    if args.artifact is not None:
+        return CompiledArtifact.load(args.artifact)
+    if args.no_warm_start:
+        return None
+    artifact, _, _ = cached_artifact()
+    return artifact
+
+
 def _cmd_extract(args: argparse.Namespace) -> int:
     records = list(load_records(args.input))
-    extractor = RecordExtractor(parse_budget=args.parse_budget)
+    artifact = _resolve_artifact(args)
+    if artifact is not None:
+        extractor = artifact.make_extractor(
+            parse_budget=args.parse_budget
+        )
+    else:
+        extractor = RecordExtractor(parse_budget=args.parse_budget)
     if args.gold is None and args.models is not None:
         loaded = extractor.load_models(args.models)
         print(f"loaded {loaded} categorical models from {args.models}")
@@ -271,6 +365,7 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         fault_plan=fault_plan,
         resume=args.resume is not None,
         run_id=run_id or "",
+        artifact=artifact,
     )
     results = runner.run(records)
     # The store is only opened once the run survived end to end; an
@@ -315,6 +410,9 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     if args.csv is not None:
         store.export_csv(args.csv)
         print(f"exported CSV to {args.csv}")
+    # Flush the WAL into the main database file: consumers (and the
+    # resume test's byte-for-byte comparison) read the file directly.
+    store.close()
     filled = sum(
         1 for r in results for v in r.numeric.values() if v is not None
     )
@@ -335,6 +433,11 @@ def _cmd_extract(args: argparse.Namespace) -> int:
             f"parse cache: {stats['linkage_cache_hit_rate']:.1%} hit "
             f"rate; prune ratio: {stats['prune_ratio']:.1%}; "
             f"parse timeouts: {stats['parse_timeouts']}"
+        )
+        print(
+            f"warm start: {'on' if stats['warm_start'] else 'off'}; "
+            f"worker init: {stats['worker_init_seconds']:.3f}s over "
+            f"{stats['workers_initialized']} workers"
         )
         print(
             f"resilience: {stats['retries']} retries, "
@@ -445,6 +548,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "generate": _cmd_generate,
+    "compile": _cmd_compile,
     "extract": _cmd_extract,
     "trace": _cmd_trace,
     "parse": _cmd_parse,

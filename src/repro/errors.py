@@ -58,6 +58,18 @@ class OntologyError(ReproError):
     """The ontology store is missing, corrupt, or queried incorrectly."""
 
 
+class ArtifactError(ReproError):
+    """A compiled extraction artifact cannot be used.
+
+    Raised when an artifact file is unreadable, was produced by a
+    different artifact-format version, or is stale — its recorded
+    source fingerprint no longer matches the in-tree lexicon,
+    vocabulary, or POS lexicon it was compiled from.  Callers are
+    expected to recover by recompiling (see
+    :func:`repro.runtime.compiled.cached_artifact`).
+    """
+
+
 class SchemaError(ReproError):
     """An extraction schema definition is inconsistent."""
 

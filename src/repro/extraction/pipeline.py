@@ -110,6 +110,28 @@ class RecordExtractor:
         )
         self.categorical = dict(categorical or {})
 
+    @classmethod
+    def from_artifact(
+        cls,
+        artifact: "Any",
+        parse_budget: float | None = None,
+        document_cache_size: int | None = None,
+    ) -> "RecordExtractor":
+        """Build from a compiled artifact (path or object).
+
+        Behaviourally identical to ``RecordExtractor()`` but skips
+        dictionary expansion and ontology loading — see
+        :mod:`repro.runtime.compiled`.
+        """
+        from repro.runtime.compiled import CompiledArtifact
+
+        if not isinstance(artifact, CompiledArtifact):
+            artifact = CompiledArtifact.load(artifact)
+        return artifact.make_extractor(
+            parse_budget=parse_budget,
+            document_cache_size=document_cache_size,
+        )
+
     def train_categorical(
         self,
         records: list[PatientRecord],

@@ -30,7 +30,7 @@ from repro.nlp.pipeline import Pipeline, default_pipeline
 from repro.ontology.builder import default_ontology
 from repro.ontology.concept import ConceptMatch, SemanticType
 from repro.ontology.normalizer import TermNormalizer
-from repro.ontology.store import OntologyStore
+from repro.ontology.store import CompiledOntology, OntologyStore
 from repro.records.model import PatientRecord
 from repro.runtime import tracing
 from repro.runtime.cache import DocumentCache
@@ -76,19 +76,33 @@ class TermExtractor:
 
     def __init__(
         self,
-        ontology: OntologyStore | None = None,
+        ontology: OntologyStore | CompiledOntology | None = None,
         pipeline: Pipeline | None = None,
         use_synonyms: bool = False,
         normalizer: TermNormalizer | None = None,
         document_cache: DocumentCache | None = None,
     ) -> None:
         self.ontology = ontology or default_ontology()
+        # Lookups run against the compiled in-memory index (identical
+        # results, no SQLite round-trip); its first-token index lets
+        # the scanner skip start positions that cannot match at all.
+        # Ontology-like objects without a compiled view are used as-is.
+        compile_view = getattr(self.ontology, "compiled", None)
+        self._index = (
+            compile_view() if compile_view is not None else self.ontology
+        )
+        self._token_may_match = getattr(
+            self._index, "token_may_match", None
+        )
         self.document_cache = document_cache
         if pipeline is None and document_cache is not None:
             pipeline = document_cache.pipeline
         self.pipeline = pipeline or default_pipeline()
         self.use_synonyms = use_synonyms
         self.normalizer = normalizer or TermNormalizer()
+        self._predefined_keys: dict[
+            tuple[str, tuple[str, ...]], dict[str, str]
+        ] = {}
 
     # ------------------------------------------------------------ public
 
@@ -180,6 +194,14 @@ class TermExtractor:
         start: int,
         semantic_types: set[SemanticType] | None,
     ) -> TermHit | None:
+        # Every candidate from this start contains texts[start]; when
+        # the first-token index proves that token can never appear in
+        # a matching term, no pattern here can succeed — skip the
+        # position without a single lookup.
+        if self._token_may_match is not None and not (
+            self._token_may_match(texts[start])
+        ):
+            return None
         for pattern in POS_PATTERNS:
             end = start + len(pattern)
             if end > len(texts):
@@ -218,7 +240,7 @@ class TermExtractor:
         surface: str,
         semantic_types: set[SemanticType] | None,
     ) -> ConceptMatch | None:
-        matches = self.ontology.lookup(surface)
+        matches = self._index.lookup(surface)
         if semantic_types is not None:
             matches = [
                 m
@@ -239,10 +261,14 @@ class TermExtractor:
         self, attr: TermsAttribute, hits: list[TermHit]
     ) -> list[tuple[str, TermHit]]:
         """Assigned (canonical name, originating hit) pairs."""
-        predefined_keys = {
-            self.normalizer.normalize(name): name
-            for name in attr.predefined
-        }
+        cache_key = (attr.name, tuple(attr.predefined))
+        predefined_keys = self._predefined_keys.get(cache_key)
+        if predefined_keys is None:
+            predefined_keys = {
+                self.normalizer.normalize(name): name
+                for name in attr.predefined
+            }
+            self._predefined_keys[cache_key] = predefined_keys
         out: list[tuple[str, TermHit]] = []
         seen: set[str] = set()
         for hit in hits:

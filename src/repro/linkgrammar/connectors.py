@@ -49,21 +49,46 @@ class Connector:
         return ("@" if self.multi else "") + self.label + self.direction
 
 
+#: Interned connector instances, keyed by their literal form.
+#: Connectors are immutable value objects, so every dictionary entry
+#: spelling the same connector can share one instance — expanded
+#: dictionaries hold thousands of references to a few dozen distinct
+#: connectors, which keeps compiled-grammar pickles small and makes
+#: identity-based sharing after deserialization cheap.
+_INTERNED: dict[str, Connector] = {}
+
+
 def parse_connector(text: str) -> Connector:
-    """Parse one connector literal such as ``@MVp+``.
+    """Parse one connector literal such as ``@MVp+`` (interned).
 
     >>> parse_connector("Ss+").label
     'Ss'
     """
-    match = _CONNECTOR_RE.fullmatch(text.strip())
+    text = text.strip()
+    found = _INTERNED.get(text)
+    if found is not None:
+        return found
+    match = _CONNECTOR_RE.fullmatch(text)
     if match is None:
         raise DictionaryError(f"malformed connector: {text!r}")
-    return Connector(
+    connector = Connector(
         name=match.group("name"),
         subscript=match.group("sub"),
         direction=match.group("dir"),
         multi=bool(match.group("multi")),
     )
+    _INTERNED[text] = connector
+    return connector
+
+
+def intern_connector(connector: Connector) -> Connector:
+    """The canonical shared instance equal to *connector*.
+
+    Used when rehydrating compiled grammars: connectors arriving from
+    a pickle are folded back into the process-wide intern table so all
+    grammars in one process share instances.
+    """
+    return _INTERNED.setdefault(str(connector), connector)
 
 
 def subscripts_compatible(a: str, b: str) -> bool:

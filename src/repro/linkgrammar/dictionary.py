@@ -9,7 +9,10 @@ generic noun/verb/adjective entries.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import DictionaryError
+from repro.linkgrammar.connectors import Connector, connectors_match
 from repro.linkgrammar.expressions import Disjunct, expression_to_disjuncts
 from repro.linkgrammar.lexicon_data import (
     ENTRIES,
@@ -18,7 +21,18 @@ from repro.linkgrammar.lexicon_data import (
     TAG_DEFAULTS,
 )
 
+if TYPE_CHECKING:  # compiled imports dictionary; only types flow back
+    from repro.runtime.compiled import CompiledGrammar
+
 LEFT_WALL = "###LEFT-WALL###"
+
+#: (match table, matchers-for-left, matchers-for-right) — see
+#: :meth:`Dictionary.match_tables`.
+MatchTables = tuple[
+    dict[tuple[str, str], bool],
+    dict[str, set[str]],
+    dict[str, set[str]],
+]
 
 
 def _substitute_macros(expression: str) -> str:
@@ -64,6 +78,27 @@ class Dictionary:
         ):
             self._tag_defaults.append((tag, self._expand(expression)))
         self._number_disjuncts = self._expand(NUMBER_EXPR)
+        self._match_tables: MatchTables | None = None
+        self._signature: str | None = None
+
+    @classmethod
+    def from_compiled(cls, grammar: "CompiledGrammar") -> "Dictionary":
+        """Rehydrate a dictionary from an AOT-compiled grammar.
+
+        Skips expression expansion entirely — the compiled grammar
+        already carries every disjunct list plus the precomputed
+        connector match table, so construction is a few dict copies.
+        Disjunct lists are shared with the grammar (they are treated
+        as immutable everywhere; :meth:`add` rebinds, never mutates).
+        """
+        self = cls.__new__(cls)
+        self._words = dict(grammar.words)
+        self._tag_defaults = list(grammar.tag_defaults)
+        self._number_disjuncts = grammar.number_disjuncts
+        self._expression_cache = {}
+        self._match_tables = grammar.match_tables
+        self._signature = grammar.signature
+        return self
 
     def _expand(self, expression: str) -> list[Disjunct]:
         cached = self._expression_cache.get(expression)
@@ -80,6 +115,37 @@ class Dictionary:
         disjuncts = self._expand(expression)
         for word in words.split():
             self._words[word.lower()] = disjuncts
+        # New entries may introduce connectors the precomputed match
+        # table has never seen; recompute lazily on the next parse.
+        self._match_tables = None
+        self._signature = None
+
+    def match_tables(self) -> MatchTables:
+        """Dictionary-wide connector match table plus matcher sets.
+
+        The parser's recurrence and its pruning pass test (right-label,
+        left-label) pairs millions of times.  All connectors any
+        sentence can ever carry come from this dictionary, so one table
+        over the dictionary's distinct labels (a few hundred entries)
+        serves every sentence — computed once, cached, shipped inside
+        compiled grammars, and invalidated by :meth:`add`.
+
+        Returns ``(table, matchers_for_left, matchers_for_right)``:
+        ``table[(plus, minus)]`` says whether the labels can link;
+        ``matchers_for_left[minus]`` is the set of right-pointing
+        labels that can reach ``minus`` (and vice versa).  Pruning
+        intersects these with the labels actually present in a
+        sentence, so the dictionary-wide supersets are exact there.
+        """
+        cached = self._match_tables
+        if cached is None:
+            cached = _build_match_tables(
+                list(self._words.values())
+                + [ds for _, ds in self._tag_defaults]
+                + [self._number_disjuncts]
+            )
+            self._match_tables = cached
+        return cached
 
     def disjuncts(
         self, word: str, tag: str | None = None
@@ -110,7 +176,11 @@ class Dictionary:
         the tag defaults, so any :meth:`add` (or a different seed
         lexicon) changes the signature.  Recorded in trace manifests:
         two runs with the same signature resolved tokens identically.
+        Cached — computing it walks every disjunct — and invalidated
+        by :meth:`add`.
         """
+        if self._signature is not None:
+            return self._signature
         import hashlib
 
         payload = "|".join(
@@ -120,7 +190,10 @@ class Dictionary:
         payload += "||" + "|".join(
             f"{tag}:{len(ds)}" for tag, ds in self._tag_defaults
         )
-        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+        self._signature = hashlib.sha256(
+            payload.encode()
+        ).hexdigest()[:16]
+        return self._signature
 
     def resolution_key(self, word: str, tag: str | None = None) -> str:
         """Equivalence class of ``disjuncts(word, tag)``.
@@ -144,6 +217,32 @@ class Dictionary:
                 ):
                     return f"#TAG:{prefix}#"
         return "#NONE#"
+
+
+def _build_match_tables(
+    disjunct_lists: list[list[Disjunct]],
+) -> MatchTables:
+    """All-pairs label match table over the given disjunct lists."""
+    plus: dict[str, Connector] = {}
+    minus: dict[str, Connector] = {}
+    for disjuncts in disjunct_lists:
+        for disjunct in disjuncts:
+            for connector in disjunct.right:
+                plus.setdefault(connector.label, connector)
+            for connector in disjunct.left:
+                minus.setdefault(connector.label, connector)
+    table = {
+        (pl, ml): connectors_match(pc, mc)
+        for pl, pc in plus.items()
+        for ml, mc in minus.items()
+    }
+    matchers_for_left: dict[str, set[str]] = {}
+    matchers_for_right: dict[str, set[str]] = {}
+    for (pl, ml), ok in table.items():
+        if ok:
+            matchers_for_left.setdefault(ml, set()).add(pl)
+            matchers_for_right.setdefault(pl, set()).add(ml)
+    return table, matchers_for_left, matchers_for_right
 
 
 def _looks_numeric(word: str) -> bool:

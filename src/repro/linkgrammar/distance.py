@@ -9,9 +9,8 @@ fixed node (number) in a (weighted) graph."
 
 from __future__ import annotations
 
+import heapq
 import math
-
-import networkx as nx
 
 from repro.linkgrammar.linkage import Linkage, LinkWeights
 
@@ -33,6 +32,55 @@ ASSOCIATION_WEIGHTS = LinkWeights(
 )
 
 
+def _weights_key(
+    weights: LinkWeights | None,
+) -> tuple | None:
+    """Hashable identity of a weight table for the distance memo."""
+    if weights is None:
+        return None
+    return (
+        weights.default,
+        tuple(sorted(weights.overrides.items())),
+    )
+
+
+def _dijkstra(
+    linkage: Linkage,
+    source: int,
+    weights: LinkWeights | None,
+) -> dict[int, float]:
+    """Single-source shortest paths over the linkage's word graph.
+
+    A direct heap implementation over the link list — the association
+    hot path calls this for every mention of every sentence, and the
+    general graph-library detour (build an ``nx.Graph``, run its
+    Dijkstra) dominated the profile.  Every edge weight is an exact
+    binary float (the association table uses 0.5/1/2), so the computed
+    distances are bit-identical to the library's.
+    """
+    weights = weights or LinkWeights()
+    n = len(linkage.words)
+    adjacency: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+    for link in linkage.links:
+        weight = weights.weight(link.label)
+        adjacency[link.left].append((link.right, weight))
+        adjacency[link.right].append((link.left, weight))
+    distances = {node: math.inf for node in range(n)}
+    if 0 <= source < n:
+        distances[source] = 0.0
+        heap = [(0.0, source)]
+        while heap:
+            distance, node = heapq.heappop(heap)
+            if distance > distances[node]:
+                continue  # stale entry
+            for neighbor, weight in adjacency[node]:
+                candidate = distance + weight
+                if candidate < distances[neighbor]:
+                    distances[neighbor] = candidate
+                    heapq.heappush(heap, (candidate, neighbor))
+    return distances
+
+
 def linkage_distances(
     linkage: Linkage,
     source: int,
@@ -41,15 +89,21 @@ def linkage_distances(
     """Shortest distance from word *source* to every word.
 
     Word indices are linkage positions (wall = 0).  Unreachable words
-    (none, in a valid linkage) map to ``math.inf``.
+    (none, in a valid linkage) map to ``math.inf``.  When the linkage
+    carries a ``distance_cache`` (linkages resolved through the
+    runtime's cross-record cache do), results are memoized per
+    ``(source, weights)`` and shared by every sentence with the same
+    parse signature — treat the returned mapping as read-only.
     """
-    graph = linkage.graph(weights=weights, include_wall=True)
-    lengths = nx.single_source_dijkstra_path_length(
-        graph, source, weight="weight"
-    )
-    return {
-        node: lengths.get(node, math.inf) for node in graph.nodes
-    }
+    memo = linkage.distance_cache
+    if memo is None:
+        return _dijkstra(linkage, source, weights)
+    key = (source, _weights_key(weights))
+    found = memo.get(key)
+    if found is None:
+        found = _dijkstra(linkage, source, weights)
+        memo[key] = found
+    return found
 
 
 def word_distance(
@@ -61,11 +115,7 @@ def word_distance(
     """Shortest distance between linkage positions *a* and *b*."""
     if a == b:
         return 0.0
-    graph = linkage.graph(weights=weights, include_wall=True)
-    try:
-        return nx.dijkstra_path_length(graph, a, b, weight="weight")
-    except nx.NetworkXNoPath:
-        return math.inf
+    return linkage_distances(linkage, a, weights).get(b, math.inf)
 
 
 def nearest_word(

@@ -207,6 +207,19 @@ def _expand(node) -> Iterator[tuple[tuple[Connector, ...], int]]:
         raise DictionaryError(f"unknown AST node {node!r}")
 
 
+#: Interned connector tuples: expansions of different entries produce
+#: many value-equal left/right sequences (the empty tuple alone appears
+#: in most disjuncts).  Sharing one tuple instance per distinct value
+#: shrinks expanded dictionaries and their compiled pickles.
+_TUPLES: dict[tuple[Connector, ...], tuple[Connector, ...]] = {}
+
+
+def _intern_tuple(
+    connectors: tuple[Connector, ...]
+) -> tuple[Connector, ...]:
+    return _TUPLES.setdefault(connectors, connectors)
+
+
 def expression_to_disjuncts(text: str) -> list[Disjunct]:
     """Expand an expression string into its disjuncts.
 
@@ -219,7 +232,10 @@ def expression_to_disjuncts(text: str) -> list[Disjunct]:
     for seq, cost in _expand(ast):
         lefts = tuple(c for c in seq if c.direction == "-")
         rights = tuple(c for c in seq if c.direction == "+")
-        key = (tuple(reversed(lefts)), tuple(reversed(rights)))
+        key = (
+            _intern_tuple(tuple(reversed(lefts))),
+            _intern_tuple(tuple(reversed(rights))),
+        )
         if key not in best or cost < best[key]:
             best[key] = cost
     return [

@@ -44,6 +44,14 @@ class Linkage:
     links: list[Link]
     cost: int = 0
     token_map: list[int | None] = field(default_factory=list)
+    #: Optional memo for shortest-distance queries, keyed by
+    #: ``(source, weights key)``.  The cross-record linkage cache
+    #: shares one memo between every hit of the same parse signature,
+    #: so a sentence shape pays for its Dijkstra runs once per corpus.
+    #: Excluded from equality: a memo is an accelerator, not content.
+    distance_cache: dict | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.token_map:

@@ -44,6 +44,7 @@ from repro.linkgrammar.connectors import (
 from repro.linkgrammar.dictionary import (
     LEFT_WALL,
     Dictionary,
+    MatchTables,
     default_dictionary,
 )
 from repro.linkgrammar.expressions import Disjunct
@@ -194,6 +195,7 @@ class LinkGrammarParser:
             prune=self.prune,
             deadline=deadline,
             budget=self.time_budget,
+            match_tables=self.dictionary.match_tables(),
         )
         self.stats.disjuncts_before += session.disjuncts_before
         self.stats.disjuncts_after += session.disjuncts_after
@@ -313,6 +315,7 @@ class _ParseSession:
         prune: bool = True,
         deadline: float | None = None,
         budget: float | None = None,
+        match_tables: "MatchTables | None" = None,
     ) -> None:
         self.sentence = sentence
         self.disjuncts = [list(d) for d in disjuncts]
@@ -321,7 +324,28 @@ class _ParseSession:
         self._budget = budget
         self._ops = 0
         self._count_memo: dict[tuple, int] = {}
-        self._table = self._build_match_table()
+        if match_tables is not None:
+            # Dictionary-wide tables (possibly AOT-compiled): cover a
+            # superset of this sentence's labels, so no per-sentence
+            # table build.  Pruning intersects the matcher sets with
+            # the labels actually present, making the superset exact.
+            (
+                self._table,
+                self._matchers_for_left,
+                self._matchers_for_right,
+            ) = match_tables
+        else:
+            self._table = self._build_match_table()
+            self._matchers_for_left = {}
+            self._matchers_for_right = {}
+            for (pl, ml), ok in self._table.items():
+                if ok:
+                    self._matchers_for_left.setdefault(
+                        ml, set()
+                    ).add(pl)
+                    self._matchers_for_right.setdefault(
+                        pl, set()
+                    ).add(ml)
         self.disjuncts_before = sum(len(d) for d in self.disjuncts)
         if prune:
             self._prune()
@@ -367,12 +391,8 @@ class _ParseSession:
         once from the match table, so each fixpoint sweep is set
         algebra over label strings instead of connector pairs.
         """
-        matchers_for_left: dict[str, set[str]] = {}
-        matchers_for_right: dict[str, set[str]] = {}
-        for (pl, ml), ok in self._table.items():
-            if ok:
-                matchers_for_left.setdefault(ml, set()).add(pl)
-                matchers_for_right.setdefault(pl, set()).add(ml)
+        matchers_for_left = self._matchers_for_left
+        matchers_for_right = self._matchers_for_right
         empty: set[str] = set()
 
         changed = True

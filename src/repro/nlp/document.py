@@ -97,6 +97,7 @@ class AnnotationSet:
 
     def __init__(self) -> None:
         self._by_type: dict[str, list[Annotation]] = {}
+        self._keys: dict[str, list[tuple[int, int, int]]] = {}
         self._ids = itertools.count(1)
 
     def __len__(self) -> int:
@@ -124,10 +125,18 @@ class AnnotationSet:
             features=dict(features or {}),
         )
         lst = self._by_type.setdefault(type, [])
-        # Components add mostly in document order; bisect keeps the list
-        # sorted even when they do not.
-        keys = [(a.start, a.end, a.id) for a in lst]
-        lst.insert(bisect.bisect(keys, (ann.start, ann.end, ann.id)), ann)
+        keys = self._keys.setdefault(type, [])
+        key = (ann.start, ann.end, ann.id)
+        # Components add mostly in document order: appending is the
+        # common case; the sort key list is maintained incrementally
+        # so out-of-order adds bisect instead of rebuilding it.
+        if not keys or key >= keys[-1]:
+            keys.append(key)
+            lst.append(ann)
+        else:
+            index = bisect.bisect(keys, key)
+            keys.insert(index, key)
+            lst.insert(index, ann)
         return ann
 
     def of_type(self, type: str) -> list[Annotation]:
@@ -166,6 +175,9 @@ class AnnotationSet:
         Raises ``ValueError`` if the annotation is not in the set.
         """
         self._by_type.get(annotation.type, []).remove(annotation)
+        self._keys.get(annotation.type, []).remove(
+            (annotation.start, annotation.end, annotation.id)
+        )
 
 
 class Document:

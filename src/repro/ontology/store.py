@@ -24,7 +24,7 @@ from typing import Iterable
 
 from repro.errors import OntologyError
 from repro.ontology.concept import Concept, ConceptMatch, SemanticType
-from repro.ontology.normalizer import TermNormalizer
+from repro.ontology.normalizer import _STOPWORDS, _TOKEN_RE, TermNormalizer
 
 _SCHEMA = """
 CREATE TABLE concepts (
@@ -55,11 +55,22 @@ class OntologyStore:
         self.normalizer = normalizer or TermNormalizer()
         self._connection = sqlite3.connect(path)
         self._concepts: dict[str, Concept] = {}
+        self._compiled: "CompiledOntology | None" = None
         try:
             self._connection.executescript(_SCHEMA)
         except sqlite3.DatabaseError as exc:
             raise OntologyError(f"cannot initialize store: {exc}") from exc
         self._load(concepts)
+
+    def compiled(self) -> "CompiledOntology":
+        """In-memory index over this store (built once, cached).
+
+        The store is immutable after construction (degraded copies are
+        new stores), so the compiled view never goes stale.
+        """
+        if self._compiled is None:
+            self._compiled = CompiledOntology.from_store(self)
+        return self._compiled
 
     def _load(self, concepts: Iterable[Concept]) -> None:
         cursor = self._connection.cursor()
@@ -188,6 +199,176 @@ class OntologyStore:
 
     def close(self) -> None:
         self._connection.close()
+
+
+class CompiledOntology:
+    """AOT-compiled, picklable, in-memory ontology index.
+
+    Replaces per-lookup SQLite round-trips with one dict probe while
+    reproducing :meth:`OntologyStore.lookup` exactly: the index maps
+    each normalized key to its ``(name, cui)`` rows pre-sorted the way
+    the SQL ``ORDER BY is_preferred DESC, name`` returns them, and
+    :meth:`lookup` applies the same candidate loop, dedup, and
+    first-candidate-with-matches cut.  Lookup results are memoized per
+    surface string (a cohort repeats the same candidate spans over and
+    over); callers must treat returned lists as frozen.
+
+    It also carries a **first-token index**: the set of every token
+    appearing in any normalized key.  A candidate term can only match
+    if each of its tokens — raw for the surface variant, lemmatized
+    for the primary key — appears in that set, so the term extractor
+    can skip whole scan positions without any lookup at all
+    (:meth:`token_may_match`).
+    """
+
+    #: Memoized lookups are dropped when the table grows past this.
+    _CACHE_LIMIT = 65536
+
+    def __init__(
+        self,
+        concepts: dict[str, Concept],
+        names: dict[str, tuple[tuple[str, str], ...]],
+        normalizer: TermNormalizer | None = None,
+    ) -> None:
+        self._concepts = concepts
+        self._names = names
+        self.normalizer = normalizer or TermNormalizer()
+        self._key_tokens = frozenset(
+            token for key in names for token in key.split()
+        )
+        self._lookup_cache: dict[str, list[ConceptMatch]] = {}
+        self._token_cache: dict[str, bool] = {}
+
+    @classmethod
+    def from_store(cls, store: OntologyStore) -> "CompiledOntology":
+        """Compile a store's ``names`` table into the in-memory index."""
+        grouped: dict[str, list[tuple[int, str, str]]] = {}
+        seen: set[tuple[str, str, str]] = set()
+        for concept in store.concepts():
+            for index, name in enumerate(concept.all_names()):
+                normalized = store.normalizer.normalize(name)
+                row = (normalized, concept.cui, name)
+                if row in seen:  # INSERT OR IGNORE on the primary key
+                    continue
+                seen.add(row)
+                grouped.setdefault(normalized, []).append(
+                    (int(index == 0), name, concept.cui)
+                )
+        names = {
+            normalized: tuple(
+                (name, cui)
+                for _, name, cui in sorted(
+                    rows, key=lambda r: (-r[0], r[1])
+                )
+            )
+            for normalized, rows in grouped.items()
+        }
+        return cls(
+            {c.cui: c for c in store.concepts()},
+            names,
+            normalizer=store.normalizer,
+        )
+
+    def compiled(self) -> "CompiledOntology":
+        """Already compiled — returns itself (mirrors the store API)."""
+        return self
+
+    # ------------------------------------------------------------- reads
+
+    def __len__(self) -> int:
+        return len(self._concepts)
+
+    def __contains__(self, term: str) -> bool:
+        return bool(self.lookup(term))
+
+    def concepts(self) -> list[Concept]:
+        return list(self._concepts.values())
+
+    def concept(self, cui: str) -> Concept:
+        try:
+            return self._concepts[cui]
+        except KeyError:
+            raise OntologyError(f"unknown CUI {cui}") from None
+
+    def lookup(self, term: str) -> list[ConceptMatch]:
+        """Same contract and ordering as :meth:`OntologyStore.lookup`."""
+        cached = self._lookup_cache.get(term)
+        if cached is not None:
+            return cached
+        matches: list[ConceptMatch] = []
+        seen: set[tuple[str, str]] = set()
+        for normalized in self.normalizer.normalize_candidates(term):
+            for name, cui in self._names.get(normalized, ()):
+                if (cui, normalized) in seen:
+                    continue
+                seen.add((cui, normalized))
+                matches.append(
+                    ConceptMatch(
+                        concept=self._concepts[cui],
+                        matched_name=name,
+                        normalized=normalized,
+                    )
+                )
+            if matches:
+                break
+        if len(self._lookup_cache) >= self._CACHE_LIMIT:
+            self._lookup_cache.clear()
+        self._lookup_cache[term] = matches
+        return matches
+
+    def lookup_type(
+        self, term: str, semantic_types: set[SemanticType]
+    ) -> list[ConceptMatch]:
+        """Lookup restricted to the given semantic types."""
+        return [
+            m
+            for m in self.lookup(term)
+            if m.concept.semantic_type in semantic_types
+        ]
+
+    def token_may_match(self, token: str) -> bool:
+        """Can a candidate term containing *token* ever match?
+
+        ``False`` is definitive: the token has a non-stopword piece
+        whose raw form *and* lemma both appear in no normalized key,
+        so neither the primary nor the surface-variant candidate of
+        any term containing it can equal a key.  ``True`` only means
+        "cannot rule it out".
+        """
+        cached = self._token_cache.get(token)
+        if cached is not None:
+            return cached
+        may = True
+        for piece in _TOKEN_RE.findall(token.lower()):
+            if piece in _STOPWORDS:
+                continue  # dropped by normalization: no signal
+            if (
+                piece not in self._key_tokens
+                and self.normalizer.lemmatizer.lemma(piece, "noun")
+                not in self._key_tokens
+            ):
+                may = False
+                break
+        self._token_cache[token] = may
+        return may
+
+    def signature(self) -> str:
+        """Stable fingerprint of the compiled content."""
+        payload = "|".join(
+            f"{cui}:{c.preferred_name}:{c.semantic_type.value}:"
+            + ",".join(c.synonyms)
+            for cui, c in sorted(self._concepts.items())
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    # --------------------------------------------------------- pickling
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # Memo tables are rebuilt on use; keep artifacts lean.
+        state["_lookup_cache"] = {}
+        state["_token_cache"] = {}
+        return state
 
 
 def _stable_fraction(key: str) -> float:

@@ -6,6 +6,9 @@ The batch engine behind ``repro extract --workers N``:
   linkage caches shared by every extractor in one engine;
 * :mod:`repro.runtime.metrics` — monotonic timers and counters, merged
   across worker processes and dumped as JSON by the benchmarks;
+* :mod:`repro.runtime.compiled` — ahead-of-time compiled artifacts
+  (expanded grammar + connector match table, in-memory ontology
+  index) that warm-start the whole stack from one pickle load;
 * :mod:`repro.runtime.runner` — the :class:`CorpusRunner` that fans
   record chunks out over a process pool with per-worker extraction
   stacks, keeping ``workers=1`` as the deterministic serial default;
@@ -33,6 +36,14 @@ from repro.runtime.cache import (
     LinkageCache,
     LRUCache,
 )
+from repro.runtime.compiled import (
+    ARTIFACT_VERSION,
+    CompiledArtifact,
+    CompiledGrammar,
+    artifact_cache_dir,
+    cached_artifact,
+    source_fingerprint,
+)
 from repro.runtime.faults import Fault, FaultPlan
 from repro.runtime.metrics import Metrics, diff_stats, merge_stats
 from repro.runtime.resilience import (
@@ -52,7 +63,10 @@ from repro.runtime.tracing import (
 )
 
 __all__ = [
+    "ARTIFACT_VERSION",
     "NULL_TRACER",
+    "CompiledArtifact",
+    "CompiledGrammar",
     "CorpusRunner",
     "DocumentCache",
     "ExtractionCaches",
@@ -68,9 +82,12 @@ __all__ = [
     "RetryPolicy",
     "Span",
     "Tracer",
+    "artifact_cache_dir",
     "build_manifest",
+    "cached_artifact",
     "corpus_digest",
     "diff_stats",
     "merge_stats",
+    "source_fingerprint",
     "tracing",
 ]

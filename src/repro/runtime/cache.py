@@ -76,6 +76,15 @@ class LRUCache:
             self._data.popitem(last=False)
             self.evictions += 1
 
+    def resize(self, maxsize: int) -> None:
+        """Change the capacity, evicting LRU entries if shrinking."""
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
     def clear(self) -> None:
         self._data.clear()
 
@@ -125,6 +134,14 @@ class DocumentCache:
             document = self.pipeline.process_text(text)
             self._lru.put(text, document)
         return document
+
+    @property
+    def maxsize(self) -> int:
+        return self._lru.maxsize
+
+    def resize(self, maxsize: int) -> None:
+        """Change capacity (the corpus runner sizes it to its chunks)."""
+        self._lru.resize(maxsize)
 
     def clear(self) -> None:
         self._lru.clear()
@@ -241,10 +258,15 @@ class LinkageCache:
             except ParseFailure:
                 self._lru.put(key, _PARSE_FAILED)
                 return None
+            # The distance memo rides on the entry: every hit of this
+            # signature shares it, so the association layer runs its
+            # Dijkstra once per (sentence shape, source) per corpus.
+            memo: dict = {}
+            linkage.distance_cache = memo
             self._lru.put(
                 key,
                 (tuple(linkage.links), linkage.cost,
-                 tuple(linkage.token_map)),
+                 tuple(linkage.token_map), memo),
             )
             return linkage
         if entry is _PARSE_TIMED_OUT:
@@ -252,12 +274,13 @@ class LinkageCache:
             return None
         if entry is _PARSE_FAILED:
             return None
-        links, cost, token_map = entry
+        links, cost, token_map, memo = entry
         return Linkage(
             words=[LEFT_WALL] + [words[i] for i in token_map[1:]],
             links=list(links),
             cost=cost,
             token_map=list(token_map),
+            distance_cache=memo,
         )
 
     def clear(self) -> None:

@@ -26,6 +26,7 @@ class Metrics:
     def __init__(self) -> None:
         self.counters: dict[str, int] = {}
         self.timers: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
 
     # ----------------------------------------------------------- record
 
@@ -34,6 +35,15 @@ class Metrics:
 
     def add_time(self, name: str, seconds: float) -> None:
         self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a point-in-time level (cache size, init cost).
+
+        Unlike counters and timers, gauges are not additive: setting
+        overwrites, and merging keeps the maximum — the right
+        aggregate for "worst worker" style readings.
+        """
+        self.gauges[name] = value
 
     @contextmanager
     def time(self, name: str) -> Iterator[None]:
@@ -56,10 +66,13 @@ class Metrics:
     # -------------------------------------------------------- serialize
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        out: dict[str, Any] = {
             "counters": dict(self.counters),
             "timers_s": dict(self.timers),
         }
+        if self.gauges:
+            out["gauges"] = dict(self.gauges)
+        return out
 
     def to_json(self, indent: int = 1) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
@@ -69,16 +82,19 @@ class Metrics:
         metrics = cls()
         metrics.counters.update(data.get("counters", {}))
         metrics.timers.update(data.get("timers_s", {}))
+        metrics.gauges.update(data.get("gauges", {}))
         return metrics
 
     def merge(self, other: "Metrics | dict[str, Any]") -> None:
-        """Add *other*'s counters and timers into this registry."""
+        """Add *other*'s counters and timers; gauges keep the max."""
         if isinstance(other, Metrics):
             other = other.to_dict()
         for name, value in other.get("counters", {}).items():
             self.count(name, value)
         for name, value in other.get("timers_s", {}).items():
             self.add_time(name, value)
+        for name, value in other.get("gauges", {}).items():
+            self.gauges[name] = max(self.gauges.get(name, value), value)
 
 
 # ------------------------------------------------- nested stat dicts

@@ -343,10 +343,14 @@ def _reset_caches(extractor: "RecordExtractor") -> None:
 def _init_resilient_worker(
     models: dict[str, dict] | None,
     parse_budget: float | None = None,
+    artifact_path: str | None = None,
+    document_cache_size: int | None = None,
 ) -> None:
     """Pool initializer: normal worker setup plus the worker flag
     that lets ``kill`` faults really terminate the process."""
-    _runner._init_worker(models, parse_budget)
+    _runner._init_worker(
+        models, parse_budget, artifact_path, document_cache_size
+    )
     mark_worker()
 
 
@@ -377,6 +381,7 @@ def _extract_chunk_guarded(
         _reset_caches(extractor)
         raise
     delta = diff_stats(extractor.counters(), before)
+    delta = _runner._attach_init_report(delta)
     return start, results, delta, spans
 
 
@@ -401,12 +406,16 @@ class ResilientCorpusRunner(CorpusRunner):
         fault_plan: FaultPlan | None = None,
         resume: bool = False,
         run_id: str = "",
+        artifact: "Any | str | Path | None" = None,
+        document_cache_size: int | None = None,
     ) -> None:
         super().__init__(
             extractor,
             workers=workers,
             chunk_size=chunk_size,
             tracer=tracer,
+            artifact=artifact,
+            document_cache_size=document_cache_size,
         )
         self.policy = policy or RetryPolicy()
         if isinstance(journal, (str, Path)):
@@ -429,6 +438,7 @@ class ResilientCorpusRunner(CorpusRunner):
         order; quarantined records are listed in :attr:`quarantine`.
         """
         records = list(records)
+        self._size_document_cache(len(records))
         plan = (
             self.fault_plan.resolved(len(records))
             if self.fault_plan
@@ -705,7 +715,12 @@ class ResilientCorpusRunner(CorpusRunner):
         return ProcessPoolExecutor(
             max_workers=min(self.workers, max(n_tasks, 1)),
             initializer=_init_resilient_worker,
-            initargs=(models, parse_budget),
+            initargs=(
+                models,
+                parse_budget,
+                self._artifact_path,
+                self.document_cache_size,
+            ),
         )
 
     def _drain_parallel(
@@ -719,6 +734,10 @@ class ResilientCorpusRunner(CorpusRunner):
         trace = self.tracer is not None
         spans_by_start: dict[int, list[dict]] = {}
         rebuilds = 0
+        # Publish the artifact so fork-started (and rebuilt) pools
+        # inherit it copy-on-write, exactly as the base runner does.
+        previous_artifact = _runner._SHARED_ARTIFACT
+        _runner._SHARED_ARTIFACT = self.artifact
         pool = self._make_pool(models, parse_budget, len(tasks))
         futures: dict[Any, _ChunkTask] = {}
         try:
@@ -797,6 +816,7 @@ class ResilientCorpusRunner(CorpusRunner):
                         models, parse_budget, max(len(tasks), 1)
                     )
         finally:
+            _runner._SHARED_ARTIFACT = previous_artifact
             pool.shutdown(wait=True, cancel_futures=True)
         if self.tracer is not None:
             for start in sorted(spans_by_start):

@@ -22,7 +22,9 @@ out over a :class:`~concurrent.futures.ProcessPoolExecutor`:
 from __future__ import annotations
 
 import math
+import time
 from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
 from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.records.model import PatientRecord
@@ -35,10 +37,25 @@ if TYPE_CHECKING:  # real imports are deferred: extraction imports us
         ExtractionResult,
         RecordExtractor,
     )
+    from repro.runtime.compiled import CompiledArtifact
     from repro.runtime.resilience import Journal
 
 #: Per-process extractor, created by the pool initializer.
 _WORKER_EXTRACTOR: "RecordExtractor | None" = None
+
+#: Compiled artifact published by the parent just before it forks a
+#: pool.  Workers started with the ``fork`` method inherit it
+#: copy-on-write and skip every per-process build cost; under
+#: ``spawn`` it is ``None`` and the initializer falls back to the
+#: artifact path (one pickle load) or a cold build.
+_SHARED_ARTIFACT: "CompiledArtifact | None" = None
+
+#: Wall-clock the pool initializer spent building this worker's
+#: extraction stack, and whether it was reported back yet.  The first
+#: chunk a worker finishes ships the figure home inside its counter
+#: delta, so the parent can aggregate per-worker start-up cost.
+_WORKER_INIT_SECONDS: float = 0.0
+_WORKER_INIT_REPORTED: bool = True
 
 
 def _serialize_models(
@@ -58,24 +75,55 @@ def _serialize_models(
 def _init_worker(
     models: dict[str, dict] | None,
     parse_budget: float | None = None,
+    artifact_path: str | None = None,
+    document_cache_size: int | None = None,
 ) -> None:
-    """Build one extraction stack per worker process."""
-    global _WORKER_EXTRACTOR
-    from repro.extraction.categorical import CategoricalClassifier
-    from repro.extraction.pipeline import RecordExtractor
-    from repro.extraction.schema import attribute as lookup
-    from repro.ml.serialize import tree_from_dict
+    """Build one extraction stack per worker process.
 
-    extractor = RecordExtractor(parse_budget=parse_budget)
-    for name, tree in (models or {}).items():
-        classifier = CategoricalClassifier(
-            lookup(name),
-            document_cache=extractor.caches.documents,
-            linkage_cache=extractor.caches.linkages,
+    Warm-start order: the forked-in :data:`_SHARED_ARTIFACT` (free),
+    then *artifact_path* (one pickle load), then a cold build from
+    source — whichever is available first.  A stale or unreadable
+    artifact file degrades to the cold build rather than killing the
+    pool.
+    """
+    global _WORKER_EXTRACTOR, _WORKER_INIT_SECONDS
+    global _WORKER_INIT_REPORTED
+    started = time.perf_counter()
+    artifact = _SHARED_ARTIFACT
+    if artifact is None and artifact_path is not None:
+        from repro.errors import ArtifactError
+        from repro.runtime.compiled import CompiledArtifact
+
+        try:
+            artifact = CompiledArtifact.load(artifact_path)
+        except ArtifactError:
+            artifact = None
+    if artifact is not None:
+        extractor = artifact.make_extractor(
+            parse_budget=parse_budget,
+            document_cache_size=document_cache_size,
+            models=models or {},
         )
-        classifier._id3 = tree_from_dict(tree)
-        extractor.categorical[name] = classifier
+    else:
+        from repro.extraction.categorical import CategoricalClassifier
+        from repro.extraction.pipeline import RecordExtractor
+        from repro.extraction.schema import attribute as lookup
+        from repro.ml.serialize import tree_from_dict
+
+        extractor = RecordExtractor(parse_budget=parse_budget)
+        if document_cache_size is not None:
+            extractor.caches.documents.resize(document_cache_size)
+        for name, tree in (models or {}).items():
+            classifier = CategoricalClassifier(
+                lookup(name),
+                document_cache=extractor.caches.documents,
+                linkage_cache=extractor.caches.linkages,
+            )
+            classifier._id3 = tree_from_dict(tree)
+            extractor.categorical[name] = classifier
     _WORKER_EXTRACTOR = extractor
+    _WORKER_INIT_SECONDS = time.perf_counter() - started
+    _WORKER_INIT_REPORTED = False
 
 
 def _extract_chunk(
@@ -102,7 +150,26 @@ def _extract_chunk(
     else:
         results = _WORKER_EXTRACTOR.extract_all(records)
     delta = diff_stats(_WORKER_EXTRACTOR.counters(), before)
+    delta = _attach_init_report(delta)
     return index, results, delta, spans
+
+
+def _attach_init_report(delta: dict[str, Any]) -> dict[str, Any]:
+    """Fold this worker's one-time init timing into a chunk delta.
+
+    Only the first chunk a worker returns carries the report, so the
+    parent's merged ``workers.init_seconds`` is the total start-up
+    cost across the pool and ``workers.initialized`` counts workers.
+    """
+    global _WORKER_INIT_REPORTED
+    if not _WORKER_INIT_REPORTED:
+        _WORKER_INIT_REPORTED = True
+        delta = dict(delta)
+        delta["workers"] = {
+            "init_seconds": _WORKER_INIT_SECONDS,
+            "initialized": 1,
+        }
+    return delta
 
 
 class CorpusRunner:
@@ -115,6 +182,8 @@ class CorpusRunner:
         chunk_size: int | None = None,
         tracer: Tracer | None = None,
         journal: "Journal | None" = None,
+        artifact: "CompiledArtifact | str | Path | None" = None,
+        document_cache_size: int | None = None,
     ) -> None:
         from repro.extraction.pipeline import RecordExtractor
 
@@ -124,10 +193,36 @@ class CorpusRunner:
             raise ValueError(
                 f"chunk_size must be >= 1, got {chunk_size}"
             )
-        self.extractor = extractor or RecordExtractor()
+        if document_cache_size is not None and document_cache_size < 1:
+            raise ValueError(
+                "document_cache_size must be >= 1, got "
+                f"{document_cache_size}"
+            )
+        self.metrics = Metrics()
+        #: Compiled warm-start bundle: when set, it both builds the
+        #: default extractor and is shared with pool workers (via
+        #: fork inheritance, with a load-from-path fallback).
+        self.artifact: "CompiledArtifact | None" = None
+        self._artifact_path: str | None = None
+        if artifact is not None:
+            self.artifact, self._artifact_path = self._load_artifact(
+                artifact
+            )
+        self.document_cache_size = document_cache_size
+        if extractor is None:
+            if self.artifact is not None:
+                extractor = self.artifact.make_extractor(
+                    document_cache_size=document_cache_size
+                )
+            else:
+                extractor = RecordExtractor()
+        if document_cache_size is not None:
+            caches = getattr(extractor, "caches", None)
+            if caches is not None:
+                caches.documents.resize(document_cache_size)
+        self.extractor = extractor
         self.workers = workers
         self.chunk_size = chunk_size
-        self.metrics = Metrics()
         #: When set, every run records one span tree per record here
         #: (worker trees are merged back in input order).
         self.tracer = tracer
@@ -138,6 +233,19 @@ class CorpusRunner:
         #: Merged engine counters (caches, parser) from the last runs.
         self.engine_stats: dict[str, Any] = {}
 
+    def _load_artifact(
+        self, artifact: "CompiledArtifact | str | Path"
+    ) -> tuple["CompiledArtifact", str | None]:
+        """Resolve the artifact argument, timing any disk load."""
+        from repro.runtime.compiled import CompiledArtifact
+
+        if isinstance(artifact, CompiledArtifact):
+            return artifact, None
+        path = str(artifact)
+        with self.metrics.time("artifact_load_seconds"):
+            loaded = CompiledArtifact.load(path)
+        return loaded, path
+
     # ------------------------------------------------------------ public
 
     def run(
@@ -145,6 +253,7 @@ class CorpusRunner:
     ) -> list[ExtractionResult]:
         """Extract every record, results in input order."""
         records = list(records)
+        self._size_document_cache(len(records))
         with self.metrics.time("extract_seconds"):
             if self.workers == 1 or len(records) <= 1:
                 results = self._run_serial(records)
@@ -152,6 +261,41 @@ class CorpusRunner:
                 results = self._run_parallel(records)
         self.metrics.count("records", len(records))
         return results
+
+    def _scheduling_unit(self, n_records: int) -> int:
+        """Records one worker processes contiguously (chunk or all)."""
+        if self.workers == 1 or n_records <= 1:
+            return n_records
+        return self.chunk_size or max(
+            1, math.ceil(n_records / (self.workers * 4))
+        )
+
+    def _target_document_cache_size(self, n_records: int) -> int:
+        """Capacity that covers one scheduling unit of records.
+
+        Every record touches a handful of distinct section texts, so a
+        cache smaller than ~8× the contiguous run of records it serves
+        thrashes (all evictions, no cross-record reuse).  Bounded so a
+        huge corpus cannot pin unbounded document memory.
+        """
+        unit = self._scheduling_unit(n_records)
+        return min(4096, max(256, 8 * unit))
+
+    def _size_document_cache(self, n_records: int) -> None:
+        """Grow the in-process document cache to fit this run.
+
+        Explicit ``document_cache_size`` wins; otherwise the cache
+        grows (never shrinks — shrinking would throw away warm
+        entries) to the computed target.
+        """
+        if self.document_cache_size is not None:
+            return
+        caches = getattr(self.extractor, "caches", None)
+        if caches is None:
+            return
+        target = self._target_document_cache_size(n_records)
+        if target > caches.documents.maxsize:
+            caches.documents.resize(target)
 
     def throughput(self) -> float:
         """Records per second across every ``run`` so far."""
@@ -161,6 +305,7 @@ class CorpusRunner:
         """One JSON-dumpable view over runner + engine metrics."""
         parser = self.engine_stats.get("parser", {})
         linkages = self.engine_stats.get("linkages", {})
+        worker_stats = self.engine_stats.get("workers", {})
         hits = linkages.get("hits", 0)
         lookups = hits + linkages.get("misses", 0)
         before = parser.get("disjuncts_before", 0)
@@ -171,6 +316,14 @@ class CorpusRunner:
                 "extract_seconds", 0.0
             ),
             "records_per_sec": self.throughput(),
+            "worker_init_seconds": worker_stats.get(
+                "init_seconds", 0.0
+            ),
+            "workers_initialized": worker_stats.get("initialized", 0),
+            "artifact_load_seconds": self.metrics.timers.get(
+                "artifact_load_seconds", 0.0
+            ),
+            "warm_start": self.artifact is not None,
             "linkage_cache_hit_rate": hits / lookups if lookups else 0.0,
             "parse_timeouts": parser.get("timeouts", 0),
             "prune_ratio": (
@@ -258,29 +411,45 @@ class CorpusRunner:
         models = _serialize_models(self.extractor)
         collected: dict[int, list[ExtractionResult]] = {}
         collected_spans: dict[int, list[Span]] = {}
-        with ProcessPoolExecutor(
-            max_workers=min(self.workers, len(chunks)),
-            initializer=_init_worker,
-            initargs=(
-                models,
-                getattr(self.extractor, "parse_budget", None),
-            ),
-        ) as pool:
-            # pool.map yields chunks in input order and re-raises a
-            # chunk's exception when its turn comes — every chunk
-            # journaled before that point survives the failure.
-            for index, results, delta, spans in pool.map(
-                _extract_chunk, chunks
-            ):
-                collected[index] = results
-                collected_spans[index] = [
-                    Span.from_dict(span) for span in spans
-                ]
-                merge_stats(self.engine_stats, delta)
-                if self.journal is not None:
-                    self.journal.append_chunk(
-                        chunk_starts[index], results
-                    )
+        worker_cache_size = (
+            self.document_cache_size
+            or self._target_document_cache_size(len(records))
+        )
+        # Publish the artifact for fork-started workers to inherit
+        # copy-on-write; restored afterwards so nested or later pools
+        # see whatever their own runner published.
+        global _SHARED_ARTIFACT
+        previous = _SHARED_ARTIFACT
+        _SHARED_ARTIFACT = self.artifact
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(chunks)),
+                initializer=_init_worker,
+                initargs=(
+                    models,
+                    getattr(self.extractor, "parse_budget", None),
+                    self._artifact_path,
+                    worker_cache_size,
+                ),
+            ) as pool:
+                # pool.map yields chunks in input order and re-raises
+                # a chunk's exception when its turn comes — every
+                # chunk journaled before that point survives the
+                # failure.
+                for index, results, delta, spans in pool.map(
+                    _extract_chunk, chunks
+                ):
+                    collected[index] = results
+                    collected_spans[index] = [
+                        Span.from_dict(span) for span in spans
+                    ]
+                    merge_stats(self.engine_stats, delta)
+                    if self.journal is not None:
+                        self.journal.append_chunk(
+                            chunk_starts[index], results
+                        )
+        finally:
+            _SHARED_ARTIFACT = previous
         if self.tracer is not None:
             for index in sorted(collected_spans):
                 self.tracer.merge(collected_spans[index])

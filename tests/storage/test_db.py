@@ -206,3 +206,50 @@ class TestQuarantineTable:
         b.save(result)
         b.save_quarantine([entry], run_id="r1")
         assert a.content_digest() == b.content_digest()
+
+
+class TestWriteAheadLog:
+    def test_wal_mode_on_file_stores(self, tmp_path, result):
+        store = ResultStore(tmp_path / "results.db")
+        connection = store._connection
+        mode = connection.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+        sync = connection.execute("PRAGMA synchronous").fetchone()[0]
+        assert sync == 1  # NORMAL
+        store.save(result)
+        store.close()
+        # Checkpointed on close: data lives in the main file, no WAL
+        # sidecar left behind for consumers to miss.
+        assert not (tmp_path / "results.db-wal").exists()
+        reopened = ResultStore(tmp_path / "results.db")
+        assert reopened.patients() == ["7"]
+
+    def test_close_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path / "twice.db")
+        store.close()
+        store.close()
+
+    def test_context_manager_closes(self, tmp_path, result):
+        with ResultStore(tmp_path / "ctx.db") as store:
+            store.save(result)
+        assert not (tmp_path / "ctx.db-wal").exists()
+
+    def test_batch_insert_is_one_transaction(self, tmp_path, result):
+        store = ResultStore(tmp_path / "batch.db")
+        statements: list[str] = []
+        store._connection.set_trace_callback(statements.append)
+        results = [
+            ExtractionResult(
+                patient_id=str(i),
+                numeric=dict(result.numeric),
+                terms=dict(result.terms),
+                categorical=dict(result.categorical),
+            )
+            for i in range(1, 26)
+        ]
+        store.store_many(results)
+        store._connection.set_trace_callback(None)
+        commits = [
+            s for s in statements if s.strip().upper() == "COMMIT"
+        ]
+        assert len(commits) == 1  # 25 records, one commit

@@ -1,0 +1,151 @@
+"""SERVE — the resident daemon vs the one-shot batch path.
+
+The batch CLI pays full start-up per invocation; the service loads
+the compiled stack once and serves extraction over a socket.  This
+bench measures what that residency buys on live traffic:
+
+* **sustained throughput** — records/s through ``extract_many``'s
+  pipelined window, driving the micro-batcher hard enough that it
+  actually coalesces;
+* **request latency** — p50/p99 of single blocking ``extract`` calls
+  (each is its own micro-batch: the worst case for the batcher, the
+  common case for an interactive caller);
+* **batch path reference** — the same cohort through
+  ``CorpusRunner`` on the same warm stack, so the protocol tax
+  (JSON framing + socket hop + queueing) is visible next to it.
+
+Emits ``BENCH_service.json`` so the serving trajectory is
+machine-readable across PRs.  Correctness gates (byte-identity with
+the batch store) live in the integration suite, not here.
+"""
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from conftest import print_table
+
+from repro.client import ServiceClient
+from repro.extraction import RecordExtractor
+from repro.runtime import CorpusRunner
+from repro.runtime.service import ExtractionService, ServiceConfig
+from repro.synth import CohortSpec, RecordGenerator
+
+CORPUS_SIZE = 60
+LATENCY_SAMPLES = 30
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def _cohort(size: int):
+    records, _ = RecordGenerator(seed=17).generate_cohort(
+        CohortSpec(
+            size=size,
+            smoking_counts={
+                "never": size - 3, "current": 1, "former": 1, None: 1,
+            },
+        )
+    )
+    return records
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(
+        len(ordered) - 1, round(fraction * (len(ordered) - 1))
+    )
+    return ordered[index]
+
+
+def test_service_throughput_and_latency(benchmark, tmp_path):
+    records = _cohort(CORPUS_SIZE)
+    socket_path = str(tmp_path / "bench.sock")
+
+    def run():
+        service = ExtractionService(
+            RecordExtractor(),
+            config=ServiceConfig(
+                socket_path=socket_path,
+                linger_s=0.02,
+                max_batch=32,
+            ),
+        )
+        service.start()
+        try:
+            with ServiceClient(socket_path=socket_path) as client:
+                # Sustained: the pipelined window keeps the queue fed
+                # so the batcher coalesces.
+                started = time.perf_counter()
+                results, quarantined = client.extract_many(records)
+                sustained = time.perf_counter() - started
+                assert len(results) == CORPUS_SIZE
+                assert quarantined == []
+
+                # Latency: one blocking request at a time.
+                samples = []
+                for record in records[:LATENCY_SAMPLES]:
+                    started = time.perf_counter()
+                    client.extract(record)
+                    samples.append(time.perf_counter() - started)
+                stats = client.stats()
+        finally:
+            service.stop(timeout=60)
+
+        # The same warm stack through the batch engine, as the
+        # no-protocol reference point.
+        runner = CorpusRunner(service.runner.extractor, workers=1)
+        started = time.perf_counter()
+        runner.run(records)
+        batch_seconds = time.perf_counter() - started
+
+        return {
+            "corpus_size": CORPUS_SIZE,
+            "sustained_seconds": sustained,
+            "sustained_records_per_s": CORPUS_SIZE / sustained,
+            "latency_p50_s": _percentile(samples, 0.50),
+            "latency_p99_s": _percentile(samples, 0.99),
+            "latency_mean_s": statistics.fmean(samples),
+            "batches": stats["batches"],
+            "mean_batch_size": (
+                stats["records_dispatched"] / stats["batches"]
+            ),
+            "batch_engine_seconds": batch_seconds,
+            "batch_engine_records_per_s": (
+                CORPUS_SIZE / batch_seconds
+            ),
+        }
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Service vs batch engine",
+        ["lane", "records/s", "detail"],
+        [
+            (
+                "service sustained",
+                f"{report['sustained_records_per_s']:.1f}",
+                f"{report['batches']} batches, "
+                f"mean size {report['mean_batch_size']:.1f}",
+            ),
+            (
+                "service per-request",
+                f"{1.0 / report['latency_mean_s']:.1f}",
+                f"p50 {report['latency_p50_s'] * 1e3:.1f}ms  "
+                f"p99 {report['latency_p99_s'] * 1e3:.1f}ms",
+            ),
+            (
+                "batch engine",
+                f"{report['batch_engine_records_per_s']:.1f}",
+                "no protocol, same warm stack",
+            ),
+        ],
+    )
+    ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+
+    # The micro-batcher must actually coalesce under pipelined load,
+    # and the protocol tax must stay bounded: sustained service
+    # throughput within 5x of the raw batch engine (JSON framing,
+    # socket hop, and per-batch runner bookkeeping are all real).
+    assert report["mean_batch_size"] > 1.0
+    assert report["sustained_records_per_s"] >= (
+        report["batch_engine_records_per_s"] / 5.0
+    )

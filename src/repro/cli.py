@@ -21,10 +21,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 import time
 from pathlib import Path
 
+from repro.client import ServiceClient
 from repro.errors import ArtifactError, ParseFailure, ReproError
 from repro.runtime.compiled import (
     CompiledArtifact,
@@ -38,6 +40,7 @@ from repro.runtime.resilience import (
     ResilientCorpusRunner,
     RetryPolicy,
 )
+from repro.runtime.service import ExtractionService, ServiceConfig
 from repro.eval import (
     numeric_experiment,
     paper_cohort,
@@ -188,6 +191,121 @@ def build_parser() -> argparse.ArgumentParser:
              "with KIND in raise|hang|kill|corrupt|interrupt, INDEX "
              "an integer or first|mid|last, MODE once|always (see "
              "docs/robustness.md)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a resident extraction daemon: load the stack once, "
+             "micro-batch extraction requests from a local socket",
+    )
+    serve.add_argument(
+        "--socket", type=Path, default=None, metavar="PATH",
+        help="listen on this AF_UNIX socket (default: loopback TCP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port to bind (0 picks an ephemeral port, printed "
+             "at startup and written to --ready-file)",
+    )
+    serve.add_argument(
+        "--models", type=Path, default=None,
+        help="directory of saved categorical models to serve with",
+    )
+    serve.add_argument(
+        "--artifact", type=Path, default=None, metavar="PATH",
+        help="warm-start from this compiled artifact",
+    )
+    serve.add_argument(
+        "--no-warm-start", action="store_true",
+        help="build the extraction stack from source instead of "
+             "using the compiled-artifact cache",
+    )
+    serve.add_argument(
+        "--parse-budget", type=float, default=10.0, metavar="SECONDS",
+    )
+    serve.add_argument(
+        "--max-queue", type=_positive_int, default=64,
+        help="accepted-but-undispatched requests held before the "
+             "service sheds load with retry-after (default: 64)",
+    )
+    serve.add_argument(
+        "--max-batch", type=_positive_int, default=16,
+        help="most records coalesced into one dispatched batch "
+             "(default: 16)",
+    )
+    serve.add_argument(
+        "--linger", type=float, default=0.01, metavar="SECONDS",
+        help="how long the batcher waits to coalesce more requests "
+             "once work is queued (default: 0.01)",
+    )
+    serve.add_argument(
+        "--retry-after", type=float, default=0.05, metavar="SECONDS",
+        help="back-off suggested to shed clients (default: 0.05)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="default per-request deadline; a request still queued "
+             "past it is answered with a deadline error",
+    )
+    serve.add_argument(
+        "--retries", type=_positive_int, default=3, metavar="ATTEMPTS",
+        help="chunk attempts before bisection/quarantine (default: 3)",
+    )
+    serve.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="debug: deterministic faults by global dispatch index, "
+             "e.g. 'raise@2' poisons the third record ever "
+             "dispatched (integer indices only)",
+    )
+    serve.add_argument(
+        "--ready-file", type=Path, default=None, metavar="PATH",
+        help="write the bound address to this JSON file once the "
+             "service accepts connections (for scripts and CI)",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit records to a running extraction service "
+             "(or query its health/stats, or ask it to drain)",
+    )
+    submit.add_argument(
+        "--socket", type=Path, default=None, metavar="PATH",
+        help="connect to this AF_UNIX socket",
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=None)
+    submit.add_argument(
+        "--input", type=Path, default=None,
+        help="directory of record files to submit",
+    )
+    submit.add_argument(
+        "--db", type=Path, default=None,
+        help="SQLite database to store the returned results in",
+    )
+    submit.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request deadline forwarded with every record",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="socket timeout for one response (default: 60)",
+    )
+    submit.add_argument(
+        "--run-id", default=None, metavar="NAME",
+        help="run id recorded with quarantine rows",
+    )
+    submit.add_argument(
+        "--health", action="store_true",
+        help="print the service's health JSON and exit",
+    )
+    submit.add_argument(
+        "--stats", action="store_true",
+        help="print the service's stats JSON and exit",
+    )
+    submit.add_argument(
+        "--shutdown", action="store_true",
+        help="ask the service to drain and exit",
     )
 
     trace_cmd = sub.add_parser(
@@ -450,6 +568,133 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    artifact = _resolve_artifact(args)
+    if artifact is not None:
+        extractor = artifact.make_extractor(
+            parse_budget=args.parse_budget
+        )
+    else:
+        extractor = RecordExtractor(parse_budget=args.parse_budget)
+    if args.models is not None:
+        loaded = extractor.load_models(args.models)
+        print(f"loaded {loaded} categorical models from {args.models}")
+    config = ServiceConfig(
+        socket_path=str(args.socket) if args.socket else None,
+        host=args.host,
+        port=args.port,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        linger_s=args.linger,
+        retry_after_s=args.retry_after,
+        default_deadline_s=args.deadline,
+    )
+    fault_plan = (
+        FaultPlan.parse(args.inject_faults)
+        if args.inject_faults
+        else None
+    )
+    service = ExtractionService(
+        extractor,
+        config=config,
+        artifact=artifact,
+        policy=RetryPolicy(max_attempts=args.retries),
+        fault_plan=fault_plan,
+    )
+
+    def _drain(signum: int, frame: object) -> None:
+        print("drain requested, finishing accepted work...",
+              file=sys.stderr)
+        service.shutdown()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    address = service.start()
+    if isinstance(address, str):
+        shown = address
+        bound = {"socket": address}
+    else:
+        shown = f"{address[0]}:{address[1]}"
+        bound = {"host": address[0], "port": address[1]}
+    if args.ready_file is not None:
+        args.ready_file.write_text(json.dumps(bound))
+    print(
+        f"serving on {shown} "
+        f"(warm start: {'on' if artifact is not None else 'off'}, "
+        f"queue {config.max_queue}, batch {config.max_batch})",
+        flush=True,
+    )
+    # Joining in slices keeps the main thread responsive to the
+    # SIGTERM/SIGINT drain handlers above.
+    while service.is_running():
+        service.join(timeout=0.2)
+    stats = service.stats()
+    print(
+        f"drained: {stats['completed']} completed, "
+        f"{stats['quarantined']} quarantined, "
+        f"{stats['rejected_overload']} shed, "
+        f"{stats['deadline_expired']} expired over "
+        f"{stats['batches']} batches"
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = ServiceClient(
+        socket_path=str(args.socket) if args.socket else None,
+        host=args.host,
+        port=args.port,
+        timeout=args.timeout,
+    )
+    with client:
+        if args.health:
+            print(json.dumps(client.health(), indent=1,
+                             sort_keys=True))
+            return 0
+        if args.stats:
+            print(json.dumps(client.stats(), indent=1,
+                             sort_keys=True))
+            return 0
+        if args.shutdown:
+            client.shutdown()
+            print("service draining")
+            return 0
+        if args.input is None or args.db is None:
+            print(
+                "error: submit needs --input and --db "
+                "(or one of --health/--stats/--shutdown)",
+                file=sys.stderr,
+            )
+            return 2
+        records = list(load_records(args.input))
+        results, quarantined = client.extract_many(
+            records, deadline_s=args.deadline
+        )
+    store = ResultStore(args.db)
+    store.store_many(results)
+    if quarantined:
+        entries = [
+            error["quarantine"]
+            for _, error in quarantined
+            if "quarantine" in error
+        ]
+        store.save_quarantine(entries, run_id=args.run_id or "")
+        for entry in entries:
+            print(
+                f"quarantined record {entry['record_id']} "
+                f"(index {entry['record_index']}): "
+                f"{entry['error_type']} after "
+                f"{entry['attempts']} attempts",
+                file=sys.stderr,
+            )
+    store.close()
+    print(
+        f"submitted {len(records)} records -> {args.db} "
+        f"({len(results)} extracted, {len(quarantined)} quarantined)"
+    )
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     if not args.file.exists():
         print(f"error: no such trace file: {args.file}",
@@ -550,6 +795,8 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "compile": _cmd_compile,
     "extract": _cmd_extract,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
     "trace": _cmd_trace,
     "parse": _cmd_parse,
     "analyze": _cmd_analyze,

@@ -1,0 +1,298 @@
+"""Blocking client for the extraction service (``repro submit``).
+
+Speaks the JSON-lines protocol of
+:mod:`repro.runtime.service` over one connection:
+
+* :meth:`ServiceClient.extract` — one record in, one
+  :class:`~repro.extraction.pipeline.ExtractionResult` out, with
+  transparent back-off/retry on ``overloaded`` responses;
+* :meth:`ServiceClient.extract_many` — a whole corpus, pipelined with
+  a bounded in-flight window so the server's micro-batcher actually
+  gets batches to coalesce; results come back in input order, with
+  quarantined records reported separately (mirroring the batch
+  runner's contract);
+* :meth:`ServiceClient.health` / :meth:`ServiceClient.stats` /
+  :meth:`ServiceClient.shutdown` — introspection and drain.
+
+The client is deliberately synchronous and single-threaded: requests
+are written and responses read from the same thread, matched by id.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.errors import ServiceError
+from repro.runtime.service import record_to_dict
+
+if TYPE_CHECKING:
+    from repro.records.model import PatientRecord
+
+
+class QuarantinedRecord(ServiceError):
+    """The service isolated this record as a poison."""
+
+    def __init__(self, record_id: str, error: dict[str, Any]):
+        self.record_id = record_id
+        self.error = error
+        super().__init__(
+            f"record {record_id!r} quarantined: "
+            f"{error.get('message', '')}"
+        )
+
+
+class DeadlineExceeded(ServiceError):
+    """The request's deadline expired before extraction ran."""
+
+
+class ServiceClient:
+    """One blocking connection to a running extraction service."""
+
+    def __init__(
+        self,
+        socket_path: str | None = None,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        timeout: float = 60.0,
+        window: int = 32,
+    ) -> None:
+        if socket_path is None and port is None:
+            raise ServiceError(
+                "need a socket path or a TCP port to connect to"
+            )
+        if socket_path is not None:
+            self._socket = socket.socket(socket.AF_UNIX)
+            target: Any = socket_path
+        else:
+            self._socket = socket.socket(socket.AF_INET)
+            target = (host, port)
+        self._socket.settimeout(timeout)
+        try:
+            self._socket.connect(target)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot connect to service at {target!r}: {exc}"
+            ) from exc
+        self._reader = self._socket.makefile("r", encoding="utf-8")
+        self._writer = self._socket.makefile("w", encoding="utf-8")
+        self.window = max(1, window)
+        self._next_id = 0
+
+    # ------------------------------------------------------- transport
+
+    def close(self) -> None:
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _send(self, payload: dict[str, Any]) -> None:
+        try:
+            self._writer.write(json.dumps(payload) + "\n")
+            self._writer.flush()
+        except OSError as exc:
+            raise ServiceError(
+                f"connection lost while sending: {exc}"
+            ) from exc
+
+    def _read(self) -> dict[str, Any]:
+        try:
+            line = self._reader.readline()
+        except OSError as exc:
+            raise ServiceError(
+                f"connection lost while reading: {exc}"
+            ) from exc
+        if not line:
+            raise ServiceError(
+                "service closed the connection mid-request"
+            )
+        try:
+            message = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"malformed response line: {exc}"
+            ) from exc
+        if not isinstance(message, dict):
+            raise ServiceError("response was not a JSON object")
+        return message
+
+    def _request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request and block for its tagged response."""
+        request_id = self._make_id()
+        self._send({**payload, "id": request_id})
+        response = self._read()
+        if response.get("id") != request_id:
+            raise ServiceError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id!r}"
+            )
+        return response
+
+    def _make_id(self) -> str:
+        self._next_id += 1
+        return f"q{self._next_id}"
+
+    # ------------------------------------------------------------- ops
+
+    def health(self) -> dict[str, Any]:
+        return self._result(self._request({"op": "health"}))
+
+    def stats(self) -> dict[str, Any]:
+        return self._result(self._request({"op": "stats"}))
+
+    def shutdown(self) -> dict[str, Any]:
+        """Ask the service to drain and exit."""
+        return self._result(self._request({"op": "shutdown"}))
+
+    def extract(
+        self,
+        record: "PatientRecord",
+        deadline_s: float | None = None,
+        max_retries: int = 50,
+    ) -> Any:
+        """Extract one record, retrying through overload shedding.
+
+        Raises :class:`QuarantinedRecord` when the service isolated
+        the record, :class:`DeadlineExceeded` on a queued-too-long
+        deadline, :class:`ServiceError` for everything else.
+        """
+        payload: dict[str, Any] = {
+            "op": "extract",
+            "record": record_to_dict(record),
+        }
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        for _ in range(max_retries + 1):
+            response = self._request(payload)
+            if response.get("ok"):
+                return self._to_result(response["result"])
+            error = response.get("error", {})
+            if error.get("kind") == "overloaded":
+                time.sleep(float(error.get("retry_after_s", 0.05)))
+                continue
+            raise self._to_exception(record.patient_id, error)
+        raise ServiceError(
+            f"record {record.patient_id!r} still shed after "
+            f"{max_retries} retries"
+        )
+
+    def extract_many(
+        self,
+        records: "Sequence[PatientRecord]",
+        deadline_s: float | None = None,
+        max_retries: int = 200,
+    ) -> tuple[list[Any], list[tuple[int, dict[str, Any]]]]:
+        """Extract a corpus with a pipelined in-flight window.
+
+        Returns ``(results, quarantined)``: results for every clean
+        record in input order, plus ``(input_index, error payload)``
+        for each quarantined one — the same split the batch runner
+        makes.  ``overloaded`` responses requeue the record and shrink
+        nothing; any other error propagates as an exception.
+        """
+        records = list(records)
+        slots: list[Any] = [None] * len(records)
+        quarantined: list[tuple[int, dict[str, Any]]] = []
+        cleared: set[int] = set()
+        to_send: deque[int] = deque(range(len(records)))
+        in_flight: dict[str, int] = {}
+        retries = 0
+        while to_send or in_flight:
+            while to_send and len(in_flight) < self.window:
+                index = to_send.popleft()
+                request_id = self._make_id()
+                payload: dict[str, Any] = {
+                    "op": "extract",
+                    "id": request_id,
+                    "record": record_to_dict(records[index]),
+                }
+                if deadline_s is not None:
+                    payload["deadline_s"] = deadline_s
+                self._send(payload)
+                in_flight[request_id] = index
+            response = self._read()
+            response_id = response.get("id")
+            if response_id not in in_flight:
+                raise ServiceError(
+                    f"unsolicited response id {response_id!r}"
+                )
+            index = in_flight.pop(response_id)
+            if response.get("ok"):
+                slots[index] = self._to_result(response["result"])
+                cleared.add(index)
+                continue
+            error = response.get("error", {})
+            if error.get("kind") == "overloaded":
+                retries += 1
+                if retries > max_retries:
+                    raise ServiceError(
+                        f"gave up after {max_retries} overload "
+                        "retries"
+                    )
+                time.sleep(float(error.get("retry_after_s", 0.05)))
+                to_send.append(index)
+                continue
+            if error.get("kind") == "quarantined":
+                quarantined.append((index, error))
+                continue
+            raise self._to_exception(
+                records[index].patient_id, error
+            )
+        results = [
+            slots[index]
+            for index in range(len(records))
+            if index in cleared
+        ]
+        return results, quarantined
+
+    # ------------------------------------------------------- internals
+
+    @staticmethod
+    def _result(response: dict[str, Any]) -> dict[str, Any]:
+        if not response.get("ok"):
+            error = response.get("error", {})
+            raise ServiceError(
+                f"{error.get('kind', 'error')}: "
+                f"{error.get('message', 'request failed')}"
+            )
+        return response["result"]
+
+    @staticmethod
+    def _to_result(payload: dict[str, Any]) -> Any:
+        from repro.extraction.pipeline import ExtractionResult
+
+        return ExtractionResult.from_dict(payload)
+
+    @staticmethod
+    def _to_exception(
+        record_id: str, error: dict[str, Any]
+    ) -> ServiceError:
+        kind = error.get("kind")
+        if kind == "quarantined":
+            return QuarantinedRecord(record_id, error)
+        if kind == "deadline":
+            return DeadlineExceeded(
+                f"record {record_id!r}: "
+                f"{error.get('message', 'deadline expired')}"
+            )
+        return ServiceError(
+            f"record {record_id!r}: {kind}: "
+            f"{error.get('message', '')}"
+        )
+
+
+__all__ = [
+    "DeadlineExceeded",
+    "QuarantinedRecord",
+    "ServiceClient",
+]

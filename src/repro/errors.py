@@ -98,3 +98,12 @@ class ResilienceError(ReproError):
 
 class FaultSpecError(ReproError):
     """An ``--inject-faults`` specification string is malformed."""
+
+
+class ServiceError(ReproError):
+    """The extraction service (or its client) failed an operation.
+
+    Raised client-side for protocol violations, connection loss, and
+    error responses the caller cannot recover from; transient
+    ``overloaded`` responses are retried by the client instead.
+    """

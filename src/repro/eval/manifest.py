@@ -120,6 +120,12 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         bench_file="bench_substrates.py",
         kind="infrastructure",
     ),
+    Experiment(
+        id="SERVE",
+        artifact="resident daemon vs one-shot batch path",
+        bench_file="bench_service.py",
+        kind="infrastructure",
+    ),
 )
 
 

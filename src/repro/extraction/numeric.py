@@ -69,6 +69,37 @@ class NumericExtraction:
     sentence: str
     detail: str = ""
 
+    def to_dict(self) -> dict:
+        """JSON-safe form (ratio tuples become two-element lists)."""
+        value = (
+            list(self.value)
+            if isinstance(self.value, tuple)
+            else self.value
+        )
+        return {
+            "attribute": self.attribute,
+            "value": value,
+            "method": self.method.value,
+            "sentence": self.sentence,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NumericExtraction":
+        raw = data["value"]
+        value: float | tuple[float, float] = (
+            tuple(float(part) for part in raw)  # type: ignore[assignment]
+            if isinstance(raw, (list, tuple))
+            else float(raw)
+        )
+        return cls(
+            attribute=data["attribute"],
+            value=value,
+            method=Method(data["method"]),
+            sentence=data["sentence"],
+            detail=data.get("detail", ""),
+        )
+
 
 @dataclass(frozen=True)
 class CandidateDistance:
@@ -492,8 +523,19 @@ class NumericExtractor:
             if not isinstance(value, tuple) or len(value) != 2:
                 return False
             systolic, diastolic = value
+            low = (
+                attr.second_minimum
+                if attr.second_minimum is not None
+                else attr.minimum
+            )
+            high = (
+                attr.second_maximum
+                if attr.second_maximum is not None
+                else attr.maximum
+            )
             return (
                 self._in_range(attr, systolic)
+                and low <= diastolic <= high
                 and diastolic < systolic
             )
         return isinstance(value, float) and self._in_range(attr, value)

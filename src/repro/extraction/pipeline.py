@@ -48,6 +48,27 @@ class Provenance:
     detail: str = ""
     position: int = 0  # ordinal for multi-valued (term) attributes
 
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "attribute": self.attribute,
+            "kind": self.kind,
+            "value": self.value,
+            "method": self.method,
+            "detail": self.detail,
+            "position": self.position,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Provenance":
+        return cls(
+            attribute=data["attribute"],
+            kind=data["kind"],
+            value=data["value"],
+            method=data["method"],
+            detail=data.get("detail", ""),
+            position=int(data.get("position", 0)),
+        )
+
 
 @dataclass
 class ExtractionResult:
@@ -67,6 +88,54 @@ class ExtractionResult:
             name: (extraction.value if extraction else None)
             for name, extraction in self.numeric.items()
         }
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form, round-trippable via :meth:`from_dict`.
+
+        Dict insertion order and float values survive the JSON trip
+        exactly, so ``from_dict(json.loads(json.dumps(to_dict())))``
+        reproduces the result bit for bit — the service protocol
+        depends on this to keep its stores byte-identical to the
+        batch path's.
+        """
+        return {
+            "patient_id": self.patient_id,
+            "numeric": {
+                name: (
+                    extraction.to_dict() if extraction else None
+                )
+                for name, extraction in self.numeric.items()
+            },
+            "terms": {
+                name: list(values)
+                for name, values in self.terms.items()
+            },
+            "categorical": dict(self.categorical),
+            "provenance": [p.to_dict() for p in self.provenance],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ExtractionResult":
+        return cls(
+            patient_id=data["patient_id"],
+            numeric={
+                name: (
+                    NumericExtraction.from_dict(entry)
+                    if entry is not None
+                    else None
+                )
+                for name, entry in data.get("numeric", {}).items()
+            },
+            terms={
+                name: list(values)
+                for name, values in data.get("terms", {}).items()
+            },
+            categorical=dict(data.get("categorical", {})),
+            provenance=[
+                Provenance.from_dict(p)
+                for p in data.get("provenance", [])
+            ],
+        )
 
 
 def _numeric_value_str(value: float | tuple[float, float]) -> str:

@@ -42,6 +42,10 @@ class NumericAttribute:
     before keyword association — the age of "a 50-year-old woman" is
     dictated fused into one token and has no free-standing keyword.
     Each pattern must expose one capturing group holding the value.
+
+    For ratio attributes, ``second_minimum``/``second_maximum`` bound
+    the second reading (the diastolic of "144/90"); without them the
+    ``minimum``/``maximum`` range applies to both readings.
     """
 
     name: str
@@ -51,6 +55,8 @@ class NumericAttribute:
     minimum: float = 0.0
     maximum: float = 1e9
     is_ratio: bool = False  # blood pressure 144/90
+    second_minimum: float | None = None
+    second_maximum: float | None = None
     regex_patterns: tuple[str, ...] = ()
 
     kind: AttributeKind = AttributeKind.NUMERIC
@@ -127,6 +133,7 @@ NUMERIC_ATTRIBUTES: tuple[NumericAttribute, ...] = (
         keyword="blood pressure",
         synonyms=("bp",),
         minimum=60, maximum=260, is_ratio=True,
+        second_minimum=30, second_maximum=150,
     ),
     NumericAttribute(
         name="pulse",

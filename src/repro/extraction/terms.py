@@ -81,8 +81,13 @@ class TermExtractor:
         use_synonyms: bool = False,
         normalizer: TermNormalizer | None = None,
         document_cache: DocumentCache | None = None,
+        attributes: tuple[TermsAttribute, ...] | None = None,
     ) -> None:
         self.ontology = ontology or default_ontology()
+        self.attributes: tuple[TermsAttribute, ...] = (
+            tuple(attributes) if attributes is not None
+            else TERMS_ATTRIBUTES
+        )
         # Lookups run against the compiled in-memory index (identical
         # results, no SQLite round-trip); its first-token index lets
         # the scanner skip start positions that cannot match at all.
@@ -127,12 +132,19 @@ class TermExtractor:
         """
         results: dict[str, list[str]] = {}
         assigned: dict[str, list[tuple[str, TermHit]]] = {}
-        section_hits: dict[str, list[TermHit]] = {}
-        for attr in TERMS_ATTRIBUTES:
-            if attr.section not in section_hits:
+        # Hits are shareable between attributes only when both the
+        # section AND the semantic-type filter agree; keying by
+        # section alone would let the first attribute's filter leak
+        # into later attributes of the same section.
+        section_hits: dict[
+            tuple[str, frozenset[SemanticType]], list[TermHit]
+        ] = {}
+        for attr in self.attributes:
+            key = (attr.section, frozenset(attr.semantic_types))
+            if key not in section_hits:
                 text = record.section_text(attr.section)
                 with tracing.span("section", attr.section):
-                    section_hits[attr.section] = (
+                    section_hits[key] = (
                         self.extract_terms(
                             text,
                             semantic_types=set(attr.semantic_types),
@@ -140,9 +152,7 @@ class TermExtractor:
                         if text
                         else []
                     )
-            pairs = self._assign_hits(
-                attr, section_hits[attr.section]
-            )
+            pairs = self._assign_hits(attr, section_hits[key])
             assigned[attr.name] = pairs
             results[attr.name] = [name for name, _ in pairs]
         return results, assigned

@@ -120,9 +120,13 @@ class OntologyStore:
         matches: list[ConceptMatch] = []
         seen: set[tuple[str, str]] = set()
         for normalized in self.normalizer.normalize_candidates(term):
+            # The trailing cui pins a total order: without it, ties
+            # between concepts sharing a surface name fall back to
+            # SQLite row order, which need not match the compiled
+            # index and makes ambiguous lookups nondeterministic.
             rows = self._connection.execute(
                 "SELECT name, cui FROM names WHERE normalized = ? "
-                "ORDER BY is_preferred DESC, name",
+                "ORDER BY is_preferred DESC, name, cui",
                 (normalized,),
             ).fetchall()
             for name, cui in rows:
@@ -207,7 +211,7 @@ class CompiledOntology:
     Replaces per-lookup SQLite round-trips with one dict probe while
     reproducing :meth:`OntologyStore.lookup` exactly: the index maps
     each normalized key to its ``(name, cui)`` rows pre-sorted the way
-    the SQL ``ORDER BY is_preferred DESC, name`` returns them, and
+    the SQL ``ORDER BY is_preferred DESC, name, cui`` returns them, and
     :meth:`lookup` applies the same candidate loop, dedup, and
     first-candidate-with-matches cut.  Lookup results are memoized per
     surface string (a cohort repeats the same candidate spans over and
@@ -258,7 +262,7 @@ class CompiledOntology:
             normalized: tuple(
                 (name, cui)
                 for _, name, cui in sorted(
-                    rows, key=lambda r: (-r[0], r[1])
+                    rows, key=lambda r: (-r[0], r[1], r[2])
                 )
             )
             for normalized, rows in grouped.items()

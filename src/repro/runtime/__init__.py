@@ -21,7 +21,12 @@ The batch engine behind ``repro extract --workers N``:
   checkpoint/resume;
 * :mod:`repro.runtime.faults` — deterministic, seed-reproducible
   fault injection (``--inject-faults``) that proves the resilience
-  layer works.
+  layer works;
+* :mod:`repro.runtime.service` — the resident extraction daemon
+  behind ``repro serve``: a JSON-lines socket protocol, a bounded
+  queue with shed-load backpressure, a micro-batcher dispatching
+  through the resilient runner, per-request deadlines, and graceful
+  drain.
 
 Import order note: :mod:`repro.runtime.tracing` must stay dependency-
 free within the package (cache and runner import it), and
@@ -54,6 +59,7 @@ from repro.runtime.resilience import (
     corpus_digest,
 )
 from repro.runtime.runner import CorpusRunner
+from repro.runtime.service import ExtractionService, ServiceConfig
 from repro.runtime.tracing import (
     NULL_TRACER,
     NullTracer,
@@ -70,6 +76,7 @@ __all__ = [
     "CorpusRunner",
     "DocumentCache",
     "ExtractionCaches",
+    "ExtractionService",
     "Fault",
     "FaultPlan",
     "Journal",
@@ -80,6 +87,7 @@ __all__ = [
     "QuarantineEntry",
     "ResilientCorpusRunner",
     "RetryPolicy",
+    "ServiceConfig",
     "Span",
     "Tracer",
     "artifact_cache_dir",

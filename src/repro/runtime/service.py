@@ -1,0 +1,659 @@
+"""Long-running extraction service: the resident daemon behind
+``repro serve``.
+
+Every entry point so far is a one-shot CLI that pays full start-up per
+invocation.  This module keeps the compiled extraction stack resident
+and serves extraction requests over a local socket:
+
+* **JSON-lines protocol** — one JSON object per line in each
+  direction, over an ``AF_UNIX`` socket (default) or loopback TCP.
+  Ops: ``extract`` (one patient record in, one
+  :class:`~repro.extraction.pipeline.ExtractionResult` out),
+  ``health``, ``stats``, and ``shutdown``.  Responses carry the
+  request's ``id``, so one connection can pipeline many requests.
+* **Micro-batching** — accepted requests land in a bounded queue; a
+  single batcher thread coalesces them (up to ``max_batch``, after a
+  short ``linger_s`` window) and dispatches each batch through the
+  existing :class:`~repro.runtime.resilience.ResilientCorpusRunner`,
+  so the batch path's caching, retry/bisect/quarantine machinery, and
+  fault injection all apply to live traffic.
+* **Backpressure** — when the queue is full the service *sheds load*:
+  the request is rejected immediately with an ``overloaded`` error
+  carrying ``retry_after_s``, instead of blocking the connection or
+  silently dropping work.
+* **Deadlines** — each request may carry ``deadline_s``; a request
+  whose deadline expires while still queued is answered with a
+  ``deadline`` error at dispatch time, without paying for extraction.
+* **Graceful drain** — ``shutdown`` (or SIGTERM via the CLI) stops
+  accepting new extract requests, but every already-accepted request
+  is extracted and answered before the server exits.
+
+Determinism note: extraction runs only on the single batcher thread,
+so the process-global tracer and all engine caches see strictly
+serialized access — results are byte-identical to the batch CLI path
+on the same records in the same order.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import ServiceError
+from repro.records.model import PatientRecord, Section
+from repro.runtime.faults import FaultPlan
+from repro.runtime.metrics import Metrics
+from repro.runtime.resilience import (
+    QuarantineEntry,
+    ResilientCorpusRunner,
+    RetryPolicy,
+)
+from repro.runtime.tracing import Tracer
+
+if TYPE_CHECKING:
+    from repro.extraction.pipeline import RecordExtractor
+
+#: Protocol ops a request may carry.
+OPS = ("extract", "health", "stats", "shutdown")
+
+#: Error kinds a response may carry.
+ERROR_KINDS = (
+    "bad-request",
+    "deadline",
+    "overloaded",
+    "quarantined",
+    "shutting-down",
+)
+
+
+# ----------------------------------------------------------- wire form
+
+def record_to_dict(record: PatientRecord) -> dict[str, Any]:
+    """JSON-safe form of a patient record for the wire."""
+    return {
+        "patient_id": record.patient_id,
+        "sections": [
+            {"name": section.name, "text": section.text}
+            for section in record.sections
+        ],
+        "raw_text": record.raw_text,
+    }
+
+
+def record_from_dict(data: dict[str, Any]) -> PatientRecord:
+    try:
+        return PatientRecord(
+            patient_id=data["patient_id"],
+            sections=[
+                Section(name=s["name"], text=s["text"])
+                for s in data.get("sections", [])
+            ],
+            raw_text=data.get("raw_text", ""),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ServiceError(f"malformed record payload: {exc}") from exc
+
+
+# -------------------------------------------------------------- config
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs for one :class:`ExtractionService`.
+
+    With ``socket_path`` set the service listens on an ``AF_UNIX``
+    socket; otherwise it binds loopback TCP on ``host:port`` (port 0
+    picks an ephemeral port, reported via :attr:`ExtractionService.
+    address`).
+    """
+
+    socket_path: str | None = None
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Accepted-but-undispatched requests the queue holds before the
+    #: service sheds load with ``overloaded`` responses.
+    max_queue: int = 64
+    #: Most records coalesced into one dispatched batch.
+    max_batch: int = 16
+    #: How long the batcher waits for more requests to coalesce once
+    #: the queue is non-empty (0 disables coalescing beyond whatever
+    #: is already queued).
+    linger_s: float = 0.01
+    #: Suggested client back-off carried by ``overloaded`` responses.
+    retry_after_s: float = 0.05
+    #: Deadline applied to requests that do not carry their own.
+    default_deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValueError(
+                f"max_queue must be >= 1, got {self.max_queue}"
+            )
+        if self.max_batch < 1:
+            raise ValueError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        if self.linger_s < 0 or self.retry_after_s < 0:
+            raise ValueError("linger_s/retry_after_s must be >= 0")
+
+
+@dataclass
+class _PendingRequest:
+    """One accepted extract request waiting in the queue."""
+
+    request_id: str
+    record: PatientRecord
+    #: Absolute monotonic expiry, or None for no deadline.
+    expires_at: float | None
+    respond: Callable[[dict[str, Any]], None]
+
+
+# ------------------------------------------------------------- service
+
+class ExtractionService:
+    """A resident extraction daemon over a local socket.
+
+    The extraction stack (optionally warm-started from a compiled
+    artifact) is built once; every dispatched batch reuses it through
+    one :class:`ResilientCorpusRunner`, so quarantine/retry semantics
+    and ``fault_plan`` injection match the batch CLI exactly.  Fault
+    indices refer to the *global dispatch order* of records across
+    the service's lifetime (``raise@2`` poisons the third record ever
+    dispatched); symbolic indices are not meaningful for an endless
+    stream and are rejected.
+    """
+
+    def __init__(
+        self,
+        extractor: "RecordExtractor | None" = None,
+        config: ServiceConfig | None = None,
+        artifact: Any | None = None,
+        policy: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.tracer = tracer
+        if fault_plan is not None:
+            for fault in fault_plan.faults:
+                if isinstance(fault.index, str):
+                    raise ServiceError(
+                        f"symbolic fault index "
+                        f"{fault.spec()!r} is undefined for a "
+                        "service stream; use integer indices"
+                    )
+        self.fault_plan = fault_plan
+        self.runner = ResilientCorpusRunner(
+            extractor,
+            workers=1,
+            chunk_size=self.config.max_batch,
+            policy=policy,
+            tracer=tracer,
+            artifact=artifact,
+        )
+        self.metrics = Metrics()
+        #: Every poison isolated over the service lifetime, with
+        #: record_index rebased to global arrival order.
+        self.quarantine: list[QuarantineEntry] = []
+        self.address: Any = None
+
+        self._cond = threading.Condition()
+        self._queue: deque[_PendingRequest] = deque()
+        self._draining = False
+        self._dispatched = 0  # records handed to the runner, ever
+        self._completed = 0
+        self._started = time.monotonic()
+        self._ready = threading.Event()
+        self._listener: socket.socket | None = None
+        self._batcher: threading.Thread | None = None
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------- lifecycle
+
+    def serve(self) -> None:
+        """Bind, accept, and dispatch until drained (blocking)."""
+        listener = self._bind()
+        self._batcher = threading.Thread(
+            target=self._batch_loop, name="service-batcher", daemon=True
+        )
+        self._batcher.start()
+        self._ready.set()
+        try:
+            while not self._stopping():
+                try:
+                    connection, _ = listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                threading.Thread(
+                    target=self._serve_connection,
+                    args=(connection,),
+                    daemon=True,
+                ).start()
+        finally:
+            # Drain before tearing the socket down: every accepted
+            # request is answered, then the batcher exits on its own.
+            if self._batcher is not None:
+                self._batcher.join()
+            self._close_listener()
+
+    def start(self) -> Any:
+        """Run :meth:`serve` on a background thread; returns the bound
+        address once the service is accepting connections."""
+        self._thread = threading.Thread(
+            target=self.serve, name="service-accept", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise ServiceError("service failed to come up in 30s")
+        return self.address
+
+    def shutdown(self) -> None:
+        """Begin a graceful drain (idempotent, safe from any thread).
+
+        New extract requests are rejected with ``shutting-down``;
+        everything already accepted is dispatched and answered, then
+        :meth:`serve` returns.
+        """
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait for a :meth:`start`-ed service to finish draining."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def is_running(self) -> bool:
+        """True while a :meth:`start`-ed service has not drained."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def stop(self, timeout: float | None = 30.0) -> None:
+        """Shutdown + join, for tests and embedders."""
+        self.shutdown()
+        self.join(timeout)
+
+    def _stopping(self) -> bool:
+        with self._cond:
+            return self._draining
+
+    def _bind(self) -> socket.socket:
+        if self.config.socket_path is not None:
+            path = Path(self.config.socket_path)
+            if path.exists():
+                path.unlink()
+            listener = socket.socket(socket.AF_UNIX)
+            listener.bind(str(path))
+            self.address = str(path)
+        else:
+            listener = socket.socket(socket.AF_INET)
+            listener.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
+            )
+            listener.bind((self.config.host, self.config.port))
+            self.address = listener.getsockname()
+        # The accept loop wakes periodically to notice a drain that
+        # was triggered by a signal or an op instead of a socket
+        # error.
+        listener.settimeout(0.1)
+        listener.listen(64)
+        self._listener = listener
+        return listener
+
+    def _close_listener(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        if self.config.socket_path is not None:
+            path = Path(self.config.socket_path)
+            if path.exists():
+                path.unlink()
+
+    # ----------------------------------------------------- connections
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        """One thread per connection: parse lines, route ops.
+
+        Responses for pipelined requests may be written from both
+        this thread (health/stats/errors) and the batcher thread
+        (extract results), so every write takes the connection's
+        write lock.
+        """
+        write_lock = threading.Lock()
+        reader = connection.makefile("r", encoding="utf-8")
+        writer = connection.makefile("w", encoding="utf-8")
+
+        def respond(payload: dict[str, Any]) -> None:
+            try:
+                with write_lock:
+                    # Insertion order is part of the payload: result
+                    # dicts must re-serialize byte-identically to the
+                    # batch path, so never sort keys here.
+                    writer.write(json.dumps(payload) + "\n")
+                    writer.flush()
+            except (OSError, ValueError):
+                # The client went away; its results are dropped but
+                # the batch they rode in completes normally.
+                self.metrics.count("responses_lost")
+
+        try:
+            for line in reader:
+                line = line.strip()
+                if not line:
+                    continue
+                self._handle_line(line, respond)
+        except (OSError, ValueError):
+            pass
+        finally:
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+    def _handle_line(
+        self,
+        line: str,
+        respond: Callable[[dict[str, Any]], None],
+    ) -> None:
+        try:
+            message = json.loads(line)
+        except json.JSONDecodeError as exc:
+            respond(_error(None, "bad-request", f"bad JSON: {exc}"))
+            return
+        if not isinstance(message, dict):
+            respond(
+                _error(None, "bad-request", "expected a JSON object")
+            )
+            return
+        request_id = message.get("id")
+        op = message.get("op")
+        self.metrics.count("requests")
+        if op == "health":
+            respond({"id": request_id, "ok": True,
+                     "result": self.health()})
+        elif op == "stats":
+            respond({"id": request_id, "ok": True,
+                     "result": self.stats()})
+        elif op == "shutdown":
+            respond({"id": request_id, "ok": True,
+                     "result": {"draining": True}})
+            self.shutdown()
+        elif op == "extract":
+            self._accept_extract(message, request_id, respond)
+        else:
+            respond(_error(
+                request_id, "bad-request",
+                f"unknown op {op!r} (expected one of "
+                f"{', '.join(OPS)})",
+            ))
+
+    def _accept_extract(
+        self,
+        message: dict[str, Any],
+        request_id: Any,
+        respond: Callable[[dict[str, Any]], None],
+    ) -> None:
+        try:
+            record = record_from_dict(message["record"])
+        except (KeyError, ServiceError) as exc:
+            respond(_error(request_id, "bad-request", str(exc)))
+            return
+        deadline_s = message.get(
+            "deadline_s", self.config.default_deadline_s
+        )
+        expires_at = (
+            time.monotonic() + float(deadline_s)
+            if deadline_s is not None
+            else None
+        )
+        pending = _PendingRequest(
+            request_id=request_id,
+            record=record,
+            expires_at=expires_at,
+            respond=respond,
+        )
+        with self._cond:
+            if self._draining:
+                respond(_error(
+                    request_id, "shutting-down",
+                    "service is draining; submit elsewhere",
+                ))
+                self.metrics.count("rejected_draining")
+                return
+            if len(self._queue) >= self.config.max_queue:
+                response = _error(
+                    request_id, "overloaded",
+                    f"queue full ({self.config.max_queue} pending); "
+                    "retry later",
+                )
+                response["error"]["retry_after_s"] = (
+                    self.config.retry_after_s
+                )
+                respond(response)
+                self.metrics.count("rejected_overload")
+                return
+            self._queue.append(pending)
+            self.metrics.count("accepted")
+            self.metrics.gauge(
+                "queue_depth_peak", float(len(self._queue))
+            )
+            self._cond.notify_all()
+
+    # --------------------------------------------------------- batcher
+
+    def _batch_loop(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            self._run_batch(batch)
+
+    def _next_batch(self) -> list[_PendingRequest] | None:
+        """Block for work, linger to coalesce, pop up to max_batch.
+
+        Returns ``None`` exactly once the service is draining *and*
+        the queue is empty — every accepted request has been
+        dispatched by then.
+        """
+        with self._cond:
+            while not self._queue and not self._draining:
+                self._cond.wait()
+            if not self._queue:
+                return None  # draining and fully dispatched
+            if self.config.linger_s > 0:
+                linger_until = (
+                    time.monotonic() + self.config.linger_s
+                )
+                while (
+                    len(self._queue) < self.config.max_batch
+                    and not self._draining
+                ):
+                    remaining = linger_until - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(timeout=remaining)
+            batch = [
+                self._queue.popleft()
+                for _ in range(
+                    min(len(self._queue), self.config.max_batch)
+                )
+            ]
+            self._cond.notify_all()
+        return batch
+
+    def _run_batch(self, batch: list[_PendingRequest]) -> None:
+        now = time.monotonic()
+        live: list[_PendingRequest] = []
+        for pending in batch:
+            if (
+                pending.expires_at is not None
+                and pending.expires_at <= now
+            ):
+                pending.respond(_error(
+                    pending.request_id, "deadline",
+                    "deadline expired while queued",
+                ))
+                self.metrics.count("deadline_expired")
+            else:
+                live.append(pending)
+        if not live:
+            return
+        records = [pending.record for pending in live]
+        base = self._dispatched
+        self.runner.fault_plan = self._batch_plan(base, len(records))
+        self.metrics.count("batches")
+        self.metrics.gauge("batch_size_peak", float(len(records)))
+        with self.metrics.time("batch_seconds"):
+            try:
+                results = self.runner.run(records)
+            except Exception as exc:  # an unquarantinable failure
+                for pending in live:
+                    pending.respond(_error(
+                        pending.request_id, "bad-request",
+                        f"extraction failed: "
+                        f"{type(exc).__name__}: {exc}",
+                    ))
+                self.metrics.count("batch_failures")
+                return
+            finally:
+                self._dispatched = base + len(records)
+        self._route_results(live, results, base)
+
+    def _batch_plan(self, base: int, count: int) -> FaultPlan | None:
+        """Slice the global fault plan to this batch's index window.
+
+        The runner sees batch-local indices, so each global fault in
+        ``[base, base + count)`` is shifted left by ``base``; faults
+        outside the window stay out of this batch entirely.
+        """
+        if self.fault_plan is None:
+            return None
+        window = tuple(
+            replace(fault, index=int(fault.index) - base)
+            for fault in self.fault_plan.faults
+            if base <= int(fault.index) < base + count
+        )
+        if not window:
+            return None
+        return replace(self.fault_plan, faults=window)
+
+    def _route_results(
+        self,
+        live: list[_PendingRequest],
+        results: list[Any],
+        base: int,
+    ) -> None:
+        """Answer each request from the runner's in-order output.
+
+        The runner returns results in input order minus quarantined
+        records; quarantined positions are recovered from the
+        entries' batch-local ``record_index``.
+        """
+        quarantined_by_position = {
+            entry.record_index: entry
+            for entry in self.runner.quarantine
+        }
+        cursor = 0
+        for position, pending in enumerate(live):
+            entry = quarantined_by_position.get(position)
+            if entry is not None:
+                rebased = replace(
+                    entry, record_index=base + position
+                )
+                self.quarantine.append(rebased)
+                response = _error(
+                    pending.request_id, "quarantined",
+                    f"record isolated after {entry.attempts} "
+                    f"attempts: {entry.error_type}",
+                )
+                response["error"]["quarantine"] = rebased.to_dict()
+                pending.respond(response)
+                self.metrics.count("quarantined")
+                continue
+            result = results[cursor]
+            cursor += 1
+            pending.respond({
+                "id": pending.request_id,
+                "ok": True,
+                "result": result.to_dict(),
+            })
+            self._completed += 1
+        self.metrics.count("completed", len(live))
+
+    # --------------------------------------------------- introspection
+
+    def health(self) -> dict[str, Any]:
+        with self._cond:
+            queue_depth = len(self._queue)
+            draining = self._draining
+        return {
+            "status": "draining" if draining else "ok",
+            "uptime_s": time.monotonic() - self._started,
+            "queue_depth": queue_depth,
+        }
+
+    def stats(self) -> dict[str, Any]:
+        counters = self.metrics.counters
+        with self._cond:
+            queue_depth = len(self._queue)
+            draining = self._draining
+        out: dict[str, Any] = {
+            "uptime_s": time.monotonic() - self._started,
+            "draining": draining,
+            "queue_depth": queue_depth,
+            "max_queue": self.config.max_queue,
+            "max_batch": self.config.max_batch,
+            "linger_s": self.config.linger_s,
+            "requests": counters.get("requests", 0),
+            "accepted": counters.get("accepted", 0),
+            "completed": counters.get("completed", 0),
+            "batches": counters.get("batches", 0),
+            "rejected_overload": counters.get(
+                "rejected_overload", 0
+            ),
+            "rejected_draining": counters.get(
+                "rejected_draining", 0
+            ),
+            "deadline_expired": counters.get("deadline_expired", 0),
+            "quarantined": counters.get("quarantined", 0),
+            "records_dispatched": self._dispatched,
+            "batch_seconds": self.metrics.timers.get(
+                "batch_seconds", 0.0
+            ),
+            "queue_depth_peak": self.metrics.gauges.get(
+                "queue_depth_peak", 0.0
+            ),
+            "batch_size_peak": self.metrics.gauges.get(
+                "batch_size_peak", 0.0
+            ),
+        }
+        if counters.get("batches", 0):
+            out["runner"] = self.runner.stats()
+        return out
+
+
+def _error(
+    request_id: Any, kind: str, message: str
+) -> dict[str, Any]:
+    assert kind in ERROR_KINDS, kind
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"kind": kind, "message": message},
+    }
+
+
+__all__ = [
+    "ERROR_KINDS",
+    "OPS",
+    "ExtractionService",
+    "ServiceConfig",
+    "record_from_dict",
+    "record_to_dict",
+]

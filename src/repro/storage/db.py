@@ -521,6 +521,3 @@ class ResultStore:
                 writer.writerow(row)
                 count += 1
         return count
-
-    def close(self) -> None:
-        self._connection.close()

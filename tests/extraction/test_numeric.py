@@ -120,6 +120,43 @@ class TestValidation:
         )
         assert got is None
 
+    def test_implausible_diastolic_rejected(self, extractor):
+        # A tokenization artifact like "144/2" satisfies
+        # diastolic < systolic but is no blood pressure; the second
+        # reading carries its own plausibility bound.
+        got = extractor.extract_attribute(
+            attribute("blood_pressure"), "Blood pressure is 144/2."
+        )
+        assert got is None
+
+    def test_diastolic_above_bound_rejected(self, extractor):
+        # 240/180: systolic in range, diastolic < systolic, but the
+        # diastolic exceeds its own upper bound.
+        got = extractor.extract_attribute(
+            attribute("blood_pressure"), "Blood pressure is 240/180."
+        )
+        assert got is None
+
+    def test_plausible_ratio_still_accepted(self, extractor):
+        got = extractor.extract_attribute(
+            attribute("blood_pressure"), "Blood pressure is 144/90."
+        )
+        assert got is not None and got.value == (144.0, 90.0)
+
+    def test_ratio_bounds_default_to_attribute_range(self, extractor):
+        from repro.extraction.schema import NumericAttribute
+
+        attr = NumericAttribute(
+            name="ratio",
+            section="Vitals",
+            keyword="ratio",
+            minimum=10,
+            maximum=200,
+            is_ratio=True,
+        )
+        assert extractor._value_ok(attr, (100.0, 50.0))
+        assert not extractor._value_ok(attr, (100.0, 5.0))
+
     def test_absent_feature_returns_none(self, extractor):
         got = extractor.extract_attribute(
             attribute("pulse"), "Temperature of 98.3."

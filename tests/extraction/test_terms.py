@@ -127,6 +127,63 @@ class TestPredefinedAssignment:
         assert out["predefined_past_medical_history"] == ["diabetes"]
 
 
+class TestSharedSectionFilters:
+    """Attributes sharing a section must not share a type filter."""
+
+    def _attrs(self):
+        from repro.extraction.schema import TermsAttribute
+        from repro.ontology import SemanticType
+
+        return (
+            TermsAttribute(
+                name="diseases",
+                section="History",
+                semantic_types=(SemanticType.DISEASE,),
+            ),
+            TermsAttribute(
+                name="procedures",
+                section="History",
+                semantic_types=(SemanticType.PROCEDURE,),
+            ),
+        )
+
+    def _record(self):
+        return PatientRecord(
+            patient_id="1",
+            sections=[
+                Section("History", "cholecystectomy and diabetes")
+            ],
+        )
+
+    def test_each_attribute_keeps_its_own_filter(self):
+        # Pre-fix, section hits were cached by section name alone, so
+        # the first attribute's DISEASE filter leaked into the
+        # PROCEDURE attribute sharing the section.
+        extractor = TermExtractor(attributes=self._attrs())
+        out = extractor.extract_record(self._record())
+        assert out["diseases"] == ["diabetes"]
+        assert out["procedures"] == ["cholecystectomy"]
+
+    def test_filter_independent_of_attribute_order(self):
+        extractor = TermExtractor(
+            attributes=tuple(reversed(self._attrs()))
+        )
+        out = extractor.extract_record(self._record())
+        assert out["diseases"] == ["diabetes"]
+        assert out["procedures"] == ["cholecystectomy"]
+
+    def test_matching_filters_still_share_extraction(self):
+        # Same section AND same semantic types: one extraction pass,
+        # identical hits for both attributes.
+        first, _ = self._attrs()
+        from dataclasses import replace
+
+        twin = replace(first, name="diseases_too")
+        extractor = TermExtractor(attributes=(first, twin))
+        out = extractor.extract_record(self._record())
+        assert out["diseases"] == out["diseases_too"] == ["diabetes"]
+
+
 class TestDegradedOntology:
     def test_partial_match_on_missing_compound(self):
         # Drop everything except the generic head; "ovarian cancer"

@@ -1,0 +1,263 @@
+"""Service end-to-end: the daemon path equals the batch path.
+
+* a corpus submitted through the live service yields a result store
+  bit-for-bit identical to the batch engine's on the same records;
+* the hostile corpus flows through the service unharmed;
+* an injected poison is quarantined through the service exactly as
+  the batch runner quarantines it — same record, same store digest;
+* the real CLI (``repro serve`` / ``repro submit``) round-trips a
+  corpus byte-identically to ``repro extract``, drains cleanly on
+  SIGTERM, and leaves no orphaned provenance rows.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.client import ServiceClient
+from repro.extraction import RecordExtractor
+from repro.runtime import (
+    CorpusRunner,
+    FaultPlan,
+    ResilientCorpusRunner,
+    RetryPolicy,
+)
+from repro.runtime.service import ExtractionService, ServiceConfig
+from repro.storage import ResultStore
+from repro.synth import CohortSpec, RecordGenerator
+
+FAST_POLICY = RetryPolicy(max_attempts=2, backoff_base_s=0.0)
+
+
+@pytest.fixture(scope="module")
+def cohort():
+    records, _ = RecordGenerator(seed=41).generate_cohort(
+        CohortSpec(
+            size=5,
+            smoking_counts={"never": 3, "current": 1, None: 1},
+        )
+    )
+    return records
+
+
+@pytest.fixture(scope="module")
+def baseline(cohort):
+    return CorpusRunner(RecordExtractor()).run(cohort)
+
+
+def _store(path, results, quarantine=()):
+    store = ResultStore(path)
+    store.store_many(results)
+    if quarantine:
+        store.save_quarantine(list(quarantine))
+    store.close()
+    return path
+
+
+def _serve(tmp_path, **kwargs):
+    kwargs.setdefault("policy", FAST_POLICY)
+    config = kwargs.pop("config", None) or ServiceConfig(
+        socket_path=str(tmp_path / "svc.sock"), linger_s=0.01
+    )
+    service = ExtractionService(config=config, **kwargs)
+    service.start()
+    return service, config.socket_path
+
+
+class TestServiceEqualsBatch:
+    def test_store_bit_identical_to_batch_engine(
+        self, cohort, baseline, tmp_path
+    ):
+        service, path = _serve(
+            tmp_path, extractor=RecordExtractor()
+        )
+        try:
+            with ServiceClient(socket_path=path) as client:
+                results, quarantined = client.extract_many(cohort)
+        finally:
+            service.stop(timeout=30)
+        assert quarantined == []
+        a = _store(tmp_path / "service.db", results)
+        b = _store(tmp_path / "batch.db", baseline)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_hostile_corpus_through_service(
+        self, hostile_corpus, tmp_path
+    ):
+        service, path = _serve(
+            tmp_path, extractor=RecordExtractor()
+        )
+        try:
+            with ServiceClient(socket_path=path) as client:
+                results, quarantined = client.extract_many(
+                    hostile_corpus
+                )
+        finally:
+            service.stop(timeout=30)
+        assert quarantined == []
+        plain = CorpusRunner(RecordExtractor()).run(hostile_corpus)
+        a = _store(tmp_path / "service.db", results)
+        b = _store(tmp_path / "plain.db", plain)
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestServiceQuarantineEqualsBatchQuarantine:
+    def test_same_poison_same_store(self, cohort, tmp_path):
+        plan = "raise@2"
+        batch_runner = ResilientCorpusRunner(
+            RecordExtractor(),
+            chunk_size=2,
+            fault_plan=FaultPlan.parse(plan),
+            policy=FAST_POLICY,
+        )
+        batch_results = batch_runner.run(cohort)
+        assert len(batch_runner.quarantine) == 1
+
+        service, path = _serve(
+            tmp_path,
+            extractor=RecordExtractor(),
+            fault_plan=FaultPlan.parse(plan),
+            config=ServiceConfig(
+                socket_path=str(tmp_path / "svc.sock"),
+                max_batch=2,
+                linger_s=0.05,
+            ),
+        )
+        try:
+            with ServiceClient(socket_path=path) as client:
+                results, quarantined = client.extract_many(cohort)
+        finally:
+            service.stop(timeout=30)
+
+        assert [index for index, _ in quarantined] == [2]
+        assert [e.record_id for e in service.quarantine] == [
+            batch_runner.quarantine[0].record_id
+        ]
+        assert service.quarantine[0].record_index == 2
+
+        a = ResultStore(tmp_path / "service.db")
+        a.store_many(results)
+        a.save_quarantine(service.quarantine)
+        b = ResultStore(tmp_path / "batch.db")
+        b.store_many(batch_results)
+        b.save_quarantine(batch_runner.quarantine)
+        assert a.content_digest() == b.content_digest()
+        assert a.missing_provenance() == []
+        a.close()
+        b.close()
+
+
+class TestServeSubmitCli:
+    """The real ``repro serve`` / ``repro submit`` subprocesses."""
+
+    @pytest.fixture(scope="class")
+    def notes_dir(self, tmp_path_factory):
+        from repro.records.loader import save_records
+
+        directory = tmp_path_factory.mktemp("notes")
+        records, _ = RecordGenerator(seed=41).generate_cohort(
+            CohortSpec(size=3, smoking_counts={"never": 2, None: 1})
+        )
+        save_records(records, directory)
+        return directory
+
+    def _spawn_serve(self, tmp_path, *extra):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src
+        ready = tmp_path / "ready.json"
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--socket", str(tmp_path / "svc.sock"),
+                "--ready-file", str(ready),
+                *extra,
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        deadline = time.monotonic() + 120
+        while not ready.exists():
+            if process.poll() is not None:
+                raise AssertionError(
+                    "serve died: " + process.stdout.read()
+                )
+            if time.monotonic() > deadline:
+                process.kill()
+                raise AssertionError("serve never became ready")
+            time.sleep(0.1)
+        bound = json.loads(ready.read_text())
+        return process, bound["socket"], env
+
+    def _submit(self, env, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "submit", *args],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+
+    def test_cli_round_trip_drain_and_provenance(
+        self, notes_dir, tmp_path
+    ):
+        process, sock, env = self._spawn_serve(tmp_path)
+        try:
+            health = self._submit(
+                env, "--socket", sock, "--health"
+            )
+            assert health.returncode == 0, health.stderr
+            assert json.loads(health.stdout)["status"] == "ok"
+
+            service_db = tmp_path / "service.db"
+            submit = self._submit(
+                env,
+                "--socket", sock,
+                "--input", str(notes_dir),
+                "--db", str(service_db),
+            )
+            assert submit.returncode == 0, submit.stderr
+            assert "3 extracted, 0 quarantined" in submit.stdout
+
+            stats = self._submit(env, "--socket", sock, "--stats")
+            assert stats.returncode == 0
+            parsed = json.loads(stats.stdout)
+            assert parsed["completed"] == 3
+            assert parsed["queue_depth"] == 0
+
+            process.send_signal(signal.SIGTERM)
+            out, _ = process.communicate(timeout=120)
+            assert process.returncode == 0, out
+            assert "drained: 3 completed" in out
+            assert not Path(sock).exists()
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate(timeout=30)
+
+        batch_db = tmp_path / "batch.db"
+        extract = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "extract",
+                "--input", str(notes_dir),
+                "--db", str(batch_db),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert extract.returncode == 0, extract.stderr
+        assert service_db.read_bytes() == batch_db.read_bytes()
+
+        store = ResultStore(service_db)
+        assert store.missing_provenance() == []
+        store.close()

@@ -149,6 +149,31 @@ class TestCompiledOntology:
                 store.lookup_type(name, types)
             )
 
+    def test_ambiguous_surface_resolves_by_cui(self):
+        # Two concepts sharing a preferred surface name, inserted in
+        # reverse-CUI order: pre-fix both paths returned insertion
+        # (row) order on ties, so ambiguous surfaces could resolve
+        # differently between a rebuilt store and a compiled index.
+        # The order is now pinned: is_preferred DESC, name, cui.
+        from repro.ontology.concept import Concept, SemanticType
+
+        concepts = [
+            Concept(
+                "C9900", "twinplasty", SemanticType.PROCEDURE, ()
+            ),
+            Concept(
+                "C0011", "twinplasty", SemanticType.PROCEDURE, ()
+            ),
+        ]
+        store = OntologyStore(concepts)
+        compiled = store.compiled()
+        for index in (store, compiled):
+            cuis = [m.concept.cui for m in index.lookup("twinplasty")]
+            assert cuis == ["C0011", "C9900"], (index, cuis)
+        assert compiled.lookup("twinplasty") == store.lookup(
+            "twinplasty"
+        )
+
     def test_is_picklable_and_stable(self):
         compiled = default_ontology().compiled()
         clone = pickle.loads(pickle.dumps(compiled))

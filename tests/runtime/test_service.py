@@ -1,0 +1,526 @@
+"""Unit tests for the extraction service and its client.
+
+A stub extractor keeps these fast: the tests exercise the protocol,
+micro-batching, backpressure, deadlines, quarantine routing, fault
+windowing, and the graceful drain — not the extraction stack itself
+(the integration suite covers that with the real extractor).
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.client import (
+    DeadlineExceeded,
+    QuarantinedRecord,
+    ServiceClient,
+)
+from repro.errors import ServiceError
+from repro.extraction.numeric import Method, NumericExtraction
+from repro.extraction.pipeline import ExtractionResult, Provenance
+from repro.records.model import PatientRecord, Section
+from repro.runtime import FaultPlan, RetryPolicy
+from repro.runtime.service import (
+    ERROR_KINDS,
+    ExtractionService,
+    ServiceConfig,
+    record_from_dict,
+    record_to_dict,
+)
+
+FAST_POLICY = RetryPolicy(max_attempts=2, backoff_base_s=0.0)
+
+
+class StubExtractor:
+    """Constant-time extractor with optional per-record delay/poison."""
+
+    def __init__(self, delay_s=0.0, poison_ids=()):
+        self.delay_s = delay_s
+        self.poison_ids = set(poison_ids)
+        self.extracted = []
+
+    def counters(self):
+        return {}
+
+    def extract(self, record):
+        if record.patient_id in self.poison_ids:
+            raise ValueError(f"poisoned: {record.patient_id}")
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        self.extracted.append(record.patient_id)
+        return ExtractionResult(
+            patient_id=record.patient_id,
+            numeric={"pulse": None},
+            terms={"diseases": ["diabetes"]},
+            categorical={"smoking": None},
+        )
+
+
+def _record(patient_id="p1"):
+    return PatientRecord(
+        patient_id=patient_id,
+        sections=[Section("Vitals", "Blood pressure is 144/90.")],
+    )
+
+
+@pytest.fixture
+def serve(tmp_path):
+    """Start a stub-backed service; yields (service, socket path)."""
+    started = []
+
+    def _start(**kwargs):
+        kwargs.setdefault("extractor", StubExtractor())
+        kwargs.setdefault("policy", FAST_POLICY)
+        config = kwargs.pop("config", None) or ServiceConfig(
+            socket_path=str(tmp_path / "svc.sock"), linger_s=0.005
+        )
+        service = ExtractionService(config=config, **kwargs)
+        service.start()
+        started.append(service)
+        return service, config.socket_path
+
+    yield _start
+    for service in started:
+        service.stop(timeout=10)
+
+
+class TestWireForms:
+    def test_record_roundtrip(self):
+        record = PatientRecord(
+            patient_id="p9",
+            sections=[Section("Vitals", "bp 120/80")],
+            raw_text="Vitals\nbp 120/80",
+        )
+        wired = json.loads(json.dumps(record_to_dict(record)))
+        assert record_from_dict(wired) == record
+
+    def test_malformed_record_payload_raises(self):
+        with pytest.raises(ServiceError, match="malformed record"):
+            record_from_dict({"sections": []})
+        with pytest.raises(ServiceError, match="malformed record"):
+            record_from_dict({"patient_id": "x", "sections": [{}]})
+
+    def test_result_roundtrip_is_bit_exact(self):
+        result = ExtractionResult(
+            patient_id="p3",
+            numeric={
+                "blood_pressure": NumericExtraction(
+                    attribute="blood_pressure",
+                    value=(144.0, 90.0),
+                    method=Method.PATTERN,
+                    sentence="Blood pressure is 144/90.",
+                    detail="fallback",
+                ),
+                "pulse": None,
+            },
+            terms={"diseases": ["diabetes", "asthma"]},
+            categorical={"smoking": "never", "alcohol": None},
+            provenance=[
+                Provenance(
+                    attribute="blood_pressure",
+                    kind="numeric",
+                    value="144/90",
+                    method="pattern",
+                    detail="",
+                    position=0,
+                )
+            ],
+        )
+        wired = json.loads(json.dumps(result.to_dict()))
+        back = ExtractionResult.from_dict(wired)
+        assert back == result
+        assert json.dumps(back.to_dict()) == json.dumps(
+            result.to_dict()
+        )
+
+
+class TestConstruction:
+    def test_symbolic_fault_index_rejected(self):
+        with pytest.raises(ServiceError, match="symbolic"):
+            ExtractionService(
+                StubExtractor(),
+                fault_plan=FaultPlan.parse("raise@mid"),
+            )
+
+    def test_integer_fault_index_accepted(self):
+        service = ExtractionService(
+            StubExtractor(), fault_plan=FaultPlan.parse("raise@3")
+        )
+        assert service.fault_plan is not None
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(max_queue=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(linger_s=-1)
+
+
+class TestFaultWindowing:
+    def _service(self, spec):
+        return ExtractionService(
+            StubExtractor(), fault_plan=FaultPlan.parse(spec)
+        )
+
+    def test_plan_sliced_to_batch_window(self):
+        service = self._service("raise@3")
+        window = service._batch_plan(base=2, count=4)
+        assert [f.index for f in window.faults] == [1]
+
+    def test_fault_outside_window_excluded(self):
+        service = self._service("raise@3")
+        assert service._batch_plan(base=6, count=4) is None
+        assert service._batch_plan(base=0, count=3) is None
+
+    def test_multiple_faults_split_across_windows(self):
+        service = self._service("raise@1;hang@5")
+        first = service._batch_plan(base=0, count=4)
+        second = service._batch_plan(base=4, count=4)
+        assert [f.index for f in first.faults] == [1]
+        assert [f.index for f in second.faults] == [1]
+        assert [f.kind for f in second.faults] == ["hang"]
+
+
+class TestRoundtrip:
+    def test_extract_roundtrip(self, serve):
+        _, path = serve()
+        with ServiceClient(socket_path=path) as client:
+            result = client.extract(_record("p42"))
+        assert result.patient_id == "p42"
+        assert result.terms == {"diseases": ["diabetes"]}
+
+    def test_extract_many_preserves_input_order(self, serve):
+        _, path = serve()
+        records = [_record(f"p{i}") for i in range(10)]
+        with ServiceClient(socket_path=path) as client:
+            results, quarantined = client.extract_many(records)
+        assert quarantined == []
+        assert [r.patient_id for r in results] == [
+            f"p{i}" for i in range(10)
+        ]
+
+    def test_requests_coalesce_into_batches(self, serve, tmp_path):
+        service, path = serve(
+            config=ServiceConfig(
+                socket_path=str(tmp_path / "svc.sock"),
+                linger_s=0.25,
+                max_batch=16,
+            )
+        )
+        records = [_record(f"p{i}") for i in range(8)]
+        with ServiceClient(socket_path=path) as client:
+            results, _ = client.extract_many(records)
+            stats = client.stats()
+        assert len(results) == 8
+        assert stats["accepted"] == 8
+        assert stats["batches"] < stats["accepted"]
+        assert stats["batch_size_peak"] > 1
+
+    def test_tcp_fallback(self, serve):
+        service, _ = serve(config=ServiceConfig(port=0))
+        host, port = service.address
+        with ServiceClient(host=host, port=port) as client:
+            result = client.extract(_record("tcp1"))
+        assert result.patient_id == "tcp1"
+
+    def test_health_and_stats_shapes(self, serve):
+        _, path = serve()
+        with ServiceClient(socket_path=path) as client:
+            health = client.health()
+            client.extract(_record())
+            stats = client.stats()
+        assert health["status"] == "ok"
+        assert health["queue_depth"] == 0
+        assert stats["completed"] == 1
+        assert stats["records_dispatched"] == 1
+        assert "runner" in stats
+
+
+class TestBackpressure:
+    def test_full_queue_sheds_with_retry_after(self, serve, tmp_path):
+        service, path = serve(
+            extractor=StubExtractor(delay_s=0.05),
+            config=ServiceConfig(
+                socket_path=str(tmp_path / "svc.sock"),
+                max_queue=1,
+                max_batch=1,
+                linger_s=0.0,
+                retry_after_s=0.01,
+            ),
+        )
+        records = [_record(f"p{i}") for i in range(6)]
+        with ServiceClient(socket_path=path) as client:
+            results, quarantined = client.extract_many(records)
+            stats = client.stats()
+        # Every record completes despite shedding: the client backs
+        # off by retry_after_s and resubmits.
+        assert len(results) == 6
+        assert quarantined == []
+        assert stats["rejected_overload"] > 0
+
+    def test_overloaded_response_carries_retry_hint(self, serve,
+                                                    tmp_path):
+        service, path = serve(
+            extractor=StubExtractor(delay_s=0.2),
+            config=ServiceConfig(
+                socket_path=str(tmp_path / "svc.sock"),
+                max_queue=1,
+                max_batch=1,
+                linger_s=0.0,
+                retry_after_s=0.125,
+            ),
+        )
+        raw = socket.socket(socket.AF_UNIX)
+        raw.connect(path)
+        try:
+            payload = {
+                "op": "extract",
+                "record": record_to_dict(_record()),
+            }
+            lines = "".join(
+                json.dumps({**payload, "id": f"r{i}"}) + "\n"
+                for i in range(8)
+            )
+            raw.sendall(lines.encode())
+            reader = raw.makefile("r")
+            shed = None
+            for _ in range(8):
+                response = json.loads(reader.readline())
+                if not response["ok"]:
+                    shed = response
+                    break
+            assert shed is not None, "no request was shed"
+            assert shed["error"]["kind"] == "overloaded"
+            assert shed["error"]["retry_after_s"] == 0.125
+        finally:
+            raw.close()
+
+
+class TestDeadlines:
+    def test_expired_in_queue_answered_without_extraction(
+        self, serve
+    ):
+        _, path = serve()
+        with ServiceClient(socket_path=path) as client:
+            with pytest.raises(DeadlineExceeded):
+                client.extract(_record(), deadline_s=0.0)
+
+    def test_unexpired_deadline_extracts_normally(self, serve):
+        _, path = serve()
+        with ServiceClient(socket_path=path) as client:
+            result = client.extract(_record(), deadline_s=30.0)
+        assert result.patient_id == "p1"
+
+
+class TestQuarantine:
+    def test_poison_reported_not_crashing(self, serve):
+        _, path = serve(
+            extractor=StubExtractor(poison_ids={"bad"})
+        )
+        with ServiceClient(socket_path=path) as client:
+            with pytest.raises(QuarantinedRecord) as info:
+                client.extract(_record("bad"))
+            # The service survives the poison and keeps extracting.
+            result = client.extract(_record("good"))
+        assert info.value.record_id == "bad"
+        assert (
+            info.value.error["quarantine"]["error_type"]
+            == "ValueError"
+        )
+        assert result.patient_id == "good"
+
+    def test_extract_many_splits_out_quarantined(self, serve):
+        _, path = serve(
+            extractor=StubExtractor(poison_ids={"p2"})
+        )
+        records = [_record(f"p{i}") for i in range(5)]
+        with ServiceClient(socket_path=path) as client:
+            results, quarantined = client.extract_many(records)
+            stats = client.stats()
+        assert [r.patient_id for r in results] == [
+            "p0", "p1", "p3", "p4",
+        ]
+        assert [index for index, _ in quarantined] == [2]
+        entry = quarantined[0][1]["quarantine"]
+        assert entry["record_id"] == "p2"
+        assert stats["quarantined"] == 1
+
+    def test_quarantine_index_rebased_to_global_order(
+        self, serve, tmp_path
+    ):
+        service, path = serve(
+            extractor=StubExtractor(poison_ids={"p3"}),
+            config=ServiceConfig(
+                socket_path=str(tmp_path / "svc.sock"),
+                max_batch=2,
+                linger_s=0.1,
+            ),
+        )
+        records = [_record(f"p{i}") for i in range(6)]
+        with ServiceClient(socket_path=path) as client:
+            client.extract_many(records)
+        assert [e.record_id for e in service.quarantine] == ["p3"]
+        assert service.quarantine[0].record_index == 3
+
+
+class TestInjectedFaults:
+    def test_global_fault_index_maps_across_batches(
+        self, serve, tmp_path
+    ):
+        service, path = serve(
+            fault_plan=FaultPlan.parse("raise@2"),
+            config=ServiceConfig(
+                socket_path=str(tmp_path / "svc.sock"),
+                max_batch=2,
+                linger_s=0.1,
+            ),
+        )
+        records = [_record(f"p{i}") for i in range(6)]
+        with ServiceClient(socket_path=path) as client:
+            results, quarantined = client.extract_many(records)
+        # raise@2 poisons the third record ever dispatched, even
+        # though it lands in the second micro-batch.
+        assert [index for index, _ in quarantined] == [2]
+        assert [r.patient_id for r in results] == [
+            "p0", "p1", "p3", "p4", "p5",
+        ]
+        assert [e.record_id for e in service.quarantine] == ["p2"]
+
+
+class TestProtocolErrors:
+    def _raw(self, path):
+        raw = socket.socket(socket.AF_UNIX)
+        raw.connect(path)
+        return raw
+
+    def test_bad_json_line(self, serve):
+        _, path = serve()
+        raw = self._raw(path)
+        try:
+            raw.sendall(b"this is not json\n")
+            response = json.loads(raw.makefile("r").readline())
+            assert response["ok"] is False
+            assert response["error"]["kind"] == "bad-request"
+        finally:
+            raw.close()
+
+    def test_unknown_op(self, serve):
+        _, path = serve()
+        raw = self._raw(path)
+        try:
+            raw.sendall(b'{"op": "transmogrify", "id": "x"}\n')
+            response = json.loads(raw.makefile("r").readline())
+            assert response["id"] == "x"
+            assert response["error"]["kind"] == "bad-request"
+        finally:
+            raw.close()
+
+    def test_malformed_record(self, serve):
+        _, path = serve()
+        raw = self._raw(path)
+        try:
+            raw.sendall(
+                b'{"op": "extract", "id": "m", "record": '
+                b'{"sections": "nope"}}\n'
+            )
+            response = json.loads(raw.makefile("r").readline())
+            assert response["id"] == "m"
+            assert response["error"]["kind"] == "bad-request"
+        finally:
+            raw.close()
+
+    def test_every_error_kind_is_declared(self):
+        assert set(ERROR_KINDS) == {
+            "bad-request",
+            "deadline",
+            "overloaded",
+            "quarantined",
+            "shutting-down",
+        }
+
+
+class TestGracefulDrain:
+    def test_shutdown_answers_every_accepted_request(
+        self, serve, tmp_path
+    ):
+        service, path = serve(
+            extractor=StubExtractor(delay_s=0.02),
+            config=ServiceConfig(
+                socket_path=str(tmp_path / "svc.sock"),
+                max_batch=2,
+                linger_s=0.0,
+            ),
+        )
+        raw = socket.socket(socket.AF_UNIX)
+        raw.connect(path)
+        try:
+            payload = {
+                "op": "extract",
+                "record": record_to_dict(_record()),
+            }
+            lines = "".join(
+                json.dumps({**payload, "id": f"d{i}"}) + "\n"
+                for i in range(5)
+            )
+            # All five are accepted before shutdown is parsed: one
+            # connection's lines are handled strictly in order.
+            raw.sendall(
+                lines.encode()
+                + b'{"op": "shutdown", "id": "bye"}\n'
+            )
+            reader = raw.makefile("r")
+            answered = {}
+            for _ in range(6):
+                response = json.loads(reader.readline())
+                answered[response["id"]] = response
+        finally:
+            raw.close()
+        assert answered["bye"]["ok"] is True
+        oks = [answered[f"d{i}"]["ok"] for i in range(5)]
+        assert oks == [True] * 5
+        service.join(timeout=10)
+        assert not service.is_running()
+
+    def test_extract_rejected_while_draining(self, serve):
+        service, path = serve(extractor=StubExtractor(delay_s=0.3))
+        with ServiceClient(socket_path=path) as client:
+            # Park one slow record so the drain has work in flight.
+            parked = threading.Thread(
+                target=client._send,
+                args=({
+                    "op": "extract",
+                    "id": "slow",
+                    "record": record_to_dict(_record("slow")),
+                },),
+            )
+            parked.start()
+            parked.join()
+            time.sleep(0.05)  # let the batcher pick it up
+            service.shutdown()
+            response = client._request({
+                "op": "extract",
+                "record": record_to_dict(_record("late")),
+            })
+            assert response["ok"] is False
+            assert (
+                response["error"]["kind"] == "shutting-down"
+            )
+        service.join(timeout=10)
+
+    def test_stop_is_idempotent(self, serve):
+        service, _ = serve()
+        service.stop(timeout=10)
+        service.stop(timeout=10)
+        assert not service.is_running()
+
+    def test_unix_socket_removed_after_drain(self, serve):
+        import os
+
+        service, path = serve()
+        assert os.path.exists(path)
+        service.stop(timeout=10)
+        assert not os.path.exists(path)

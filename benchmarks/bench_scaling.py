@@ -286,6 +286,17 @@ def test_corpus_engine_speedup(benchmark, tmp_path):
     assert serial_warm["linkage_cache_hit_rate"] > 0.0
     documents = serial_warm["engine"]["documents"]
     assert documents["evictions"] <= documents["misses"] * 0.05
+    # Regression gate: the parallel lanes used to size each worker's
+    # document cache from the chunk size (8 * chunk), thrashing once
+    # a worker had chewed through a few chunks (126 evictions per 986
+    # misses on this cohort).  Sizing by per-worker record share must
+    # keep the parallel lanes as eviction-free as the serial one.
+    for lane in (parallel_cold, parallel_warm):
+        lane_documents = lane["engine"]["documents"]
+        assert (
+            lane_documents["evictions"]
+            <= lane_documents["misses"] * 0.05
+        )
     # Throughput multiplier gates need real cores behind the pool;
     # on smaller hosts the equivalence tests still cover correctness
     # and the CI bench-smoke job (4 vCPUs) enforces the multiplier.

@@ -35,6 +35,10 @@ from repro.runtime.compiled import (
     source_fingerprint,
 )
 from repro.runtime.faults import FaultPlan, InjectedInterrupt
+from repro.runtime.parsecache import (
+    PersistentParseCache,
+    sidecar_path,
+)
 from repro.runtime.resilience import (
     Journal,
     ResilientCorpusRunner,
@@ -109,6 +113,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--force", action="store_true",
         help="rebuild even when an up-to-date artifact exists",
     )
+    compile_cmd.add_argument(
+        "--with-parse-cache", action="store_true",
+        help="also create (or validate) the persistent parse-cache "
+             "sidecar next to the artifact; extract/serve then reuse "
+             "parses across runs automatically",
+    )
 
     extract = sub.add_parser(
         "extract", help="extract all attributes into a SQLite database"
@@ -148,6 +158,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-warm-start", action="store_true",
         help="build the extraction stack from source instead of "
              "using (and maintaining) the compiled-artifact cache",
+    )
+    extract.add_argument(
+        "--parse-cache", type=Path, default=None, metavar="PATH",
+        help="persist parse outcomes across runs in this sidecar "
+             "file (created if missing; see `repro compile "
+             "--with-parse-cache`); default: the sidecar next to the "
+             "resolved artifact, when one exists",
+    )
+    extract.add_argument(
+        "--no-parse-cache", action="store_true",
+        help="ignore any persistent parse-cache sidecar",
     )
     extract.add_argument(
         "--stats", action="store_true",
@@ -220,6 +241,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-warm-start", action="store_true",
         help="build the extraction stack from source instead of "
              "using the compiled-artifact cache",
+    )
+    serve.add_argument(
+        "--parse-cache", type=Path, default=None, metavar="PATH",
+        help="persist parse outcomes across runs in this sidecar "
+             "file (saved on drain; default: the sidecar next to "
+             "the resolved artifact, when one exists)",
+    )
+    serve.add_argument(
+        "--no-parse-cache", action="store_true",
+        help="ignore any persistent parse-cache sidecar",
     )
     serve.add_argument(
         "--parse-budget", type=float, default=10.0, metavar="SECONDS",
@@ -376,6 +407,27 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ensure_sidecar(path: Path, grammar_signature: str) -> None:
+    """Create or validate the parse-cache sidecar next to *path*.
+
+    A valid existing sidecar is kept as is; a missing, stale, or
+    foreign one is rewritten empty so extract/serve runs start
+    filling it immediately.
+    """
+    sidecar = sidecar_path(path)
+    cache, loaded = PersistentParseCache.load_or_create(
+        sidecar, grammar_signature
+    )
+    if loaded:
+        print(
+            f"parse cache {sidecar} is valid "
+            f"({len(cache)} cached parses)"
+        )
+        return
+    cache.save()
+    print(f"wrote empty parse cache {sidecar}")
+
+
 def _cmd_compile(args: argparse.Namespace) -> int:
     path = args.output
     if path is None:
@@ -394,6 +446,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
                 f"(fingerprint {artifact.fingerprint}); "
                 "use --force to rebuild"
             )
+            if args.with_parse_cache:
+                _ensure_sidecar(path, artifact.grammar.signature)
             return 0
     started = time.perf_counter()
     artifact = CompiledArtifact.build()
@@ -409,36 +463,77 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         f"{stats['fingerprint']}, grammar "
         f"{stats['grammar_signature']})"
     )
+    if args.with_parse_cache:
+        _ensure_sidecar(path, artifact.grammar.signature)
     return 0
 
 
 def _resolve_artifact(
     args: argparse.Namespace,
-) -> "CompiledArtifact | None":
+) -> "tuple[CompiledArtifact | None, Path | None]":
     """The warm-start artifact for this extract run, if any.
 
     ``--artifact`` loads the named file (stale → hard error, the
     caller asked for that exact artifact); otherwise the
     fingerprint-keyed cache is used — and refreshed when stale —
     unless ``--no-warm-start`` disables the whole mechanism.
+
+    Returns ``(artifact, path)``; the path anchors the persistent
+    parse-cache sidecar lookup.
     """
     if args.artifact is not None:
-        return CompiledArtifact.load(args.artifact)
+        return CompiledArtifact.load(args.artifact), args.artifact
     if args.no_warm_start:
+        return None, None
+    artifact, path, _ = cached_artifact()
+    return artifact, path
+
+
+def _resolve_parse_cache(
+    args: argparse.Namespace,
+    artifact_path: Path | None,
+    dictionary_signature: str,
+) -> "PersistentParseCache | None":
+    """The persistent parse cache for this run, if any.
+
+    ``--parse-cache`` binds (and creates) an explicit sidecar;
+    otherwise a sidecar sitting next to the resolved artifact is
+    picked up automatically.  ``--no-parse-cache`` disables both. A
+    stale or foreign sidecar silently degrades to an empty cache
+    that the end-of-run save rewrites in place.
+    """
+    if args.no_parse_cache:
         return None
-    artifact, _, _ = cached_artifact()
-    return artifact
+    if args.parse_cache is not None:
+        path = args.parse_cache
+    else:
+        if artifact_path is None:
+            return None
+        path = sidecar_path(artifact_path)
+        if not path.exists():
+            return None
+    cache, loaded = PersistentParseCache.load_or_create(
+        path, dictionary_signature
+    )
+    if loaded and len(cache):
+        print(f"parse cache: {len(cache)} cached parses from {path}")
+    return cache
 
 
 def _cmd_extract(args: argparse.Namespace) -> int:
     records = list(load_records(args.input))
-    artifact = _resolve_artifact(args)
+    artifact, artifact_path = _resolve_artifact(args)
     if artifact is not None:
         extractor = artifact.make_extractor(
             parse_budget=args.parse_budget
         )
     else:
         extractor = RecordExtractor(parse_budget=args.parse_budget)
+    parse_cache = _resolve_parse_cache(
+        args,
+        artifact_path,
+        extractor.numeric.parser.dictionary.signature(),
+    )
     if args.gold is None and args.models is not None:
         loaded = extractor.load_models(args.models)
         print(f"loaded {loaded} categorical models from {args.models}")
@@ -484,8 +579,15 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         resume=args.resume is not None,
         run_id=run_id or "",
         artifact=artifact,
+        parse_cache=parse_cache,
     )
     results = runner.run(records)
+    if parse_cache is not None and parse_cache.dirty:
+        added = parse_cache.added
+        parse_cache.save()
+        print(
+            f"parse cache: +{added} new parses -> {parse_cache.path}"
+        )
     # The store is only opened once the run survived end to end; an
     # interrupted run leaves nothing behind but its journal.
     store = ResultStore(args.db)
@@ -518,6 +620,7 @@ def _cmd_extract(args: argparse.Namespace) -> int:
                     extractor.categorical.items()
                 )
             },
+            parser_stats=runner.engine_stats.get("parser", {}),
         )
         written = tracer.write_jsonl(args.trace, manifest)
         print(
@@ -553,6 +656,18 @@ def _cmd_extract(args: argparse.Namespace) -> int:
             f"parse timeouts: {stats['parse_timeouts']}"
         )
         print(
+            f"persistent parse cache: "
+            f"{'on' if stats['persistent_parse_cache'] else 'off'}; "
+            f"{stats['persistent_parse_hits']} hits, "
+            f"{stats['persistent_parse_misses']} misses "
+            f"({stats['persistent_parse_hit_rate']:.1%} hit rate)"
+        )
+        print(
+            f"parser fast paths: "
+            f"{stats['match_bitset_hits']} bitset match hits, "
+            f"{stats['beam_pruned']} beam-pruned disjuncts"
+        )
+        print(
             f"warm start: {'on' if stats['warm_start'] else 'off'}; "
             f"worker init: {stats['worker_init_seconds']:.3f}s over "
             f"{stats['workers_initialized']} workers"
@@ -569,13 +684,18 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    artifact = _resolve_artifact(args)
+    artifact, artifact_path = _resolve_artifact(args)
     if artifact is not None:
         extractor = artifact.make_extractor(
             parse_budget=args.parse_budget
         )
     else:
         extractor = RecordExtractor(parse_budget=args.parse_budget)
+    parse_cache = _resolve_parse_cache(
+        args,
+        artifact_path,
+        extractor.numeric.parser.dictionary.signature(),
+    )
     if args.models is not None:
         loaded = extractor.load_models(args.models)
         print(f"loaded {loaded} categorical models from {args.models}")
@@ -600,6 +720,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         artifact=artifact,
         policy=RetryPolicy(max_attempts=args.retries),
         fault_plan=fault_plan,
+        parse_cache=parse_cache,
     )
 
     def _drain(signum: int, frame: object) -> None:
@@ -636,6 +757,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{stats['deadline_expired']} expired over "
         f"{stats['batches']} batches"
     )
+    if parse_cache is not None and parse_cache.dirty:
+        added = parse_cache.added
+        parse_cache.save()
+        print(
+            f"parse cache: +{added} new parses -> {parse_cache.path}"
+        )
     return 0
 
 

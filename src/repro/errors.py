@@ -70,6 +70,18 @@ class ArtifactError(ReproError):
     """
 
 
+class ParseCacheError(ReproError):
+    """A persistent parse-cache sidecar cannot be used.
+
+    Raised when a sidecar file is unreadable, was written by a
+    different cache-format version, or is stale — its recorded source
+    fingerprint or dictionary signature no longer matches the current
+    build.  Callers recover by rebuilding an empty cache (see
+    :meth:`repro.runtime.parsecache.PersistentParseCache.load_or_create`);
+    a stale sidecar is never silently reused.
+    """
+
+
 class SchemaError(ReproError):
     """An extraction schema definition is inconsistent."""
 

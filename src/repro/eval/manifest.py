@@ -115,6 +115,12 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         kind="infrastructure",
     ),
     Experiment(
+        id="PARSE",
+        artifact="persistent parse cache + bitset parser lanes",
+        bench_file="bench_parse.py",
+        kind="infrastructure",
+    ),
+    Experiment(
         id="SUBSTRATE",
         artifact="substrate micro-benchmarks",
         bench_file="bench_substrates.py",

@@ -34,6 +34,15 @@ MatchTables = tuple[
     dict[str, set[str]],
 ]
 
+#: (plus_rows, minus_rows, plus_ids, minus_ids) — see
+#: :meth:`Dictionary.bitset_tables`.
+BitsetTables = tuple[
+    dict[str, int],
+    dict[str, int],
+    dict[str, int],
+    dict[str, int],
+]
+
 
 def _substitute_macros(expression: str) -> str:
     """Textually expand ``<name>`` macros (macros may nest one level)."""
@@ -79,6 +88,7 @@ class Dictionary:
             self._tag_defaults.append((tag, self._expand(expression)))
         self._number_disjuncts = self._expand(NUMBER_EXPR)
         self._match_tables: MatchTables | None = None
+        self._bitset_tables: BitsetTables | None = None
         self._signature: str | None = None
 
     @classmethod
@@ -97,6 +107,7 @@ class Dictionary:
         self._number_disjuncts = grammar.number_disjuncts
         self._expression_cache = {}
         self._match_tables = grammar.match_tables
+        self._bitset_tables = None
         self._signature = grammar.signature
         return self
 
@@ -118,6 +129,7 @@ class Dictionary:
         # New entries may introduce connectors the precomputed match
         # table has never seen; recompute lazily on the next parse.
         self._match_tables = None
+        self._bitset_tables = None
         self._signature = None
 
     def match_tables(self) -> MatchTables:
@@ -145,6 +157,26 @@ class Dictionary:
                 + [self._number_disjuncts]
             )
             self._match_tables = cached
+        return cached
+
+    def bitset_tables(self) -> BitsetTables:
+        """Integer-indexed bitmask view of :meth:`match_tables`.
+
+        Every distinct right-pointing (plus) and left-pointing (minus)
+        label gets a small integer id; ``plus_rows[plus_label]`` is an
+        int bitmask with bit ``minus_ids[m]`` set for every minus
+        label ``m`` the plus label can link to (``minus_rows`` is the
+        transpose).  The parser's hot paths then test one bit instead
+        of hashing a ``(str, str)`` tuple per candidate pair.
+
+        Derived lazily from :meth:`match_tables` — compiled artifacts
+        keep their existing on-disk format — cached, and invalidated
+        by :meth:`add` alongside the match tables.
+        """
+        cached = self._bitset_tables
+        if cached is None:
+            cached = bitsets_from_table(self.match_tables()[0])
+            self._bitset_tables = cached
         return cached
 
     def disjuncts(
@@ -243,6 +275,33 @@ def _build_match_tables(
             matchers_for_left.setdefault(ml, set()).add(pl)
             matchers_for_right.setdefault(pl, set()).add(ml)
     return table, matchers_for_left, matchers_for_right
+
+
+def bitsets_from_table(
+    table: dict[tuple[str, str], bool],
+) -> BitsetTables:
+    """Compile a label-pair match table into packed bitset rows.
+
+    Ids are assigned in sorted label order so the same table always
+    produces the same bit layout (the layout never leaves the process,
+    but determinism keeps parses reproducible under any id-dependent
+    iteration).
+    """
+    plus_ids = {
+        label: i
+        for i, label in enumerate(sorted({pl for pl, _ in table}))
+    }
+    minus_ids = {
+        label: i
+        for i, label in enumerate(sorted({ml for _, ml in table}))
+    }
+    plus_rows = dict.fromkeys(plus_ids, 0)
+    minus_rows = dict.fromkeys(minus_ids, 0)
+    for (pl, ml), ok in table.items():
+        if ok:
+            plus_rows[pl] |= 1 << minus_ids[ml]
+            minus_rows[ml] |= 1 << plus_ids[pl]
+    return plus_rows, minus_rows, plus_ids, minus_ids
 
 
 def _looks_numeric(word: str) -> bool:

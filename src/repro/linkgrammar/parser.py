@@ -43,6 +43,7 @@ from repro.linkgrammar.connectors import (
 )  # Connector is used in type aliases and pruning below.
 from repro.linkgrammar.dictionary import (
     LEFT_WALL,
+    BitsetTables,
     Dictionary,
     MatchTables,
     default_dictionary,
@@ -74,6 +75,15 @@ class ParserStats:
     disjuncts_before: int = 0
     disjuncts_after: int = 0
     parse_seconds: float = 0.0
+    #: Candidate disjuncts admitted by a bitset gate test in the
+    #: region recurrence (0 when the bitset path is off).
+    match_bitset_hits: int = 0
+    #: Disjuncts dropped by cost-bounded beam pruning (``beam=``).
+    beam_pruned: int = 0
+    #: Sentence shapes served from / missed in the persistent
+    #: cross-run parse cache (see repro.runtime.parsecache).
+    persistent_hits: int = 0
+    persistent_misses: int = 0
 
     def prune_ratio(self) -> float:
         """Fraction of disjuncts the pruning pass deleted."""
@@ -89,6 +99,10 @@ class ParserStats:
             "disjuncts_before": self.disjuncts_before,
             "disjuncts_after": self.disjuncts_after,
             "parse_seconds": self.parse_seconds,
+            "match_bitset_hits": self.match_bitset_hits,
+            "beam_pruned": self.beam_pruned,
+            "persistent_hits": self.persistent_hits,
+            "persistent_misses": self.persistent_misses,
         }
 
     def reset(self) -> None:
@@ -98,6 +112,10 @@ class ParserStats:
         self.disjuncts_before = 0
         self.disjuncts_after = 0
         self.parse_seconds = 0.0
+        self.match_bitset_hits = 0
+        self.beam_pruned = 0
+        self.persistent_hits = 0
+        self.persistent_misses = 0
 
 
 class LinkGrammarParser:
@@ -108,6 +126,15 @@ class LinkGrammarParser:
     way (pruned disjuncts can never appear in a complete linkage);
     the flag exists so that equivalence stays testable and ablations
     can measure what pruning buys.
+
+    ``bitset=False`` falls back from the packed-bitmask match tables
+    to the string-pair dict — again bit-for-bit identical output, the
+    toggle exists for parity tests and ablations.  ``beam`` (off by
+    default) enables cost-bounded beam pruning: at each word,
+    disjuncts costing more than ``cheapest + beam`` are dropped before
+    the recurrence.  Unlike power pruning this is an approximation —
+    it can change or lose linkages — so it never participates in
+    parity suites and is excluded from shared caches' default keys.
     """
 
     def __init__(
@@ -117,16 +144,22 @@ class LinkGrammarParser:
         max_words: int = 40,
         prune: bool = True,
         time_budget: float | None = None,
+        bitset: bool = True,
+        beam: int | None = None,
     ) -> None:
         if time_budget is not None and time_budget < 0:
             raise ValueError(
                 f"time_budget must be >= 0, got {time_budget}"
             )
+        if beam is not None and beam < 0:
+            raise ValueError(f"beam must be >= 0, got {beam}")
         self.dictionary = dictionary or default_dictionary()
         self.max_linkages = max_linkages
         self.max_words = max_words
         self.prune = prune
         self.time_budget = time_budget
+        self.bitset = bitset
+        self.beam = beam
         self.stats = ParserStats()
 
     # ------------------------------------------------------------ public
@@ -196,10 +229,18 @@ class LinkGrammarParser:
             deadline=deadline,
             budget=self.time_budget,
             match_tables=self.dictionary.match_tables(),
+            bitset_tables=(
+                self.dictionary.bitset_tables() if self.bitset else None
+            ),
+            beam=self.beam,
         )
         self.stats.disjuncts_before += session.disjuncts_before
         self.stats.disjuncts_after += session.disjuncts_after
-        linkages = session.linkages(self.max_linkages)
+        self.stats.beam_pruned += session.beam_pruned
+        try:
+            linkages = session.linkages(self.max_linkages)
+        finally:
+            self.stats.match_bitset_hits += session.match_bitset_hits
         if not linkages:
             raise ParseFailure(words, "no complete linkage")
         result = [
@@ -316,6 +357,8 @@ class _ParseSession:
         deadline: float | None = None,
         budget: float | None = None,
         match_tables: "MatchTables | None" = None,
+        bitset_tables: "BitsetTables | None" = None,
+        beam: int | None = None,
     ) -> None:
         self.sentence = sentence
         self.disjuncts = [list(d) for d in disjuncts]
@@ -324,6 +367,8 @@ class _ParseSession:
         self._budget = budget
         self._ops = 0
         self._count_memo: dict[tuple, int] = {}
+        self.match_bitset_hits = 0
+        self.beam_pruned = 0
         if match_tables is not None:
             # Dictionary-wide tables (possibly AOT-compiled): cover a
             # superset of this sentence's labels, so no per-sentence
@@ -346,10 +391,40 @@ class _ParseSession:
                     self._matchers_for_right.setdefault(
                         pl, set()
                     ).add(ml)
+        self._use_bitset = bitset_tables is not None
+        if bitset_tables is not None:
+            (
+                self._plus_rows,
+                self._minus_rows,
+                self._plus_ids,
+                self._minus_ids,
+            ) = bitset_tables
         self.disjuncts_before = sum(len(d) for d in self.disjuncts)
         if prune:
-            self._prune()
+            self._prune_bitset() if self._use_bitset else self._prune()
         self.disjuncts_after = sum(len(d) for d in self.disjuncts)
+        if beam is not None:
+            self._beam_prune(beam)
+        if self._use_bitset:
+            # Per-word gate arrays aligned with the (pruned) disjunct
+            # lists: the id of each disjunct's first left connector and
+            # the bitmask row of its first right connector, so the
+            # recurrence gates below test one precomputed bit.
+            minus_ids, plus_rows = self._minus_ids, self._plus_rows
+            self._left_head_ids = [
+                [
+                    minus_ids.get(d.left[0].label, -1) if d.left else -1
+                    for d in ds
+                ]
+                for ds in self.disjuncts
+            ]
+            self._right_head_rows = [
+                [
+                    plus_rows.get(d.right[0].label, 0) if d.right else 0
+                    for d in ds
+                ]
+                for ds in self.disjuncts
+            ]
 
     def _build_match_table(self) -> dict[tuple[str, str], bool]:
         """Precompute label-pair matches for this sentence's connectors.
@@ -375,7 +450,31 @@ class _ParseSession:
 
     def _match(self, plus: Connector, minus: Connector) -> bool:
         """Precomputed label-pair lookup (see _build_match_table)."""
+        if self._use_bitset:
+            mid = self._minus_ids.get(minus.label, -1)
+            return (
+                mid >= 0
+                and (self._plus_rows.get(plus.label, 0) >> mid) & 1 != 0
+            )
         return self._table[plus.label, minus.label]
+
+    def _beam_prune(self, beam: int) -> None:
+        """Cost-bounded beam pruning (approximate — see parser docs).
+
+        At each word, drop every disjunct costing more than the word's
+        cheapest disjunct plus *beam*, bounding the branching factor
+        of the O(n³) recurrence.  Applied once, before the recurrence,
+        so `_count` and `_extract` see the same disjunct lists and can
+        never disagree about which candidates exist.
+        """
+        for i, ds in enumerate(self.disjuncts):
+            if len(ds) <= 1:
+                continue
+            ceiling = min(d.cost for d in ds) + beam
+            kept = [d for d in ds if d.cost <= ceiling]
+            if len(kept) != len(ds):
+                self.beam_pruned += len(ds) - len(kept)
+                self.disjuncts[i] = kept
 
     def _prune(self) -> None:
         """Power pruning: drop disjuncts with unconnectable connectors.
@@ -427,6 +526,57 @@ class _ParseSession:
                         not after.isdisjoint(
                             matchers_for_right.get(c.label, empty)
                         )
+                        for c in d.right
+                    )
+                ]
+                if len(kept) != len(ds):
+                    self.disjuncts[i] = kept
+                    changed = True
+
+    def _prune_bitset(self) -> None:
+        """Power pruning over packed bitmask rows — same fixpoint as
+        :meth:`_prune`, with the label-set algebra replaced by integer
+        AND: ``rights_before``/``lefts_after`` become bitmasks over
+        connector ids and each survival test is one mask intersection.
+        Keeps exactly the same disjuncts in the same order.
+        """
+        plus_ids, minus_ids = self._plus_ids, self._minus_ids
+        plus_rows, minus_rows = self._plus_rows, self._minus_rows
+
+        changed = True
+        while changed:
+            changed = False
+            # Right-pointing label ids available strictly before word i.
+            rights_before: list[int] = []
+            pool = 0
+            for ds in self.disjuncts:
+                rights_before.append(pool)
+                for d in ds:
+                    for c in d.right:
+                        pid = plus_ids.get(c.label)
+                        if pid is not None:
+                            pool |= 1 << pid
+            # Left-pointing label ids available strictly after word i.
+            lefts_after = [0] * self.n
+            pool = 0
+            for i in range(self.n - 1, -1, -1):
+                lefts_after[i] = pool
+                for d in self.disjuncts[i]:
+                    for c in d.left:
+                        mid = minus_ids.get(c.label)
+                        if mid is not None:
+                            pool |= 1 << mid
+            for i, ds in enumerate(self.disjuncts):
+                before, after = rights_before[i], lefts_after[i]
+                kept = [
+                    d
+                    for d in ds
+                    if all(
+                        before & minus_rows.get(c.label, 0)
+                        for c in d.left
+                    )
+                    and all(
+                        after & plus_rows.get(c.label, 0)
                         for c in d.right
                     )
                 ]
@@ -492,6 +642,41 @@ class _ParseSession:
         total = 0
         le_head = le[0] if le else None
         re_head = re[0] if re else None
+        if self._use_bitset:
+            # Same gate as below, vectorized: the row bitmask for the
+            # forced head is fetched once per region and each candidate
+            # disjunct is admitted by one precomputed bit test.
+            if le_head is not None:
+                row = self._plus_rows.get(le_head.label, 0)
+                for W in range(L + 1, R):
+                    head_ids = self._left_head_ids[W]
+                    for j, d in enumerate(self.disjuncts[W]):
+                        lid = head_ids[j]
+                        if lid < 0 or not (row >> lid) & 1:
+                            continue
+                        self.match_bitset_hits += 1
+                        total += self._count_choice(L, R, le, re, W, d)
+                        if total > 1_000_000:  # cap to avoid huge ints
+                            self._count_memo[key] = total
+                            return total
+            else:
+                rid = self._minus_ids.get(re_head.label, -1)
+                if rid >= 0:
+                    bit = 1 << rid
+                    for W in range(L + 1, R):
+                        head_rows = self._right_head_rows[W]
+                        for j, d in enumerate(self.disjuncts[W]):
+                            if not head_rows[j] & bit:
+                                continue
+                            self.match_bitset_hits += 1
+                            total += self._count_choice(
+                                L, R, le, re, W, d
+                            )
+                            if total > 1_000_000:
+                                self._count_memo[key] = total
+                                return total
+            self._count_memo[key] = total
+            return total
         for W in range(L + 1, R):
             for d in self.disjuncts[W]:
                 # Gate: with connectors left on L, this W must take

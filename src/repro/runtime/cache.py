@@ -31,11 +31,12 @@ from typing import Any, Hashable, Sequence
 
 from repro.errors import ParseFailure, ParseTimeout
 from repro.linkgrammar.dictionary import LEFT_WALL
-from repro.linkgrammar.linkage import Linkage
+from repro.linkgrammar.linkage import Link, Linkage
 from repro.linkgrammar.parser import _STRIP_TOKENS, LinkGrammarParser
 from repro.nlp.document import Document
 from repro.nlp.pipeline import Pipeline, default_pipeline
-from repro.runtime import tracing
+from repro.runtime import parsecache, tracing
+from repro.runtime.parsecache import PersistentParseCache
 
 _MISSING = object()
 
@@ -157,8 +158,12 @@ class DocumentCache:
 
 
 #: Cached marker for sentences the parser cannot link.  A timed-out
-#: sentence is cached under a distinct marker so traces can tell "no
-#: linkage exists" apart from "the budget ran out" on later hits.
+#: sentence is cached as ``(_PARSE_TIMED_OUT, budget)`` — a distinct
+#: marker so traces can tell "no linkage exists" apart from "the
+#: budget ran out", carrying the budget it was recorded under so a
+#: later lookup with a *larger* budget re-parses instead of being
+#: served a stale timeout (timeouts are only monotone downwards: a
+#: smaller-or-equal budget would also have timed out).
 _PARSE_FAILED = object()
 _PARSE_TIMED_OUT = object()
 
@@ -170,12 +175,50 @@ class LinkageCache:
     set, cost, and token map, or the fact that parsing failed — and
     rebuilds a fresh :class:`Linkage` with the caller's actual words
     on every hit, so cached values are never aliased or mutated.
+
+    An optional :class:`~repro.runtime.parsecache.PersistentParseCache`
+    (see :meth:`attach_persistent`) adds a cross-run layer underneath
+    the LRU: misses probe it before parsing, hits are promoted into
+    the LRU, and every fresh outcome is written back so the sidecar
+    accumulates the corpus' sentence shapes append-only.
     """
 
-    def __init__(self, maxsize: int = 4096) -> None:
+    def __init__(
+        self,
+        maxsize: int = 4096,
+        persistent: "PersistentParseCache | None" = None,
+    ) -> None:
         self._lru = LRUCache(maxsize, name="linkages")
+        self.persistent = persistent
+
+    def attach_persistent(
+        self, cache: "PersistentParseCache | None"
+    ) -> None:
+        """Attach (or detach, with ``None``) the cross-run layer."""
+        self.persistent = cache
 
     # ------------------------------------------------------------- keys
+
+    @staticmethod
+    def _resolution_tail(
+        parser: LinkGrammarParser,
+        words: Sequence[str],
+        tags: Sequence[str] | None,
+    ) -> tuple:
+        """Per-token resolution classes (the shared part of all keys).
+
+        Sentence-final punctuation is stripped by the parser before any
+        dictionary lookup, so those tokens keep their literal form;
+        every other token collapses to its dictionary resolution class.
+        """
+        return tuple(
+            word
+            if word in _STRIP_TOKENS
+            else parser.dictionary.resolution_key(
+                word, tags[i] if tags else None
+            )
+            for i, word in enumerate(words)
+        )
 
     @staticmethod
     def signature(
@@ -185,26 +228,41 @@ class LinkageCache:
     ) -> tuple:
         """Token-sequence key under which a parse may be shared.
 
-        Sentence-final punctuation is stripped by the parser before any
-        dictionary lookup, so those tokens keep their literal form;
-        every other token collapses to its dictionary resolution class.
         The parser's identity-relevant configuration leads the key:
         ``max_linkages`` changes which linkage ``parse_one`` returns
-        (extraction stops at the cap before cost-ranking all linkages)
-        and different dictionaries resolve tokens differently, so one
+        (extraction stops at the cap before cost-ranking all linkages),
+        ``beam`` changes which disjuncts survive pruning, and
+        different dictionaries resolve tokens differently, so one
         cache can serve differently-configured parsers safely.
         """
         head = (
-            id(parser.dictionary), parser.max_linkages, parser.max_words
+            id(parser.dictionary),
+            parser.max_linkages,
+            parser.max_words,
+            getattr(parser, "beam", None),
         )
-        return head + tuple(
-            word
-            if word in _STRIP_TOKENS
-            else parser.dictionary.resolution_key(
-                word, tags[i] if tags else None
-            )
-            for i, word in enumerate(words)
+        return head + LinkageCache._resolution_tail(parser, words, tags)
+
+    @staticmethod
+    def persistent_key(
+        parser: LinkGrammarParser,
+        words: Sequence[str],
+        tags: Sequence[str] | None = None,
+    ) -> tuple:
+        """Cross-run key: like :meth:`signature` but process-portable.
+
+        The dictionary is identified by the sidecar's signature check
+        at attach time rather than ``id()``, and the parse budget
+        joins the key so a timeout recorded under one budget can never
+        be served to a run with a different one.
+        """
+        head = (
+            getattr(parser, "time_budget", None),
+            getattr(parser, "beam", None),
+            parser.max_linkages,
+            parser.max_words,
         )
+        return head + LinkageCache._resolution_tail(parser, words, tags)
 
     # ----------------------------------------------------------- lookup
 
@@ -219,20 +277,99 @@ class LinkageCache:
         *words* are used exactly as given (callers lowercase them
         first, matching the extraction pipeline's convention).
         """
-        key = self.signature(parser, words, tags)
+        tail = self._resolution_tail(parser, words, tags)
+        key = (
+            id(parser.dictionary),
+            parser.max_linkages,
+            parser.max_words,
+            getattr(parser, "beam", None),
+        ) + tail
         entry = self._lru.get(key, _MISSING)
+        entry = self._validate_timeout(parser, entry)
+        pkey: tuple | None = None
+        if (
+            entry is _MISSING
+            and self.persistent is not None
+            # Cheap per-lookup guard (both signatures are cached
+            # strings): a sidecar written for a different dictionary
+            # is skipped, not consulted.
+            and self.persistent.dictionary_signature
+            == parser.dictionary.signature()
+        ):
+            pkey = (
+                getattr(parser, "time_budget", None),
+                getattr(parser, "beam", None),
+                parser.max_linkages,
+                parser.max_words,
+            ) + tail
+            outcome = self.persistent.get(pkey)
+            if outcome is not None:
+                parser.stats.persistent_hits += 1
+                entry = self._install(key, outcome)
+                pkey = None  # already persisted
+            else:
+                parser.stats.persistent_misses += 1
         if not tracing.enabled():
-            return self._resolve(parser, words, tags, key, entry)
+            return self._resolve(parser, words, tags, key, entry, pkey)
         with tracing.span(
             "parse",
             " ".join(words),
             cache_hit=entry is not _MISSING,
         ):
-            linkage = self._resolve(parser, words, tags, key, entry)
+            linkage = self._resolve(
+                parser, words, tags, key, entry, pkey
+            )
             tracing.annotate(
                 outcome="linked" if linkage is not None else "failed"
             )
             return linkage
+
+    @staticmethod
+    def _validate_timeout(
+        parser: LinkGrammarParser, entry: Any
+    ) -> Any:
+        """Downgrade a stale timeout marker to a miss.
+
+        A timeout recorded under budget *b* is valid only for budgets
+        ``<= b`` — with a larger (or unlimited) budget the sentence
+        might parse, so the entry must not be served (the regression
+        this guards: a ``--parse-budget`` bump silently inheriting the
+        previous run's timeouts).
+        """
+        if (
+            isinstance(entry, tuple)
+            and entry
+            and entry[0] is _PARSE_TIMED_OUT
+        ):
+            recorded = entry[1]
+            budget = getattr(parser, "time_budget", None)
+            if (
+                budget is None
+                or recorded is None
+                or budget > recorded
+            ):
+                return _MISSING
+        return entry
+
+    def _install(self, key: tuple, outcome: tuple) -> Any:
+        """Promote a persistent-cache outcome into the LRU.
+
+        Returns the LRU-form entry.  Fresh distance memo per process —
+        memos hold Linkage-derived state that must never cross runs.
+        """
+        tag = outcome[0]
+        if tag == parsecache.OUTCOME_FAIL:
+            entry: Any = _PARSE_FAILED
+        elif tag == parsecache.OUTCOME_TIMEOUT:
+            entry = (_PARSE_TIMED_OUT, outcome[1])
+        else:
+            links = tuple(
+                Link(left, right, label)
+                for left, right, label in outcome[1]
+            )
+            entry = (links, outcome[2], tuple(outcome[3]), {})
+        self._lru.put(key, entry)
+        return entry
 
     def _resolve(
         self,
@@ -241,8 +378,12 @@ class LinkageCache:
         tags: Sequence[str] | None,
         key: tuple,
         entry: Any,
+        pkey: tuple | None = None,
     ) -> Linkage | None:
         if entry is _MISSING:
+            persistent = (
+                self.persistent if pkey is not None else None
+            )
             try:
                 linkage = parser.parse_one(
                     list(words), list(tags) if tags else None
@@ -253,10 +394,17 @@ class LinkageCache:
                     " ".join(words),
                     budget_s=timeout.budget,
                 )
-                self._lru.put(key, _PARSE_TIMED_OUT)
+                budget = getattr(parser, "time_budget", None)
+                self._lru.put(key, (_PARSE_TIMED_OUT, budget))
+                if persistent is not None:
+                    persistent.put(
+                        pkey, (parsecache.OUTCOME_TIMEOUT, budget)
+                    )
                 return None
             except ParseFailure:
                 self._lru.put(key, _PARSE_FAILED)
+                if persistent is not None:
+                    persistent.put(pkey, (parsecache.OUTCOME_FAIL,))
                 return None
             # The distance memo rides on the entry: every hit of this
             # signature shares it, so the association layer runs its
@@ -268,8 +416,25 @@ class LinkageCache:
                 (tuple(linkage.links), linkage.cost,
                  tuple(linkage.token_map), memo),
             )
+            if persistent is not None:
+                persistent.put(
+                    pkey,
+                    (
+                        parsecache.OUTCOME_OK,
+                        tuple(
+                            (link.left, link.right, link.label)
+                            for link in linkage.links
+                        ),
+                        linkage.cost,
+                        tuple(linkage.token_map),
+                    ),
+                )
             return linkage
-        if entry is _PARSE_TIMED_OUT:
+        if (
+            isinstance(entry, tuple)
+            and entry
+            and entry[0] is _PARSE_TIMED_OUT
+        ):
             tracing.annotate(timeout=True)
             return None
         if entry is _PARSE_FAILED:
@@ -293,7 +458,10 @@ class LinkageCache:
         return self._lru.hit_rate()
 
     def stats(self) -> dict[str, Any]:
-        return self._lru.stats()
+        stats = self._lru.stats()
+        if self.persistent is not None:
+            stats["persistent"] = self.persistent.stats()
+        return stats
 
 
 class ExtractionCaches:

@@ -1,0 +1,277 @@
+"""Persistent cross-run parse cache (the third linkage-cache layer).
+
+The in-memory :class:`~repro.runtime.cache.LinkageCache` already
+shares parses *within* a process: clinical dictation is boilerplate,
+so a 1000-record corpus typically contains only a handful of distinct
+sentence shapes, each costing a real slice of parser time.  But every
+process restart — a new ``repro extract`` invocation, a service
+redeploy, every cold pool worker — re-parses the same handful from
+scratch, and BENCH_scaling.json shows that cost dominating end-to-end
+extraction.
+
+This module persists those parse outcomes across runs.  A
+:class:`PersistentParseCache` is a pickled sidecar file living next to
+the compiled artifact (``<artifact>.parsecache``), holding plain-data
+parse outcomes keyed by the sentence's dictionary-resolution signature
+plus every parser setting that can change the outcome (parse budget,
+beam width, linkage caps).  Like :class:`CompiledArtifact` it is
+versioned and fingerprinted: a sidecar written by a different cache
+format, different lexicon sources, or a different dictionary is
+rejected with :class:`ParseCacheError` and rebuilt empty — never
+silently reused.
+
+Entries are plain tuples of strings and ints (no Connector/Link
+objects), so the file format is stable under refactors of the parser
+internals.  Saving is an atomic append-only merge: the writer re-reads
+the current sidecar and unions it with its own entries before the
+rename, so concurrent runs can only add outcomes, never lose them.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ParseCacheError
+
+#: Bump whenever the pickled sidecar layout changes in a way old
+#: readers cannot handle.  Checked on load; a mismatch rebuilds.
+PARSECACHE_VERSION = 1
+
+#: Outcome tags.  ``ok`` carries ``(links, cost, token_map)`` where
+#: links are ``(left, right, label)`` triples; ``timeout`` outcomes
+#: are implicitly keyed by budget (the budget is part of the entry
+#: key), so a larger-budget run can never be served a stale marker.
+OUTCOME_OK = "ok"
+OUTCOME_FAIL = "fail"
+OUTCOME_TIMEOUT = "timeout"
+
+Outcome = tuple[Any, ...]
+
+
+def sidecar_path(artifact_path: str | Path) -> Path:
+    """The sidecar file a compiled artifact's parse cache lives in."""
+    return Path(str(artifact_path) + ".parsecache")
+
+
+class PersistentParseCache:
+    """Append-only parse-outcome store shared across process runs.
+
+    One instance serves one dictionary (validated by signature).  The
+    in-memory :class:`~repro.runtime.cache.LinkageCache` consults it
+    on LRU misses and writes every fresh outcome back through
+    :meth:`put`; :meth:`drain_delta` ships a worker's new entries to
+    the parent at chunk reassembly, and :meth:`save` merges with
+    whatever is on disk before the atomic rename.
+    """
+
+    def __init__(
+        self,
+        fingerprint: str,
+        dictionary_signature: str,
+        entries: dict[tuple, Outcome] | None = None,
+        path: Path | None = None,
+    ) -> None:
+        self.fingerprint = fingerprint
+        self.dictionary_signature = dictionary_signature
+        self.entries: dict[tuple, Outcome] = entries or {}
+        self.path = path
+        #: Entries added since load (or construction): drives both
+        #: the dirty check before save and the per-chunk worker delta.
+        self.added = 0
+        self._delta: dict[tuple, Outcome] = {}
+
+    # ----------------------------------------------------------- build
+
+    @classmethod
+    def empty(
+        cls,
+        dictionary_signature: str,
+        path: str | Path | None = None,
+    ) -> "PersistentParseCache":
+        """A fresh cache bound to the current source fingerprint."""
+        from repro.runtime.compiled import source_fingerprint
+
+        return cls(
+            fingerprint=source_fingerprint(),
+            dictionary_signature=dictionary_signature,
+            path=Path(path) if path is not None else None,
+        )
+
+    # ---------------------------------------------------------- access
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def get(self, key: tuple) -> Outcome | None:
+        return self.entries.get(key)
+
+    def put(self, key: tuple, outcome: Outcome) -> None:
+        if key in self.entries:
+            return
+        self.entries[key] = outcome
+        self._delta[key] = outcome
+        self.added += 1
+
+    def merge(self, entries: dict[tuple, Outcome]) -> int:
+        """Union another run's entries in; returns how many were new.
+
+        First writer wins on key collisions — parsing is deterministic
+        per key, so colliding values are identical anyway.
+        """
+        new = 0
+        for key, outcome in entries.items():
+            if key not in self.entries:
+                self.entries[key] = outcome
+                self._delta[key] = outcome
+                self.added += 1
+                new += 1
+        return new
+
+    def drain_delta(self) -> dict[tuple, Outcome]:
+        """Entries added since the last drain (for worker shipping)."""
+        delta = self._delta
+        self._delta = {}
+        return delta
+
+    @property
+    def dirty(self) -> bool:
+        """True when there are entries the sidecar does not hold yet."""
+        return self.added > 0
+
+    # --------------------------------------------------------- persist
+
+    def save(self, path: str | Path | None = None) -> int:
+        """Atomically write the sidecar; returns bytes written.
+
+        Append-only semantics: any sidecar currently at *path* with a
+        matching fingerprint and signature is re-read and unioned in
+        first, so two runs finishing out of order both keep their
+        entries.  A stale or unreadable existing file is overwritten.
+        """
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("no path given and cache has no path")
+        self.path = target
+        try:
+            existing = PersistentParseCache.load(target)
+        except ParseCacheError:
+            existing = None
+        if (
+            existing is not None
+            and existing.dictionary_signature == self.dictionary_signature
+        ):
+            for key, outcome in existing.entries.items():
+                self.entries.setdefault(key, outcome)
+        payload = pickle.dumps(
+            {
+                "version": PARSECACHE_VERSION,
+                "fingerprint": self.fingerprint,
+                "dictionary_signature": self.dictionary_signature,
+                "entries": self.entries,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        target.parent.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=target.parent, prefix=target.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "wb") as tmp:
+                tmp.write(payload)
+            os.replace(tmp_name, target)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.added = 0
+        return len(payload)
+
+    @staticmethod
+    def load(path: str | Path) -> "PersistentParseCache":
+        """Read and validate a sidecar.
+
+        Raises :class:`ParseCacheError` when the file is unreadable,
+        not a parse cache, from a different
+        :data:`PARSECACHE_VERSION`, or fingerprinted against different
+        source data than this process carries.  Dictionary-signature
+        validation happens at attach time (the caller knows which
+        dictionary it will parse with).
+        """
+        from repro.runtime.compiled import source_fingerprint
+
+        path = Path(path)
+        try:
+            with open(path, "rb") as stream:
+                raw = pickle.load(stream)
+        except OSError as exc:
+            raise ParseCacheError(
+                f"cannot read parse cache {path}: {exc}"
+            ) from exc
+        except Exception as exc:  # unpickling is open-ended
+            raise ParseCacheError(
+                f"cannot unpickle parse cache {path}: {exc}"
+            ) from exc
+        if (
+            not isinstance(raw, dict)
+            or "entries" not in raw
+            or "fingerprint" not in raw
+        ):
+            raise ParseCacheError(
+                f"{path} is not a parse-cache sidecar"
+            )
+        if raw.get("version") != PARSECACHE_VERSION:
+            raise ParseCacheError(
+                f"parse cache {path} has version {raw.get('version')}, "
+                f"this build reads version {PARSECACHE_VERSION}"
+            )
+        expected = source_fingerprint()
+        if raw["fingerprint"] != expected:
+            raise ParseCacheError(
+                f"parse cache {path} was written against different "
+                f"source data (fingerprint {raw['fingerprint']}, "
+                f"expected {expected})"
+            )
+        return PersistentParseCache(
+            fingerprint=raw["fingerprint"],
+            dictionary_signature=raw["dictionary_signature"],
+            entries=raw["entries"],
+            path=path,
+        )
+
+    @classmethod
+    def load_or_create(
+        cls,
+        path: str | Path,
+        dictionary_signature: str,
+    ) -> tuple["PersistentParseCache", bool]:
+        """Load *path* if valid for this dictionary, else start empty.
+
+        Returns ``(cache, loaded)``.  Every rejection path — missing
+        file, unreadable pickle, version or fingerprint mismatch, a
+        sidecar written for a different dictionary — degrades to an
+        empty cache bound to *path*, which the next :meth:`save`
+        rewrites in place.
+        """
+        try:
+            cache = cls.load(path)
+        except ParseCacheError:
+            return cls.empty(dictionary_signature, path=path), False
+        if cache.dictionary_signature != dictionary_signature:
+            return cls.empty(dictionary_signature, path=path), False
+        return cache, True
+
+    # ----------------------------------------------------------- stats
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "entries": len(self.entries),
+            "added": self.added,
+            "dictionary_signature": self.dictionary_signature,
+            "path": str(self.path) if self.path is not None else None,
+        }

@@ -345,11 +345,16 @@ def _init_resilient_worker(
     parse_budget: float | None = None,
     artifact_path: str | None = None,
     document_cache_size: int | None = None,
+    parse_cache_path: str | None = None,
 ) -> None:
     """Pool initializer: normal worker setup plus the worker flag
     that lets ``kill`` faults really terminate the process."""
     _runner._init_worker(
-        models, parse_budget, artifact_path, document_cache_size
+        models,
+        parse_budget,
+        artifact_path,
+        document_cache_size,
+        parse_cache_path,
     )
     mark_worker()
 
@@ -358,7 +363,13 @@ def _extract_chunk_guarded(
     payload: tuple[
         int, tuple[PatientRecord, ...], bool, int, FaultPlan | None
     ],
-) -> tuple[int, "list[ExtractionResult]", dict[str, Any], list[dict]]:
+) -> tuple[
+    int,
+    "list[ExtractionResult]",
+    dict[str, Any],
+    list[dict],
+    dict[tuple, tuple],
+]:
     """Worker-side chunk execution with cache reset on failure."""
     start, records, trace, attempt, plan = payload
     extractor = _runner._WORKER_EXTRACTOR
@@ -382,7 +393,11 @@ def _extract_chunk_guarded(
         raise
     delta = diff_stats(extractor.counters(), before)
     delta = _runner._attach_init_report(delta)
-    return start, results, delta, spans
+    parse_delta: dict[tuple, tuple] = {}
+    caches = getattr(extractor, "caches", None)
+    if caches is not None and caches.linkages.persistent is not None:
+        parse_delta = caches.linkages.persistent.drain_delta()
+    return start, results, delta, spans, parse_delta
 
 
 # ------------------------------------------------------------- runner
@@ -408,6 +423,7 @@ class ResilientCorpusRunner(CorpusRunner):
         run_id: str = "",
         artifact: "Any | str | Path | None" = None,
         document_cache_size: int | None = None,
+        parse_cache: "Any | None" = None,
     ) -> None:
         super().__init__(
             extractor,
@@ -416,6 +432,7 @@ class ResilientCorpusRunner(CorpusRunner):
             tracer=tracer,
             artifact=artifact,
             document_cache_size=document_cache_size,
+            parse_cache=parse_cache,
         )
         self.policy = policy or RetryPolicy()
         if isinstance(journal, (str, Path)):
@@ -578,8 +595,11 @@ class ResilientCorpusRunner(CorpusRunner):
         results: "list[ExtractionResult]",
         delta: dict[str, Any],
         completed: "dict[int, list[ExtractionResult]]",
+        parse_delta: dict[tuple, tuple] | None = None,
     ) -> None:
         merge_stats(self.engine_stats, delta)
+        if self.parse_cache is not None and parse_delta:
+            self.parse_cache.merge(parse_delta)
         completed[start] = results
         if self.journal is not None:
             self.journal.append_chunk(start, results)
@@ -709,9 +729,25 @@ class ResilientCorpusRunner(CorpusRunner):
         models: dict[str, dict] | None,
         parse_budget: float | None,
         n_tasks: int,
+        n_records: int = 0,
     ):
         from concurrent.futures import ProcessPoolExecutor
 
+        # Size each worker's document cache by its record share (the
+        # same policy as the base runner's parallel path — previously
+        # the raw ``document_cache_size`` rode through, leaving
+        # resilient workers at the 256-entry default and thrashing).
+        worker_cache_size = self.document_cache_size or (
+            self._target_document_cache_size(n_records)
+            if n_records
+            else None
+        )
+        parse_cache_path = (
+            str(self.parse_cache.path)
+            if self.parse_cache is not None
+            and self.parse_cache.path is not None
+            else None
+        )
         return ProcessPoolExecutor(
             max_workers=min(self.workers, max(n_tasks, 1)),
             initializer=_init_resilient_worker,
@@ -719,7 +755,8 @@ class ResilientCorpusRunner(CorpusRunner):
                 models,
                 parse_budget,
                 self._artifact_path,
-                self.document_cache_size,
+                worker_cache_size,
+                parse_cache_path,
             ),
         )
 
@@ -734,11 +771,17 @@ class ResilientCorpusRunner(CorpusRunner):
         trace = self.tracer is not None
         spans_by_start: dict[int, list[dict]] = {}
         rebuilds = 0
-        # Publish the artifact so fork-started (and rebuilt) pools
-        # inherit it copy-on-write, exactly as the base runner does.
+        n_pending = sum(len(task.records) for task in tasks)
+        # Publish the artifact (and warm parse cache) so fork-started
+        # (and rebuilt) pools inherit them copy-on-write, exactly as
+        # the base runner does.
         previous_artifact = _runner._SHARED_ARTIFACT
+        previous_parse_cache = _runner._SHARED_PARSE_CACHE
         _runner._SHARED_ARTIFACT = self.artifact
-        pool = self._make_pool(models, parse_budget, len(tasks))
+        _runner._SHARED_PARSE_CACHE = self.parse_cache
+        pool = self._make_pool(
+            models, parse_budget, len(tasks), n_pending
+        )
         futures: dict[Any, _ChunkTask] = {}
         try:
             while tasks or futures:
@@ -768,9 +811,13 @@ class ResilientCorpusRunner(CorpusRunner):
                     for future in done:
                         task = futures.pop(future)
                         try:
-                            start, results, delta, spans = (
-                                future.result()
-                            )
+                            (
+                                start,
+                                results,
+                                delta,
+                                spans,
+                                parse_delta,
+                            ) = future.result()
                         except BrokenProcessPool as error:
                             broken = error
                             tasks.append(
@@ -783,7 +830,11 @@ class ResilientCorpusRunner(CorpusRunner):
                             self._on_failure(task, error, tasks)
                         else:
                             self._complete(
-                                start, results, delta, completed
+                                start,
+                                results,
+                                delta,
+                                completed,
+                                parse_delta,
                             )
                             if spans:
                                 spans_by_start[start] = spans
@@ -813,10 +864,14 @@ class ResilientCorpusRunner(CorpusRunner):
                     # deadlock children forked from this process.
                     pool.shutdown(wait=True, cancel_futures=True)
                     pool = self._make_pool(
-                        models, parse_budget, max(len(tasks), 1)
+                        models,
+                        parse_budget,
+                        max(len(tasks), 1),
+                        sum(len(task.records) for task in tasks),
                     )
         finally:
             _runner._SHARED_ARTIFACT = previous_artifact
+            _runner._SHARED_PARSE_CACHE = previous_parse_cache
             pool.shutdown(wait=True, cancel_futures=True)
         if self.tracer is not None:
             for start in sorted(spans_by_start):
@@ -839,13 +894,19 @@ class ResilientCorpusRunner(CorpusRunner):
             salvaged = False
             if future.done() and not future.cancelled():
                 try:
-                    start, results, delta, spans = future.result(
-                        timeout=0
-                    )
+                    (
+                        start,
+                        results,
+                        delta,
+                        spans,
+                        parse_delta,
+                    ) = future.result(timeout=0)
                 except BaseException:
                     salvaged = False
                 else:
-                    self._complete(start, results, delta, completed)
+                    self._complete(
+                        start, results, delta, completed, parse_delta
+                    )
                     if spans:
                         spans_by_start[start] = spans
                     salvaged = True

@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # real imports are deferred: extraction imports us
         RecordExtractor,
     )
     from repro.runtime.compiled import CompiledArtifact
+    from repro.runtime.parsecache import PersistentParseCache
     from repro.runtime.resilience import Journal
 
 #: Per-process extractor, created by the pool initializer.
@@ -49,6 +50,12 @@ _WORKER_EXTRACTOR: "RecordExtractor | None" = None
 #: ``spawn`` it is ``None`` and the initializer falls back to the
 #: artifact path (one pickle load) or a cold build.
 _SHARED_ARTIFACT: "CompiledArtifact | None" = None
+
+#: Warm persistent parse cache published the same way: fork-started
+#: workers inherit the parent's entries copy-on-write and start with
+#: every boilerplate sentence shape pre-parsed; their own additions
+#: ship home inside the chunk payloads and are merged at reassembly.
+_SHARED_PARSE_CACHE: "PersistentParseCache | None" = None
 
 #: Wall-clock the pool initializer spent building this worker's
 #: extraction stack, and whether it was reported back yet.  The first
@@ -77,6 +84,7 @@ def _init_worker(
     parse_budget: float | None = None,
     artifact_path: str | None = None,
     document_cache_size: int | None = None,
+    parse_cache_path: str | None = None,
 ) -> None:
     """Build one extraction stack per worker process.
 
@@ -121,22 +129,58 @@ def _init_worker(
             )
             classifier._id3 = tree_from_dict(tree)
             extractor.categorical[name] = classifier
+    _attach_parse_cache(extractor, parse_cache_path)
     _WORKER_EXTRACTOR = extractor
     _WORKER_INIT_SECONDS = time.perf_counter() - started
     _WORKER_INIT_REPORTED = False
 
 
+def _attach_parse_cache(
+    extractor: "RecordExtractor", parse_cache_path: str | None
+) -> None:
+    """Give a worker's linkage cache its persistent layer.
+
+    Warm-start order mirrors the artifact: the forked-in
+    :data:`_SHARED_PARSE_CACHE` (free, copy-on-write), then the
+    sidecar path (one pickle load under ``spawn``), else none.  The
+    inherited delta is drained so the first chunk ships only this
+    worker's own additions.
+    """
+    caches = getattr(extractor, "caches", None)
+    if caches is None:
+        return
+    cache = _SHARED_PARSE_CACHE
+    if cache is None and parse_cache_path is not None:
+        from repro.runtime.parsecache import PersistentParseCache
+
+        parser = extractor.numeric.parser
+        cache, _ = PersistentParseCache.load_or_create(
+            parse_cache_path, parser.dictionary.signature()
+        )
+    if cache is not None:
+        cache.drain_delta()
+        caches.linkages.attach_persistent(cache)
+
+
 def _extract_chunk(
     payload: tuple[int, list[PatientRecord], bool],
 ) -> tuple[
-    int, list[ExtractionResult], dict[str, Any], list[dict]
+    int,
+    list[ExtractionResult],
+    dict[str, Any],
+    list[dict],
+    dict[tuple, tuple],
 ]:
-    """Extract one chunk; returns (index, results, deltas, spans).
+    """Extract one chunk; returns (index, results, deltas, spans,
+    parse_delta).
 
     With tracing requested, the chunk runs under a worker-local
     :class:`Tracer` and ships its span trees back serialized, exactly
     like the counter deltas — the parent re-assembles them in input
     order so a parallel trace equals a serial one record-for-record.
+    ``parse_delta`` carries the parse outcomes this worker added to
+    its persistent cache during the chunk (empty without one); the
+    parent merges them so one run's sidecar sees every worker's work.
     """
     index, records, trace = payload
     assert _WORKER_EXTRACTOR is not None, "pool initializer did not run"
@@ -151,7 +195,11 @@ def _extract_chunk(
         results = _WORKER_EXTRACTOR.extract_all(records)
     delta = diff_stats(_WORKER_EXTRACTOR.counters(), before)
     delta = _attach_init_report(delta)
-    return index, results, delta, spans
+    parse_delta: dict[tuple, tuple] = {}
+    caches = getattr(_WORKER_EXTRACTOR, "caches", None)
+    if caches is not None and caches.linkages.persistent is not None:
+        parse_delta = caches.linkages.persistent.drain_delta()
+    return index, results, delta, spans, parse_delta
 
 
 def _attach_init_report(delta: dict[str, Any]) -> dict[str, Any]:
@@ -184,6 +232,7 @@ class CorpusRunner:
         journal: "Journal | None" = None,
         artifact: "CompiledArtifact | str | Path | None" = None,
         document_cache_size: int | None = None,
+        parse_cache: "PersistentParseCache | None" = None,
     ) -> None:
         from repro.extraction.pipeline import RecordExtractor
 
@@ -220,6 +269,15 @@ class CorpusRunner:
             caches = getattr(extractor, "caches", None)
             if caches is not None:
                 caches.documents.resize(document_cache_size)
+        #: Persistent cross-run parse cache: attached to the serial
+        #: extractor's linkage cache here, published to pool workers
+        #: copy-on-write, and fed every worker's delta at reassembly.
+        #: The caller owns saving it (see cli._cmd_extract).
+        self.parse_cache = parse_cache
+        if parse_cache is not None:
+            caches = getattr(extractor, "caches", None)
+            if caches is not None:
+                caches.linkages.attach_persistent(parse_cache)
         self.extractor = extractor
         self.workers = workers
         self.chunk_size = chunk_size
@@ -271,15 +329,19 @@ class CorpusRunner:
         )
 
     def _target_document_cache_size(self, n_records: int) -> int:
-        """Capacity that covers one scheduling unit of records.
+        """Capacity that covers one worker's share of the corpus.
 
         Every record touches a handful of distinct section texts, so a
-        cache smaller than ~8× the contiguous run of records it serves
-        thrashes (all evictions, no cross-record reuse).  Bounded so a
-        huge corpus cannot pin unbounded document memory.
+        cache smaller than ~8× the run of records it serves thrashes
+        (all evictions, no cross-record reuse).  Sized by the
+        **per-worker record share**, not the scheduling unit: one
+        worker processes many chunks through the same cache, so sizing
+        by the chunk alone thrashed the parallel lane (the default
+        unit is a quarter of the share).  Bounded so a huge corpus
+        cannot pin unbounded document memory.
         """
-        unit = self._scheduling_unit(n_records)
-        return min(4096, max(256, 8 * unit))
+        share = max(1, math.ceil(n_records / self.workers))
+        return min(4096, max(256, 8 * share))
 
     def _size_document_cache(self, n_records: int) -> None:
         """Grow the in-process document cache to fit this run.
@@ -309,6 +371,10 @@ class CorpusRunner:
         hits = linkages.get("hits", 0)
         lookups = hits + linkages.get("misses", 0)
         before = parser.get("disjuncts_before", 0)
+        persistent_hits = parser.get("persistent_hits", 0)
+        persistent_lookups = persistent_hits + parser.get(
+            "persistent_misses", 0
+        )
         return {
             "workers": self.workers,
             "records": self.metrics.counters.get("records", 0),
@@ -325,6 +391,18 @@ class CorpusRunner:
             ),
             "warm_start": self.artifact is not None,
             "linkage_cache_hit_rate": hits / lookups if lookups else 0.0,
+            "persistent_parse_cache": self.parse_cache is not None,
+            "persistent_parse_hits": persistent_hits,
+            "persistent_parse_misses": parser.get(
+                "persistent_misses", 0
+            ),
+            "persistent_parse_hit_rate": (
+                persistent_hits / persistent_lookups
+                if persistent_lookups
+                else 0.0
+            ),
+            "match_bitset_hits": parser.get("match_bitset_hits", 0),
+            "beam_pruned": parser.get("beam_pruned", 0),
             "parse_timeouts": parser.get("timeouts", 0),
             "prune_ratio": (
                 1.0 - parser.get("disjuncts_after", 0) / before
@@ -415,12 +493,21 @@ class CorpusRunner:
             self.document_cache_size
             or self._target_document_cache_size(len(records))
         )
-        # Publish the artifact for fork-started workers to inherit
-        # copy-on-write; restored afterwards so nested or later pools
-        # see whatever their own runner published.
-        global _SHARED_ARTIFACT
+        # Publish the artifact (and warm parse cache) for fork-started
+        # workers to inherit copy-on-write; restored afterwards so
+        # nested or later pools see whatever their own runner
+        # published.
+        global _SHARED_ARTIFACT, _SHARED_PARSE_CACHE
         previous = _SHARED_ARTIFACT
+        previous_parse_cache = _SHARED_PARSE_CACHE
         _SHARED_ARTIFACT = self.artifact
+        _SHARED_PARSE_CACHE = self.parse_cache
+        parse_cache_path = (
+            str(self.parse_cache.path)
+            if self.parse_cache is not None
+            and self.parse_cache.path is not None
+            else None
+        )
         try:
             with ProcessPoolExecutor(
                 max_workers=min(self.workers, len(chunks)),
@@ -430,13 +517,14 @@ class CorpusRunner:
                     getattr(self.extractor, "parse_budget", None),
                     self._artifact_path,
                     worker_cache_size,
+                    parse_cache_path,
                 ),
             ) as pool:
                 # pool.map yields chunks in input order and re-raises
                 # a chunk's exception when its turn comes — every
                 # chunk journaled before that point survives the
                 # failure.
-                for index, results, delta, spans in pool.map(
+                for index, results, delta, spans, parse_delta in pool.map(
                     _extract_chunk, chunks
                 ):
                     collected[index] = results
@@ -444,12 +532,15 @@ class CorpusRunner:
                         Span.from_dict(span) for span in spans
                     ]
                     merge_stats(self.engine_stats, delta)
+                    if self.parse_cache is not None and parse_delta:
+                        self.parse_cache.merge(parse_delta)
                     if self.journal is not None:
                         self.journal.append_chunk(
                             chunk_starts[index], results
                         )
         finally:
             _SHARED_ARTIFACT = previous
+            _SHARED_PARSE_CACHE = previous_parse_cache
         if self.tracer is not None:
             for index in sorted(collected_spans):
                 self.tracer.merge(collected_spans[index])

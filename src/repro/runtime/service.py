@@ -176,6 +176,7 @@ class ExtractionService:
         policy: RetryPolicy | None = None,
         fault_plan: FaultPlan | None = None,
         tracer: Tracer | None = None,
+        parse_cache: Any | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.tracer = tracer
@@ -195,6 +196,7 @@ class ExtractionService:
             policy=policy,
             tracer=tracer,
             artifact=artifact,
+            parse_cache=parse_cache,
         )
         self.metrics = Metrics()
         #: Every poison isolated over the service lifetime, with

@@ -349,12 +349,16 @@ def build_manifest(
     config: dict[str, Any] | None = None,
     dictionary_signature: str | None = None,
     model_fingerprints: dict[str, str] | None = None,
+    parser_stats: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Fingerprint one traced run.
 
     The manifest makes two trace files comparable: same config hash +
     same dictionary signature + same model fingerprints means any
-    output difference is a code change, not an input change.
+    output difference is a code change, not an input change.  The
+    parser counters (bitset hits, persistent cache hits/misses, beam
+    prunes) record *how* the parses were produced, so a perf
+    regression between two byte-identical runs is attributable.
     """
     config = dict(config or {})
     return {
@@ -362,6 +366,7 @@ def build_manifest(
         "config_hash": _hash(config),
         "dictionary_signature": dictionary_signature or "",
         "model_fingerprints": dict(model_fingerprints or {}),
+        "parser_stats": dict(parser_stats or {}),
         "records": len(tracer.roots),
         "timing_percentiles": tracer.percentiles(),
     }

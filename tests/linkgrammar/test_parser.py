@@ -182,3 +182,80 @@ class TestCustomDictionary:
         parser = LinkGrammarParser()
         all_linkages = parser.parse(FIGURE1)
         assert parser.parse_one(FIGURE1).cost == all_linkages[0].cost
+
+
+class TestBitsetParity:
+    """The packed-bitset match path is an optimization, not a
+    behaviour: every sentence must produce identical linkages (and
+    identical failures) with it on or off."""
+
+    SENTENCES = TestLinkageInvariants.SENTENCES
+
+    @pytest.mark.parametrize(
+        "words", SENTENCES, ids=lambda w: " ".join(w[:4])
+    )
+    def test_linkages_identical(self, words):
+        fast = LinkGrammarParser(bitset=True)
+        slow = LinkGrammarParser(bitset=False)
+        assert fast.parse(words) == slow.parse(words)
+        assert fast.stats.match_bitset_hits > 0
+        assert slow.stats.match_bitset_hits == 0
+
+    def test_failures_identical(self):
+        bad = "wine glass pressure the of .".split()
+        fast = LinkGrammarParser(bitset=True)
+        slow = LinkGrammarParser(bitset=False)
+        with pytest.raises(ParseFailure) as fast_err:
+            fast.parse(bad)
+        with pytest.raises(ParseFailure) as slow_err:
+            slow.parse(bad)
+        assert fast_err.value.reason == slow_err.value.reason
+
+    def test_prune_counts_identical(self):
+        fast = LinkGrammarParser(bitset=True)
+        slow = LinkGrammarParser(bitset=False)
+        fast.parse(FIGURE1)
+        slow.parse(FIGURE1)
+        assert (
+            fast.stats.disjuncts_after == slow.stats.disjuncts_after
+        )
+        assert (
+            fast.stats.disjuncts_before
+            == slow.stats.disjuncts_before
+        )
+
+
+class TestBeamPruning:
+    def test_off_by_default(self):
+        parser = LinkGrammarParser()
+        parser.parse(FIGURE1)
+        assert parser.beam is None
+        assert parser.stats.beam_pruned == 0
+
+    def test_wide_beam_changes_nothing(self):
+        # A beam wider than any cost spread admits every disjunct,
+        # so the linkages must match the unpruned parser exactly.
+        wide = LinkGrammarParser(beam=1000)
+        plain = LinkGrammarParser()
+        assert wide.parse(FIGURE1) == plain.parse(FIGURE1)
+
+    def test_tight_beam_prunes_and_still_parses(self):
+        tight = LinkGrammarParser(beam=0)
+        words = "she quit smoking five years ago .".split()
+        linkage = tight.parse_one(words)
+        assert linkage is not None
+        assert tight.stats.beam_pruned > 0
+
+    def test_tight_beam_can_lose_linkages(self):
+        # beam=0 keeps only cheapest-cost disjuncts per word; on a
+        # long coordinated sentence that deletes the only complete
+        # linkage — which is exactly why beam pruning is opt-in and
+        # part of the cache key rather than a transparent fast path.
+        tight = LinkGrammarParser(beam=0)
+        with pytest.raises(ParseFailure):
+            tight.parse(FIGURE1)
+        assert tight.stats.beam_pruned > 0
+
+    def test_negative_beam_rejected(self):
+        with pytest.raises(ValueError):
+            LinkGrammarParser(beam=-1)

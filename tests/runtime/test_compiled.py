@@ -366,6 +366,16 @@ class TestDocumentCacheSizing:
         assert runner._target_document_cache_size(100) == 800
         assert runner._target_document_cache_size(10_000) == 4096
 
-    def test_chunked_unit_bounds_parallel_cache(self):
+    def test_parallel_cache_sized_by_per_worker_share(self):
+        # Each of 4 workers sees ~2500 of the 10k records over the
+        # run's lifetime, so its cache must cover that share — the
+        # old per-chunk sizing (8 * chunk_size = 800) thrashed as
+        # soon as a worker had processed a few chunks.
         runner = CorpusRunner(workers=4, chunk_size=100)
-        assert runner._target_document_cache_size(10_000) == 800
+        assert runner._target_document_cache_size(10_000) == 4096
+        # A small corpus split 4 ways stays at the floor instead of
+        # allocating a corpus-sized cache per worker.
+        assert runner._target_document_cache_size(128) == 256
+        # Mid-sized corpus: 200 records / 4 workers = 50-record
+        # share, 8x headroom = 400 documents per worker.
+        assert runner._target_document_cache_size(200) == 400

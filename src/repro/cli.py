@@ -294,6 +294,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the bound address to this JSON file once the "
              "service accepts connections (for scripts and CI)",
     )
+    serve.add_argument(
+        "--shards", type=_positive_int, default=1,
+        help="shard workers: 1 serves in-process (default); N>1 "
+             "forks N warm child processes with rendezvous-hash "
+             "routing on record id and per-shard bounded queues",
+    )
+    serve.add_argument(
+        "--db", type=Path, default=None, metavar="PATH",
+        help="persist results server-side: shards write partitions "
+             "merged into this store on drain (byte-identical to a "
+             "batch `repro extract` run)",
+    )
+    serve.add_argument(
+        "--fleet", action="store_true",
+        help="share --db between several service instances via "
+             "SQLite WAL instead of per-shard partitions",
+    )
+    serve.add_argument(
+        "--run-id", default="", metavar="ID",
+        help="run id recorded with server-side quarantine rows",
+    )
 
     submit = sub.add_parser(
         "submit",
@@ -699,6 +720,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.models is not None:
         loaded = extractor.load_models(args.models)
         print(f"loaded {loaded} categorical models from {args.models}")
+    if args.fleet and args.db is None:
+        print("error: --fleet requires --db", file=sys.stderr)
+        return 2
     config = ServiceConfig(
         socket_path=str(args.socket) if args.socket else None,
         host=args.host,
@@ -708,6 +732,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         linger_s=args.linger,
         retry_after_s=args.retry_after,
         default_deadline_s=args.deadline,
+        shards=args.shards,
+        store_path=str(args.db) if args.db else None,
+        fleet=args.fleet,
+        run_id=args.run_id,
     )
     fault_plan = (
         FaultPlan.parse(args.inject_faults)
@@ -745,6 +773,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"queue {config.max_queue}, batch {config.max_batch})",
         flush=True,
     )
+    if config.shards > 1 or config.store_path is not None:
+        mode = "fleet/WAL" if config.fleet else "partitioned"
+        store = config.store_path or "none"
+        print(
+            f"shards: {config.shards} ({mode} store: {store})",
+            flush=True,
+        )
     # Joining in slices keeps the main thread responsive to the
     # SIGTERM/SIGINT drain handlers above.
     while service.is_running():
@@ -757,6 +792,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{stats['deadline_expired']} expired over "
         f"{stats['batches']} batches"
     )
+    if service.merge_summary is not None:
+        merged = service.merge_summary
+        print(
+            f"merged {merged['partitions']} partitions -> "
+            f"{config.store_path} ({merged['results']} results, "
+            f"{merged['quarantined']} quarantined)"
+        )
     if parse_cache is not None and parse_cache.dirty:
         added = parse_cache.added
         parse_cache.save()

@@ -159,11 +159,16 @@ class ServiceClient:
         record: "PatientRecord",
         deadline_s: float | None = None,
         max_retries: int = 50,
+        max_backoff_s: float = 5.0,
     ) -> Any:
         """Extract one record, retrying through overload shedding.
 
-        Raises :class:`QuarantinedRecord` when the service isolated
-        the record, :class:`DeadlineExceeded` on a queued-too-long
+        ``overloaded`` responses are retried after the server-pushed
+        ``retry_after_s`` hint (never more), with total sleep capped
+        at ``max_backoff_s``; ``shard-failed`` responses are resent
+        immediately so the record reroutes to a live shard.  Raises
+        :class:`QuarantinedRecord` when the service isolated the
+        record, :class:`DeadlineExceeded` on a queued-too-long
         deadline, :class:`ServiceError` for everything else.
         """
         payload: dict[str, Any] = {
@@ -172,13 +177,21 @@ class ServiceClient:
         }
         if deadline_s is not None:
             payload["deadline_s"] = deadline_s
+        slept = 0.0
         for _ in range(max_retries + 1):
             response = self._request(payload)
             if response.get("ok"):
                 return self._to_result(response["result"])
             error = response.get("error", {})
-            if error.get("kind") == "overloaded":
-                time.sleep(float(error.get("retry_after_s", 0.05)))
+            kind = error.get("kind")
+            if kind == "shard-failed":
+                continue
+            if kind == "overloaded":
+                hint = float(error.get("retry_after_s", 0.05))
+                sleep_for = min(hint, max_backoff_s - slept)
+                if sleep_for > 0:
+                    time.sleep(sleep_for)
+                    slept += sleep_for
                 continue
             raise self._to_exception(record.patient_id, error)
         raise ServiceError(
@@ -191,14 +204,24 @@ class ServiceClient:
         records: "Sequence[PatientRecord]",
         deadline_s: float | None = None,
         max_retries: int = 200,
+        max_backoff_s: float = 5.0,
     ) -> tuple[list[Any], list[tuple[int, dict[str, Any]]]]:
         """Extract a corpus with a pipelined in-flight window.
 
         Returns ``(results, quarantined)``: results for every clean
         record in input order, plus ``(input_index, error payload)``
         for each quarantined one — the same split the batch runner
-        makes.  ``overloaded`` responses requeue the record and shrink
-        nothing; any other error propagates as an exception.
+        makes.  ``overloaded`` and ``shard-failed`` responses requeue
+        the record; any other error propagates as an exception.
+
+        Back-off honors the queue draining sooner than the server's
+        ``retry_after_s`` hint: a shed record is held back for at
+        most the hint, but a completed response arriving meanwhile
+        (proof the server's queue moved) releases it immediately.
+        While other requests are in flight the client blocks reading
+        their responses instead of sleeping; it only sleeps when the
+        window is empty, and never beyond ``max_backoff_s`` total
+        for the call.
         """
         records = list(records)
         slots: list[Any] = [None] * len(records)
@@ -207,8 +230,17 @@ class ServiceClient:
         to_send: deque[int] = deque(range(len(records)))
         in_flight: dict[str, int] = {}
         retries = 0
+        slept = 0.0
+        #: Shed records are held until this monotonic instant —
+        #: pushed out by each overloaded hint, cleared the moment a
+        #: completed response proves the server's queue moved.
+        resend_at = 0.0
         while to_send or in_flight:
-            while to_send and len(in_flight) < self.window:
+            while (
+                to_send
+                and len(in_flight) < self.window
+                and time.monotonic() >= resend_at
+            ):
                 index = to_send.popleft()
                 request_id = self._make_id()
                 payload: dict[str, Any] = {
@@ -220,6 +252,18 @@ class ServiceClient:
                     payload["deadline_s"] = deadline_s
                 self._send(payload)
                 in_flight[request_id] = index
+            if not in_flight:
+                # Nothing to read: wait out the back-off gate —
+                # bounded by the hint and the remaining budget.
+                wait = resend_at - time.monotonic()
+                if wait > 0:
+                    sleep_for = min(wait, max_backoff_s - slept)
+                    if sleep_for > 0:
+                        time.sleep(sleep_for)
+                        slept += sleep_for
+                    else:
+                        resend_at = 0.0  # budget spent: server paces
+                continue
             response = self._read()
             response_id = response.get("id")
             if response_id not in in_flight:
@@ -230,19 +274,23 @@ class ServiceClient:
             if response.get("ok"):
                 slots[index] = self._to_result(response["result"])
                 cleared.add(index)
+                resend_at = 0.0  # queue drained sooner than the hint
                 continue
             error = response.get("error", {})
-            if error.get("kind") == "overloaded":
+            kind = error.get("kind")
+            if kind in ("overloaded", "shard-failed"):
                 retries += 1
                 if retries > max_retries:
                     raise ServiceError(
-                        f"gave up after {max_retries} overload "
-                        "retries"
+                        f"gave up after {max_retries} "
+                        f"{kind} retries"
                     )
-                time.sleep(float(error.get("retry_after_s", 0.05)))
+                if kind == "overloaded":
+                    hint = float(error.get("retry_after_s", 0.05))
+                    resend_at = time.monotonic() + hint
                 to_send.append(index)
                 continue
-            if error.get("kind") == "quarantined":
+            if kind == "quarantined":
                 quarantined.append((index, error))
                 continue
             raise self._to_exception(

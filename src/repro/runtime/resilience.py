@@ -323,12 +323,26 @@ def _extract_records(
     start: int,
     attempt: int,
     plan: FaultPlan | None,
+    index_map: Sequence[int] | None = None,
 ) -> "list[ExtractionResult]":
-    """The innermost loop: fire scheduled faults, extract each record."""
+    """The innermost loop: fire scheduled faults, extract each record.
+
+    ``index_map`` translates run-local record positions to an outer
+    index space (the extraction service's global accept sequence), so
+    fault matching and injected-error messages speak global indices —
+    identical to a batch run over the same stream.
+    """
     results = []
     for offset, record in enumerate(records):
         if plan is not None:
-            plan.fire(start + offset, attempt, extractor=extractor)
+            position = start + offset
+            plan.fire(
+                index_map[position]
+                if index_map is not None
+                else position,
+                attempt,
+                extractor=extractor,
+            )
         results.append(extractor.extract(record))
     return results
 
@@ -443,6 +457,12 @@ class ResilientCorpusRunner(CorpusRunner):
         self.run_id = run_id
         #: Poison records isolated during the last :meth:`run`.
         self.quarantine: list[QuarantineEntry] = []
+        #: Optional translation from run-local record positions to an
+        #: outer index space (the service's global accept sequence):
+        #: fault firing and quarantine entries then carry the global
+        #: index, matching a batch run over the same stream.  Serial
+        #: (``workers=1``) runs without a journal only.
+        self.index_map: Sequence[int] | None = None
 
     # ------------------------------------------------------------ API
 
@@ -456,6 +476,13 @@ class ResilientCorpusRunner(CorpusRunner):
         """
         records = list(records)
         self._size_document_cache(len(records))
+        if self.index_map is not None and (
+            self.workers != 1 or self.journal is not None
+        ):
+            raise ResilienceError(
+                "index_map is only supported for serial, "
+                "journal-less runs"
+            )
         plan = (
             self.fault_plan.resolved(len(records))
             if self.fault_plan
@@ -647,15 +674,20 @@ class ResilientCorpusRunner(CorpusRunner):
             )
             return
         record = task.records[0]
+        record_index = (
+            self.index_map[task.start]
+            if self.index_map is not None
+            else task.start
+        )
         entry = QuarantineEntry.from_exception(
-            record, task.start, error, attempts=task.attempt + 1
+            record, record_index, error, attempts=task.attempt + 1
         )
         self.quarantine.append(entry)
         self.metrics.count("quarantined")
         self._trace_event(
             "quarantine",
             record.patient_id,
-            record_index=task.start,
+            record_index=record_index,
             error_type=entry.error_type,
             attempts=entry.attempts,
         )
@@ -703,6 +735,7 @@ class ResilientCorpusRunner(CorpusRunner):
                         task.start,
                         task.attempt,
                         plan,
+                        self.index_map,
                     )
             else:
                 results = _extract_records(
@@ -711,6 +744,7 @@ class ResilientCorpusRunner(CorpusRunner):
                     task.start,
                     task.attempt,
                     plan,
+                    self.index_map,
                 )
         except Exception:
             _reset_caches(self.extractor)

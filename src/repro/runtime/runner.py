@@ -493,6 +493,46 @@ class CorpusRunner:
             self.document_cache_size
             or self._target_document_cache_size(len(records))
         )
+        # Prime-then-fan-out: run the first chunk in the parent so
+        # the shared parse cache already holds the corpus's
+        # boilerplate sentence shapes when the pool forks.  Without
+        # this, every worker re-parses the same few shapes from
+        # scratch — (workers-1) × duplicated parse cost that is pure
+        # overhead wherever cores are scarce (the diagnosed cause of
+        # the parallel<serial-warm inversion; see docs/performance.md
+        # §6).  If no persistent parse cache was configured, an
+        # ephemeral in-memory one is attached just for the hand-off.
+        prime_cache = self.parse_cache
+        ephemeral = None
+        caches = getattr(self.extractor, "caches", None)
+        if len(chunks) > 1 and prime_cache is None and caches is not None:
+            from repro.runtime.parsecache import PersistentParseCache
+
+            ephemeral = PersistentParseCache.empty(
+                self.extractor.numeric.parser.dictionary.signature()
+            )
+            caches.linkages.attach_persistent(ephemeral)
+            prime_cache = ephemeral
+        if len(chunks) > 1:
+            index0, chunk0, _ = chunks[0]
+            before = self.extractor.counters()
+            if self.tracer is not None:
+                with tracing.activated(self.tracer):
+                    results0 = self.extractor.extract_all(chunk0)
+            else:
+                results0 = self.extractor.extract_all(chunk0)
+            merge_stats(
+                self.engine_stats,
+                diff_stats(self.extractor.counters(), before),
+            )
+            collected[index0] = results0
+            if self.journal is not None:
+                self.journal.append_chunk(
+                    chunk_starts[index0], results0
+                )
+            remaining = chunks[1:]
+        else:
+            remaining = chunks
         # Publish the artifact (and warm parse cache) for fork-started
         # workers to inherit copy-on-write; restored afterwards so
         # nested or later pools see whatever their own runner
@@ -501,7 +541,7 @@ class CorpusRunner:
         previous = _SHARED_ARTIFACT
         previous_parse_cache = _SHARED_PARSE_CACHE
         _SHARED_ARTIFACT = self.artifact
-        _SHARED_PARSE_CACHE = self.parse_cache
+        _SHARED_PARSE_CACHE = prime_cache
         parse_cache_path = (
             str(self.parse_cache.path)
             if self.parse_cache is not None
@@ -510,7 +550,7 @@ class CorpusRunner:
         )
         try:
             with ProcessPoolExecutor(
-                max_workers=min(self.workers, len(chunks)),
+                max_workers=min(self.workers, len(remaining)),
                 initializer=_init_worker,
                 initargs=(
                     models,
@@ -525,7 +565,7 @@ class CorpusRunner:
                 # chunk journaled before that point survives the
                 # failure.
                 for index, results, delta, spans, parse_delta in pool.map(
-                    _extract_chunk, chunks
+                    _extract_chunk, remaining
                 ):
                     collected[index] = results
                     collected_spans[index] = [
@@ -541,6 +581,8 @@ class CorpusRunner:
         finally:
             _SHARED_ARTIFACT = previous
             _SHARED_PARSE_CACHE = previous_parse_cache
+            if ephemeral is not None and caches is not None:
+                caches.linkages.attach_persistent(None)
         if self.tracer is not None:
             for index in sorted(collected_spans):
                 self.tracer.merge(collected_spans[index])

@@ -11,39 +11,58 @@ and serves extraction requests over a local socket:
   :class:`~repro.extraction.pipeline.ExtractionResult` out),
   ``health``, ``stats``, and ``shutdown``.  Responses carry the
   request's ``id``, so one connection can pipeline many requests.
-* **Micro-batching** — accepted requests land in a bounded queue; a
-  single batcher thread coalesces them (up to ``max_batch``, after a
-  short ``linger_s`` window) and dispatches each batch through the
-  existing :class:`~repro.runtime.resilience.ResilientCorpusRunner`,
-  so the batch path's caching, retry/bisect/quarantine machinery, and
-  fault injection all apply to live traffic.
-* **Backpressure** — when the queue is full the service *sheds load*:
-  the request is rejected immediately with an ``overloaded`` error
-  carrying ``retry_after_s``, instead of blocking the connection or
-  silently dropping work.
+* **Async accept loop + shard workers** — connections are served by
+  one asyncio event loop; accepted requests are routed by rendezvous
+  hash on the record id to one of ``shards`` workers, each with its
+  own bounded queue, dispatcher, and warm extraction stack.  With
+  ``shards=1`` (the default) extraction runs in-process on a single
+  runner — the deterministic reference path; with ``shards>1`` each
+  shard is a forked child process holding its own compiled artifact
+  and parse-cache sidecar (see :mod:`repro.runtime.sharding`).
+* **Micro-batching** — each shard's dispatcher coalesces its queue
+  (up to ``max_batch``, after a short ``linger_s`` window) and
+  dispatches batches through a
+  :class:`~repro.runtime.resilience.ResilientCorpusRunner`, so the
+  batch path's caching, retry/bisect/quarantine machinery, and fault
+  injection all apply to live traffic.
+* **Backpressure** — when a shard's queue is full the service *sheds
+  load*: the request is rejected immediately with an ``overloaded``
+  error carrying ``retry_after_s``, instead of blocking the
+  connection or silently dropping work.
 * **Deadlines** — each request may carry ``deadline_s``; a request
   whose deadline expires while still queued is answered with a
   ``deadline`` error at dispatch time, without paying for extraction.
+* **Shard death** — a shard worker that dies mid-stream answers its
+  in-flight and queued requests with typed ``shard-failed`` errors
+  (never a hang) and is excluded from routing; resubmitted records
+  land on the surviving shards.
 * **Graceful drain** — ``shutdown`` (or SIGTERM via the CLI) stops
   accepting new extract requests, but every already-accepted request
-  is extracted and answered before the server exits.
+  is answered before the server exits.  On drain, shard result-store
+  partitions are merged into one store byte-identical to a batch
+  ``repro extract`` run (or, in *fleet* mode, shards have been
+  writing a shared WAL store all along).
 
-Determinism note: extraction runs only on the single batcher thread,
-so the process-global tracer and all engine caches see strictly
-serialized access — results are byte-identical to the batch CLI path
-on the same records in the same order.
+Determinism note: with ``shards=1`` extraction runs only on the
+shard's single executor thread, so the process-global tracer and all
+engine caches see strictly serialized access — results are
+byte-identical to the batch CLI path on the same records in the same
+order.  With ``shards>1`` each shard is individually deterministic
+and fault indices refer to the *global accept order* of extract
+requests (``raise@2`` poisons the third record ever accepted);
+symbolic indices are not meaningful for an endless stream and are
+rejected.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
-import socket
 import threading
 import time
-from collections import deque
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Callable
+from typing import TYPE_CHECKING, Any, Awaitable, Callable, Sequence
 
 from repro.errors import ServiceError
 from repro.records.model import PatientRecord, Section
@@ -53,6 +72,15 @@ from repro.runtime.resilience import (
     QuarantineEntry,
     ResilientCorpusRunner,
     RetryPolicy,
+)
+from repro.runtime.sharding import (
+    BatchOutcome,
+    LocalShard,
+    ProcessShard,
+    ShardFailure,
+    ShardSpec,
+    partition_path,
+    shard_for,
 )
 from repro.runtime.tracing import Tracer
 
@@ -68,8 +96,12 @@ ERROR_KINDS = (
     "deadline",
     "overloaded",
     "quarantined",
+    "shard-failed",
     "shutting-down",
 )
+
+#: Queue sentinel that tells a dispatcher the drain has begun.
+_DRAIN = object()
 
 
 # ----------------------------------------------------------- wire form
@@ -115,19 +147,32 @@ class ServiceConfig:
     socket_path: str | None = None
     host: str = "127.0.0.1"
     port: int = 0
-    #: Accepted-but-undispatched requests the queue holds before the
-    #: service sheds load with ``overloaded`` responses.
+    #: Accepted-but-undispatched requests *each shard's* queue holds
+    #: before the service sheds load with ``overloaded`` responses.
     max_queue: int = 64
     #: Most records coalesced into one dispatched batch.
     max_batch: int = 16
-    #: How long the batcher waits for more requests to coalesce once
-    #: the queue is non-empty (0 disables coalescing beyond whatever
+    #: How long a dispatcher waits for more requests to coalesce once
+    #: its queue is non-empty (0 disables coalescing beyond whatever
     #: is already queued).
     linger_s: float = 0.01
     #: Suggested client back-off carried by ``overloaded`` responses.
     retry_after_s: float = 0.05
     #: Deadline applied to requests that do not carry their own.
     default_deadline_s: float | None = None
+    #: Shard workers: 1 keeps extraction in-process (the reference
+    #: path); N>1 forks N child processes, each with its own warm
+    #: stack, queue, and result-store partition.
+    shards: int = 1
+    #: When set, shards persist results server-side: to per-shard
+    #: partitions merged into this path on drain, or (fleet mode)
+    #: straight into this path as a shared WAL store.
+    store_path: str | None = None
+    #: Share ``store_path`` between several service instances via
+    #: SQLite WAL + busy-timeout instead of per-shard partitions.
+    fleet: bool = False
+    #: Run id recorded with server-side quarantine rows.
+    run_id: str = ""
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
@@ -140,17 +185,41 @@ class ServiceConfig:
             )
         if self.linger_s < 0 or self.retry_after_s < 0:
             raise ValueError("linger_s/retry_after_s must be >= 0")
+        if self.shards < 1:
+            raise ValueError(
+                f"shards must be >= 1, got {self.shards}"
+            )
+        if self.fleet and self.store_path is None:
+            raise ValueError("fleet mode requires store_path")
 
 
 @dataclass
 class _PendingRequest:
-    """One accepted extract request waiting in the queue."""
+    """One accepted extract request waiting in a shard queue."""
 
     request_id: str
     record: PatientRecord
+    #: Global accept sequence — the stream-wide record index fault
+    #: plans and quarantine entries are expressed in.
+    seq: int
     #: Absolute monotonic expiry, or None for no deadline.
     expires_at: float | None
-    respond: Callable[[dict[str, Any]], None]
+    respond: Callable[[dict[str, Any]], Awaitable[None]]
+
+
+@dataclass
+class _Shard:
+    """Service-side view of one shard: worker + queue + dispatcher."""
+
+    shard_id: int
+    worker: Any  # LocalShard | ProcessShard
+    queue: asyncio.Queue = field(default_factory=asyncio.Queue)
+    dispatched: int = 0
+    batches: int = 0
+
+    @property
+    def dead(self) -> bool:
+        return bool(self.worker.dead)
 
 
 # ------------------------------------------------------------- service
@@ -159,13 +228,9 @@ class ExtractionService:
     """A resident extraction daemon over a local socket.
 
     The extraction stack (optionally warm-started from a compiled
-    artifact) is built once; every dispatched batch reuses it through
-    one :class:`ResilientCorpusRunner`, so quarantine/retry semantics
-    and ``fault_plan`` injection match the batch CLI exactly.  Fault
-    indices refer to the *global dispatch order* of records across
-    the service's lifetime (``raise@2`` poisons the third record ever
-    dispatched); symbolic indices are not meaningful for an endless
-    stream and are rejected.
+    artifact) is built once per shard; every dispatched batch reuses
+    it through a :class:`ResilientCorpusRunner`, so quarantine/retry
+    semantics and ``fault_plan`` injection match the batch CLI.
     """
 
     def __init__(
@@ -189,72 +254,104 @@ class ExtractionService:
                         "service stream; use integer indices"
                     )
         self.fault_plan = fault_plan
-        self.runner = ResilientCorpusRunner(
-            extractor,
-            workers=1,
-            chunk_size=self.config.max_batch,
-            policy=policy,
-            tracer=tracer,
-            artifact=artifact,
-            parse_cache=parse_cache,
+        self.policy = policy
+        self.artifact, self._artifact_path = self._resolve_artifact(
+            artifact
         )
+        self.parse_cache = parse_cache
+        #: The in-process runner: the ``shards=1`` extraction path,
+        #: and the source of serialized models / parse budget for
+        #: forked shards.  ``None`` only if construction failed.
+        self.runner: ResilientCorpusRunner | None = None
+        if self.config.shards == 1:
+            self.runner = ResilientCorpusRunner(
+                extractor,
+                workers=1,
+                chunk_size=self.config.max_batch,
+                policy=policy,
+                tracer=tracer,
+                artifact=self.artifact,
+                parse_cache=parse_cache,
+            )
+            self._extractor = self.runner.extractor
+        else:
+            if extractor is None:
+                if self.artifact is not None:
+                    extractor = self.artifact.make_extractor()
+                else:
+                    from repro.extraction.pipeline import (
+                        RecordExtractor,
+                    )
+
+                    extractor = RecordExtractor()
+            self._extractor = extractor
         self.metrics = Metrics()
         #: Every poison isolated over the service lifetime, with
-        #: record_index rebased to global arrival order.
+        #: record_index rebased to global accept order.
         self.quarantine: list[QuarantineEntry] = []
         self.address: Any = None
+        #: Partition-merge summary from the last drain (non-fleet
+        #: stores only).
+        self.merge_summary: dict[str, int] | None = None
+        #: Final per-shard stats collected at drain.
+        self.shard_stats: list[dict[str, Any]] = []
 
-        self._cond = threading.Condition()
-        self._queue: deque[_PendingRequest] = deque()
+        self._flag_lock = threading.Lock()
         self._draining = False
-        self._dispatched = 0  # records handed to the runner, ever
+        self._next_seq = 0
+        self._dispatched = 0  # records handed to shard runners, ever
         self._completed = 0
         self._started = time.monotonic()
         self._ready = threading.Event()
-        self._listener: socket.socket | None = None
-        self._batcher: threading.Thread | None = None
+        self._serve_error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._drain_event: asyncio.Event | None = None
+        self._shards: list[_Shard] = []
+        self._executors: list[Any] = []
         self._thread: threading.Thread | None = None
+
+    @staticmethod
+    def _resolve_artifact(
+        artifact: Any,
+    ) -> tuple[Any, str | None]:
+        if artifact is None or not isinstance(artifact, (str, Path)):
+            return artifact, None
+        from repro.runtime.compiled import CompiledArtifact
+
+        return CompiledArtifact.load(str(artifact)), str(artifact)
 
     # ------------------------------------------------------- lifecycle
 
     def serve(self) -> None:
         """Bind, accept, and dispatch until drained (blocking)."""
-        listener = self._bind()
-        self._batcher = threading.Thread(
-            target=self._batch_loop, name="service-batcher", daemon=True
-        )
-        self._batcher.start()
-        self._ready.set()
         try:
-            while not self._stopping():
-                try:
-                    connection, _ = listener.accept()
-                except socket.timeout:
-                    continue
-                except OSError:
-                    break
-                threading.Thread(
-                    target=self._serve_connection,
-                    args=(connection,),
-                    daemon=True,
-                ).start()
-        finally:
-            # Drain before tearing the socket down: every accepted
-            # request is answered, then the batcher exits on its own.
-            if self._batcher is not None:
-                self._batcher.join()
-            self._close_listener()
+            asyncio.run(self._serve_async())
+        except BaseException as exc:
+            self._serve_error = exc
+            self._ready.set()
+            raise
 
     def start(self) -> Any:
         """Run :meth:`serve` on a background thread; returns the bound
         address once the service is accepting connections."""
         self._thread = threading.Thread(
-            target=self.serve, name="service-accept", daemon=True
+            target=self._serve_quietly, name="service-accept",
+            daemon=True,
         )
         self._thread.start()
         if not self._ready.wait(timeout=30):
             raise ServiceError("service failed to come up in 30s")
+        if self._serve_error is not None:
+            raise ServiceError(
+                f"service failed to start: {self._serve_error}"
+            ) from self._serve_error
         return self.address
+
+    def _serve_quietly(self) -> None:
+        try:
+            self.serve()
+        except BaseException:
+            pass  # recorded in _serve_error for start() to surface
 
     def shutdown(self) -> None:
         """Begin a graceful drain (idempotent, safe from any thread).
@@ -263,9 +360,15 @@ class ExtractionService:
         everything already accepted is dispatched and answered, then
         :meth:`serve` returns.
         """
-        with self._cond:
+        with self._flag_lock:
             self._draining = True
-            self._cond.notify_all()
+            loop = self._loop
+            event = self._drain_event
+        if loop is not None and event is not None:
+            try:
+                loop.call_soon_threadsafe(event.set)
+            except RuntimeError:
+                pass  # loop already closed: serve() has returned
 
     def join(self, timeout: float | None = None) -> None:
         """Wait for a :meth:`start`-ed service to finish draining."""
@@ -281,95 +384,262 @@ class ExtractionService:
         self.shutdown()
         self.join(timeout)
 
-    def _stopping(self) -> bool:
-        with self._cond:
-            return self._draining
+    # ------------------------------------------------------ event loop
 
-    def _bind(self) -> socket.socket:
+    async def _serve_async(self) -> None:
+        loop = asyncio.get_running_loop()
+        drain_event = asyncio.Event()
+        with self._flag_lock:
+            self._loop = loop
+            self._drain_event = drain_event
+            if self._draining:
+                drain_event.set()
+        self._install_shards()
+        server = await self._start_server()
+        dispatchers = [
+            asyncio.create_task(
+                self._dispatch_loop(shard),
+                name=f"dispatch-{shard.shard_id}",
+            )
+            for shard in self._shards
+        ]
+        self._ready.set()
+        try:
+            await drain_event.wait()
+            server.close()
+            for shard in self._shards:
+                await shard.queue.put(_DRAIN)
+            await asyncio.gather(*dispatchers)
+            # Give connection handlers a beat to flush rejections
+            # raced against the end of the drain.
+            await asyncio.sleep(0.02)
+        finally:
+            server.close()
+            await server.wait_closed()
+            await self._teardown_shards()
+            self._unlink_socket()
+            with self._flag_lock:
+                self._loop = None
+                self._drain_event = None
+
+    async def _start_server(self) -> asyncio.AbstractServer:
         if self.config.socket_path is not None:
             path = Path(self.config.socket_path)
             if path.exists():
                 path.unlink()
-            listener = socket.socket(socket.AF_UNIX)
-            listener.bind(str(path))
+            server = await asyncio.start_unix_server(
+                self._handle_connection, path=str(path)
+            )
             self.address = str(path)
         else:
-            listener = socket.socket(socket.AF_INET)
-            listener.setsockopt(
-                socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
+            server = await asyncio.start_server(
+                self._handle_connection,
+                host=self.config.host,
+                port=self.config.port,
             )
-            listener.bind((self.config.host, self.config.port))
-            self.address = listener.getsockname()
-        # The accept loop wakes periodically to notice a drain that
-        # was triggered by a signal or an op instead of a socket
-        # error.
-        listener.settimeout(0.1)
-        listener.listen(64)
-        self._listener = listener
-        return listener
+            self.address = server.sockets[0].getsockname()
+        return server
 
-    def _close_listener(self) -> None:
-        if self._listener is not None:
-            self._listener.close()
-            self._listener = None
+    def _unlink_socket(self) -> None:
         if self.config.socket_path is not None:
             path = Path(self.config.socket_path)
             if path.exists():
                 path.unlink()
+
+    # ---------------------------------------------------------- shards
+
+    def _shard_spec(self) -> ShardSpec:
+        # The local shard never rebuilds a stack, so skip model
+        # serialization (stub extractors need not look like the real
+        # pipeline) unless we are about to fork shard children.
+        if self.config.shards > 1:
+            from repro.runtime.runner import _serialize_models
+
+            models = _serialize_models(self._extractor)
+        else:
+            models = None
+        return ShardSpec(
+            models=models,
+            parse_budget=getattr(
+                self._extractor, "parse_budget", None
+            ),
+            artifact_path=self._artifact_path,
+            parse_cache_path=(
+                str(self.parse_cache.path)
+                if self.parse_cache is not None
+                and self.parse_cache.path is not None
+                else None
+            ),
+            store_path=self.config.store_path,
+            fleet=self.config.fleet,
+            run_id=self.config.run_id,
+            max_batch=self.config.max_batch,
+            policy=self.policy,
+        )
+
+    def _install_shards(self) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        spec = self._shard_spec()
+        self._clear_partitions(spec)
+        queue_size = self.config.max_queue
+        if self.config.shards == 1:
+            assert self.runner is not None
+            workers: list[Any] = [LocalShard(0, self.runner, spec)]
+        else:
+            from repro.runtime import runner as runner_mod
+
+            # Publish the warm stack for fork-started shard children
+            # to inherit copy-on-write, exactly like pool workers.
+            previous = runner_mod._SHARED_ARTIFACT
+            previous_cache = runner_mod._SHARED_PARSE_CACHE
+            runner_mod._SHARED_ARTIFACT = self.artifact
+            runner_mod._SHARED_PARSE_CACHE = self.parse_cache
+            try:
+                workers = [
+                    ProcessShard(shard_id, spec)
+                    for shard_id in range(self.config.shards)
+                ]
+            finally:
+                runner_mod._SHARED_ARTIFACT = previous
+                runner_mod._SHARED_PARSE_CACHE = previous_cache
+        self._shards = [
+            _Shard(
+                shard_id=worker.shard_id,
+                worker=worker,
+                queue=asyncio.Queue(maxsize=queue_size + 1),
+            )
+            for worker in workers
+        ]
+        # One thread per shard: pipe I/O (or local extraction) runs
+        # off the event loop but strictly serialized per shard.
+        self._executors = [
+            ThreadPoolExecutor(
+                max_workers=1,
+                thread_name_prefix=f"shard-{shard.shard_id}",
+            )
+            for shard in self._shards
+        ]
+
+    def _clear_partitions(self, spec: ShardSpec) -> None:
+        """Remove stale partition files from a previous run."""
+        if spec.store_path is None or spec.fleet:
+            return
+        for shard_id in range(self.config.shards):
+            base = partition_path(spec.store_path, shard_id)
+            for stale in (
+                base,
+                Path(f"{base}-wal"),
+                Path(f"{base}-shm"),
+            ):
+                if stale.exists():
+                    stale.unlink()
+
+    async def _teardown_shards(self) -> None:
+        # Close each worker on its own executor thread — the thread
+        # that owns its SQLite connection.
+        loop = asyncio.get_running_loop()
+        self.shard_stats = [
+            await loop.run_in_executor(executor, shard.worker.close)
+            for shard, executor in zip(
+                self._shards, self._executors
+            )
+        ]
+        for executor in self._executors:
+            executor.shutdown(wait=False)
+        self._executors = []
+        if (
+            self.config.store_path is not None
+            and not self.config.fleet
+        ):
+            from repro.storage.db import merge_partition_stores
+
+            self.merge_summary = merge_partition_stores(
+                self.config.store_path,
+                [
+                    partition_path(
+                        self.config.store_path, shard.shard_id
+                    )
+                    for shard in self._shards
+                ],
+                run_id=self.config.run_id,
+            )
+
+    def _live_shards(self) -> list[_Shard]:
+        return [shard for shard in self._shards if not shard.dead]
+
+    def _route(self, record: PatientRecord) -> _Shard | None:
+        live = self._live_shards()
+        if not live:
+            return None
+        if len(live) == 1:
+            return live[0]
+        by_id = {shard.shard_id: shard for shard in live}
+        return by_id[
+            shard_for(record.patient_id, sorted(by_id))
+        ]
 
     # ----------------------------------------------------- connections
 
-    def _serve_connection(self, connection: socket.socket) -> None:
-        """One thread per connection: parse lines, route ops.
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """One task per connection: parse lines, route ops.
 
-        Responses for pipelined requests may be written from both
-        this thread (health/stats/errors) and the batcher thread
-        (extract results), so every write takes the connection's
-        write lock.
+        Responses for pipelined requests are written from this task
+        (health/stats/errors) and the shard dispatchers (extract
+        results) — all on the one event loop, with a per-connection
+        lock keeping each JSON line contiguous on the wire.
         """
-        write_lock = threading.Lock()
-        reader = connection.makefile("r", encoding="utf-8")
-        writer = connection.makefile("w", encoding="utf-8")
+        lock = asyncio.Lock()
 
-        def respond(payload: dict[str, Any]) -> None:
+        async def respond(payload: dict[str, Any]) -> None:
+            # Insertion order is part of the payload: result dicts
+            # must re-serialize byte-identically to the batch path,
+            # so never sort keys here.
+            data = (json.dumps(payload) + "\n").encode("utf-8")
             try:
-                with write_lock:
-                    # Insertion order is part of the payload: result
-                    # dicts must re-serialize byte-identically to the
-                    # batch path, so never sort keys here.
-                    writer.write(json.dumps(payload) + "\n")
-                    writer.flush()
-            except (OSError, ValueError):
+                async with lock:
+                    writer.write(data)
+                    await writer.drain()
+            except (ConnectionError, OSError):
                 # The client went away; its results are dropped but
                 # the batch they rode in completes normally.
                 self.metrics.count("responses_lost")
 
         try:
-            for line in reader:
-                line = line.strip()
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                line = raw.decode("utf-8", errors="replace").strip()
                 if not line:
                     continue
-                self._handle_line(line, respond)
-        except (OSError, ValueError):
+                await self._handle_line(line, respond)
+        except (ConnectionError, OSError, asyncio.CancelledError):
             pass
         finally:
             try:
-                connection.close()
-            except OSError:
+                writer.close()
+            except (ConnectionError, OSError):
                 pass
 
-    def _handle_line(
+    async def _handle_line(
         self,
         line: str,
-        respond: Callable[[dict[str, Any]], None],
+        respond: Callable[[dict[str, Any]], Awaitable[None]],
     ) -> None:
         try:
             message = json.loads(line)
         except json.JSONDecodeError as exc:
-            respond(_error(None, "bad-request", f"bad JSON: {exc}"))
+            await respond(
+                _error(None, "bad-request", f"bad JSON: {exc}")
+            )
             return
         if not isinstance(message, dict):
-            respond(
+            await respond(
                 _error(None, "bad-request", "expected a JSON object")
             )
             return
@@ -377,119 +647,154 @@ class ExtractionService:
         op = message.get("op")
         self.metrics.count("requests")
         if op == "health":
-            respond({"id": request_id, "ok": True,
-                     "result": self.health()})
+            await respond({"id": request_id, "ok": True,
+                           "result": self.health()})
         elif op == "stats":
-            respond({"id": request_id, "ok": True,
-                     "result": self.stats()})
+            await respond({"id": request_id, "ok": True,
+                           "result": self.stats()})
         elif op == "shutdown":
-            respond({"id": request_id, "ok": True,
-                     "result": {"draining": True}})
+            await respond({"id": request_id, "ok": True,
+                           "result": {"draining": True}})
             self.shutdown()
         elif op == "extract":
-            self._accept_extract(message, request_id, respond)
+            await self._accept_extract(message, request_id, respond)
         else:
-            respond(_error(
+            await respond(_error(
                 request_id, "bad-request",
                 f"unknown op {op!r} (expected one of "
                 f"{', '.join(OPS)})",
             ))
 
-    def _accept_extract(
+    async def _accept_extract(
         self,
         message: dict[str, Any],
         request_id: Any,
-        respond: Callable[[dict[str, Any]], None],
+        respond: Callable[[dict[str, Any]], Awaitable[None]],
     ) -> None:
         try:
             record = record_from_dict(message["record"])
         except (KeyError, ServiceError) as exc:
-            respond(_error(request_id, "bad-request", str(exc)))
+            await respond(_error(request_id, "bad-request", str(exc)))
             return
-        deadline_s = message.get(
-            "deadline_s", self.config.default_deadline_s
-        )
-        expires_at = (
-            time.monotonic() + float(deadline_s)
-            if deadline_s is not None
-            else None
-        )
+        if self._draining:
+            await respond(_error(
+                request_id, "shutting-down",
+                "service is draining; submit elsewhere",
+            ))
+            self.metrics.count("rejected_draining")
+            return
+        shard = self._route(record)
+        if shard is None:
+            await respond(_error(
+                request_id, "shard-failed",
+                "no live shards left to extract on",
+            ))
+            self.metrics.count("shard_failed")
+            return
+        if shard.queue.qsize() >= self.config.max_queue:
+            response = _error(
+                request_id, "overloaded",
+                f"queue full ({self.config.max_queue} pending); "
+                "retry later",
+            )
+            response["error"]["retry_after_s"] = (
+                self.config.retry_after_s
+            )
+            await respond(response)
+            self.metrics.count("rejected_overload")
+            return
         pending = _PendingRequest(
             request_id=request_id,
             record=record,
-            expires_at=expires_at,
+            seq=self._next_seq,
+            expires_at=self._expires_at(message),
             respond=respond,
         )
-        with self._cond:
-            if self._draining:
-                respond(_error(
-                    request_id, "shutting-down",
-                    "service is draining; submit elsewhere",
-                ))
-                self.metrics.count("rejected_draining")
-                return
-            if len(self._queue) >= self.config.max_queue:
-                response = _error(
-                    request_id, "overloaded",
-                    f"queue full ({self.config.max_queue} pending); "
-                    "retry later",
-                )
-                response["error"]["retry_after_s"] = (
-                    self.config.retry_after_s
-                )
-                respond(response)
-                self.metrics.count("rejected_overload")
-                return
-            self._queue.append(pending)
-            self.metrics.count("accepted")
-            self.metrics.gauge(
-                "queue_depth_peak", float(len(self._queue))
-            )
-            self._cond.notify_all()
+        self._next_seq += 1
+        shard.queue.put_nowait(pending)
+        self.metrics.count("accepted")
+        self.metrics.gauge(
+            "queue_depth_peak", float(self._queue_depth())
+        )
 
-    # --------------------------------------------------------- batcher
+    def _expires_at(self, message: dict[str, Any]) -> float | None:
+        deadline_s = message.get(
+            "deadline_s", self.config.default_deadline_s
+        )
+        if deadline_s is None:
+            return None
+        return time.monotonic() + float(deadline_s)
 
-    def _batch_loop(self) -> None:
+    def _queue_depth(self) -> int:
+        return sum(shard.queue.qsize() for shard in self._shards)
+
+    # ----------------------------------------------------- dispatchers
+
+    async def _dispatch_loop(self, shard: _Shard) -> None:
+        closing = False
         while True:
-            batch = self._next_batch()
-            if batch is None:
+            batch, saw_drain = await self._next_batch(shard, closing)
+            closing = closing or saw_drain
+            if batch:
+                await self._dispatch_batch(shard, batch)
+            if closing and shard.queue.empty():
                 return
-            self._run_batch(batch)
 
-    def _next_batch(self) -> list[_PendingRequest] | None:
+    async def _next_batch(
+        self, shard: _Shard, closing: bool
+    ) -> tuple[list[_PendingRequest], bool]:
         """Block for work, linger to coalesce, pop up to max_batch.
 
-        Returns ``None`` exactly once the service is draining *and*
-        the queue is empty — every accepted request has been
-        dispatched by then.
+        Returns the batch plus whether the drain sentinel was seen;
+        once it has been, the caller exits as soon as the queue is
+        empty — every accepted request has been dispatched by then.
         """
-        with self._cond:
-            while not self._queue and not self._draining:
-                self._cond.wait()
-            if not self._queue:
-                return None  # draining and fully dispatched
-            if self.config.linger_s > 0:
-                linger_until = (
-                    time.monotonic() + self.config.linger_s
+        batch: list[_PendingRequest] = []
+        saw_drain = False
+        if closing and shard.queue.empty():
+            return batch, saw_drain
+        item = await shard.queue.get()
+        if item is _DRAIN:
+            return batch, True
+        batch.append(item)
+        if (
+            self.config.linger_s > 0
+            and shard.queue.empty()
+            and self.config.max_batch > 1
+        ):
+            # Wait briefly for a companion request: dispatching a
+            # singleton forfeits coalescing, but since this
+            # dispatcher runs batches sequentially, arrivals pile up
+            # during execution anyway — lingering any longer than it
+            # takes one more request to show up is idle executor
+            # time (it was the throughput ceiling of the pre-shard
+            # daemon: ~linger_s per batch of wait with the extractor
+            # doing nothing).
+            try:
+                item = await asyncio.wait_for(
+                    shard.queue.get(),
+                    timeout=self.config.linger_s,
                 )
-                while (
-                    len(self._queue) < self.config.max_batch
-                    and not self._draining
-                ):
-                    remaining = linger_until - time.monotonic()
-                    if remaining <= 0:
-                        break
-                    self._cond.wait(timeout=remaining)
-            batch = [
-                self._queue.popleft()
-                for _ in range(
-                    min(len(self._queue), self.config.max_batch)
-                )
-            ]
-            self._cond.notify_all()
-        return batch
+                if item is _DRAIN:
+                    saw_drain = True
+                else:
+                    batch.append(item)
+            except asyncio.TimeoutError:
+                pass
+        while len(batch) < self.config.max_batch and not saw_drain:
+            try:
+                item = shard.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if item is _DRAIN:
+                saw_drain = True
+                break
+            batch.append(item)
+        return batch, saw_drain
 
-    def _run_batch(self, batch: list[_PendingRequest]) -> None:
+    async def _dispatch_batch(
+        self, shard: _Shard, batch: list[_PendingRequest]
+    ) -> None:
         now = time.monotonic()
         live: list[_PendingRequest] = []
         for pending in batch:
@@ -497,7 +802,7 @@ class ExtractionService:
                 pending.expires_at is not None
                 and pending.expires_at <= now
             ):
-                pending.respond(_error(
+                await pending.respond(_error(
                     pending.request_id, "deadline",
                     "deadline expired while queued",
                 ))
@@ -506,112 +811,155 @@ class ExtractionService:
                 live.append(pending)
         if not live:
             return
+        if shard.dead:
+            await self._fail_batch(live, shard)
+            return
         records = [pending.record for pending in live]
-        base = self._dispatched
-        self.runner.fault_plan = self._batch_plan(base, len(records))
+        seqs = [pending.seq for pending in live]
+        plan = self._plan_for_seqs(seqs)
         self.metrics.count("batches")
+        shard.batches += 1
         self.metrics.gauge("batch_size_peak", float(len(records)))
-        with self.metrics.time("batch_seconds"):
-            try:
-                results = self.runner.run(records)
-            except Exception as exc:  # an unquarantinable failure
-                for pending in live:
-                    pending.respond(_error(
-                        pending.request_id, "bad-request",
-                        f"extraction failed: "
-                        f"{type(exc).__name__}: {exc}",
-                    ))
-                self.metrics.count("batch_failures")
-                return
-            finally:
-                self._dispatched = base + len(records)
-        self._route_results(live, results, base)
+        loop = asyncio.get_running_loop()
+        executor = self._executors[self._shards.index(shard)]
+        try:
+            with self.metrics.time("batch_seconds"):
+                outcome = await loop.run_in_executor(
+                    executor,
+                    shard.worker.run_batch,
+                    records, plan, seqs,
+                )
+        except ShardFailure:
+            self.metrics.count("shard_deaths")
+            await self._fail_batch(live, shard)
+            return
+        except Exception as exc:  # an unquarantinable failure
+            for pending in live:
+                await pending.respond(_error(
+                    pending.request_id, "bad-request",
+                    f"extraction failed: "
+                    f"{type(exc).__name__}: {exc}",
+                ))
+            self.metrics.count("batch_failures")
+            return
+        finally:
+            self._dispatched += len(records)
+            shard.dispatched += len(records)
+        await self._route_results(live, outcome)
 
-    def _batch_plan(self, base: int, count: int) -> FaultPlan | None:
-        """Slice the global fault plan to this batch's index window.
+    async def _fail_batch(
+        self, live: list[_PendingRequest], shard: _Shard
+    ) -> None:
+        """Answer a dead shard's requests with typed errors.
 
-        The runner sees batch-local indices, so each global fault in
-        ``[base, base + count)`` is shifted left by ``base``; faults
-        outside the window stay out of this batch entirely.
+        Clients that resubmit are routed to the surviving shards
+        (the router excludes dead ones), so a resubmitting client
+        sees effective rerouting without the service replaying work
+        that may have been half-persisted by the dead worker.
+        """
+        for pending in live:
+            await pending.respond(_error(
+                pending.request_id, "shard-failed",
+                f"shard {shard.shard_id} died; resubmit to be "
+                "routed to a live shard",
+            ))
+        self.metrics.count("shard_failed", len(live))
+
+    def _plan_for_seqs(
+        self, seqs: Sequence[int]
+    ) -> FaultPlan | None:
+        """Filter the global fault plan to this batch's sequences.
+
+        Fault indices stay *global*: the shard runner translates its
+        batch-local record positions through an ``index_map`` of
+        accept sequences, so injected errors and quarantine entries
+        carry the stream-wide index — byte-identical to a batch run
+        over the same records.  Faults outside this batch's window
+        are dropped from the pickled plan entirely.
         """
         if self.fault_plan is None:
             return None
+        accepted = set(seqs)
         window = tuple(
-            replace(fault, index=int(fault.index) - base)
+            fault
             for fault in self.fault_plan.faults
-            if base <= int(fault.index) < base + count
+            if int(fault.index) in accepted
         )
         if not window:
             return None
         return replace(self.fault_plan, faults=window)
 
-    def _route_results(
+    def _batch_plan(self, base: int, count: int) -> FaultPlan | None:
+        """Fault window for a contiguous sequence block (the
+        ``shards=1`` fast path, kept for tests and symmetry)."""
+        return self._plan_for_seqs(range(base, base + count))
+
+    async def _route_results(
         self,
         live: list[_PendingRequest],
-        results: list[Any],
-        base: int,
+        outcome: BatchOutcome,
     ) -> None:
-        """Answer each request from the runner's in-order output.
+        """Answer each request from the shard's in-order output.
 
         The runner returns results in input order minus quarantined
-        records; quarantined positions are recovered from the
-        entries' batch-local ``record_index``.
+        records; quarantined requests are recovered from the entries'
+        globally-rebased ``record_index``.
         """
-        quarantined_by_position = {
+        quarantined_by_seq = {
             entry.record_index: entry
-            for entry in self.runner.quarantine
+            for entry in outcome.quarantine
         }
         cursor = 0
-        for position, pending in enumerate(live):
-            entry = quarantined_by_position.get(position)
+        for pending in live:
+            entry = quarantined_by_seq.get(pending.seq)
             if entry is not None:
-                rebased = replace(
-                    entry, record_index=base + position
-                )
-                self.quarantine.append(rebased)
+                self.quarantine.append(entry)
                 response = _error(
                     pending.request_id, "quarantined",
                     f"record isolated after {entry.attempts} "
                     f"attempts: {entry.error_type}",
                 )
-                response["error"]["quarantine"] = rebased.to_dict()
-                pending.respond(response)
+                response["error"]["quarantine"] = entry.to_dict()
+                await pending.respond(response)
                 self.metrics.count("quarantined")
                 continue
-            result = results[cursor]
+            result = outcome.results[cursor]
             cursor += 1
-            pending.respond({
+            await pending.respond({
                 "id": pending.request_id,
                 "ok": True,
                 "result": result.to_dict(),
             })
             self._completed += 1
         self.metrics.count("completed", len(live))
+        if self.parse_cache is not None and outcome.parse_delta:
+            self.parse_cache.merge(outcome.parse_delta)
 
     # --------------------------------------------------- introspection
 
     def health(self) -> dict[str, Any]:
-        with self._cond:
-            queue_depth = len(self._queue)
-            draining = self._draining
         return {
-            "status": "draining" if draining else "ok",
+            "status": "draining" if self._draining else "ok",
             "uptime_s": time.monotonic() - self._started,
-            "queue_depth": queue_depth,
+            "queue_depth": self._queue_depth(),
+            "shards": len(self._shards) or self.config.shards,
+            "live_shards": (
+                len(self._live_shards())
+                if self._shards
+                else self.config.shards
+            ),
         }
 
     def stats(self) -> dict[str, Any]:
         counters = self.metrics.counters
-        with self._cond:
-            queue_depth = len(self._queue)
-            draining = self._draining
         out: dict[str, Any] = {
             "uptime_s": time.monotonic() - self._started,
-            "draining": draining,
-            "queue_depth": queue_depth,
+            "draining": self._draining,
+            "queue_depth": self._queue_depth(),
             "max_queue": self.config.max_queue,
             "max_batch": self.config.max_batch,
             "linger_s": self.config.linger_s,
+            "shards": len(self._shards) or self.config.shards,
             "requests": counters.get("requests", 0),
             "accepted": counters.get("accepted", 0),
             "completed": counters.get("completed", 0),
@@ -624,6 +972,8 @@ class ExtractionService:
             ),
             "deadline_expired": counters.get("deadline_expired", 0),
             "quarantined": counters.get("quarantined", 0),
+            "shard_failed": counters.get("shard_failed", 0),
+            "shard_deaths": counters.get("shard_deaths", 0),
             "records_dispatched": self._dispatched,
             "batch_seconds": self.metrics.timers.get(
                 "batch_seconds", 0.0
@@ -635,7 +985,18 @@ class ExtractionService:
                 "batch_size_peak", 0.0
             ),
         }
-        if counters.get("batches", 0):
+        if self._shards:
+            out["shard_detail"] = [
+                {
+                    "shard": shard.shard_id,
+                    "dead": shard.dead,
+                    "queue_depth": shard.queue.qsize(),
+                    "dispatched": shard.dispatched,
+                    "batches": shard.batches,
+                }
+                for shard in self._shards
+            ]
+        if counters.get("batches", 0) and self.runner is not None:
             out["runner"] = self.runner.stats()
         return out
 

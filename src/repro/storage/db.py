@@ -8,6 +8,7 @@ analysis can audit how each cell was produced.
 
 from __future__ import annotations
 
+import json
 import sqlite3
 from pathlib import Path
 from typing import Any
@@ -81,7 +82,11 @@ QUARANTINE_COLUMNS: tuple[tuple[str, str], ...] = (
 class ResultStore:
     """SQLite sink and query surface for extraction results."""
 
-    def __init__(self, path: str | Path = ":memory:") -> None:
+    def __init__(
+        self,
+        path: str | Path = ":memory:",
+        busy_timeout_ms: int | None = None,
+    ) -> None:
         self._connection = sqlite3.connect(str(path))
         # Write-ahead logging turns every commit into one sequential
         # log append instead of a full database rewrite, and NORMAL
@@ -91,6 +96,12 @@ class ResultStore:
         # In-memory databases ignore the journal-mode request.
         self._connection.execute("PRAGMA journal_mode=WAL")
         self._connection.execute("PRAGMA synchronous=NORMAL")
+        if busy_timeout_ms is not None:
+            # Fleet mode: several writers share one WAL store; a
+            # write that meets the lock waits instead of erroring.
+            self._connection.execute(
+                f"PRAGMA busy_timeout={int(busy_timeout_ms)}"
+            )
         self._connection.executescript(_SCHEMA)
 
     def close(self) -> None:
@@ -247,6 +258,42 @@ class ResultStore:
             )
         return len(rows)
 
+    def save_shard_payloads(
+        self, rows: list[tuple[int, str, str]]
+    ) -> int:
+        """Journal wire payloads by global accept sequence.
+
+        Only shard *partitions* carry this side table; it is the raw
+        material :func:`merge_partition_stores` reads to rebuild the
+        corpus in accept order, and it never appears in a merged or
+        batch-written store.  Rows are ``(seq, kind, payload)`` with
+        kind ``result`` or ``quarantine`` and payload the bit-exact
+        JSON wire form.
+        """
+        self._connection.execute(
+            "CREATE TABLE IF NOT EXISTS shard_payloads ("
+            "seq INTEGER PRIMARY KEY, kind TEXT NOT NULL, "
+            "payload TEXT NOT NULL)"
+        )
+        with self._connection:
+            self._connection.executemany(
+                "INSERT OR REPLACE INTO shard_payloads VALUES "
+                "(?, ?, ?)",
+                rows,
+            )
+        return len(rows)
+
+    def shard_payloads(self) -> list[tuple[int, str, str]]:
+        """Journaled (seq, kind, payload) rows, in accept order."""
+        try:
+            cursor = self._connection.execute(
+                "SELECT seq, kind, payload FROM shard_payloads "
+                "ORDER BY seq"
+            )
+        except sqlite3.OperationalError:
+            return []  # not a partition: no payload journal
+        return [tuple(row) for row in cursor]
+
     # ------------------------------------------------------------- read
 
     def quarantined(
@@ -303,6 +350,25 @@ class ResultStore:
                 f"SELECT * FROM {table} ORDER BY {order}"
             ):
                 hasher.update(repr((table, row)).encode())
+        return hasher.hexdigest()[:16]
+
+    def quarantine_digest(self) -> str:
+        """Fingerprint of the quarantine bookkeeping.
+
+        Complements :meth:`content_digest` (which deliberately
+        excludes quarantine): the CI shard-parity gate checks that a
+        sharded run isolated exactly the same poisons, at the same
+        global indices, as the 1-shard run.
+        """
+        import hashlib
+
+        hasher = hashlib.sha256()
+        for row in self._connection.execute(
+            "SELECT run_id, record_id, record_index, error_type, "
+            "traceback_digest, attempts FROM quarantine "
+            "ORDER BY run_id, record_index, record_id"
+        ):
+            hasher.update(repr(tuple(row)).encode())
         return hasher.hexdigest()[:16]
 
     def patients(self) -> list[str]:
@@ -521,3 +587,65 @@ class ResultStore:
                 writer.writerow(row)
                 count += 1
         return count
+
+
+# ------------------------------------------------------------- merge
+
+def merge_partition_stores(
+    target_path: str | Path,
+    partition_paths: list[str | Path],
+    run_id: str = "",
+) -> dict[str, int]:
+    """Merge shard partitions into one store, byte-identical to batch.
+
+    Reads every partition's journaled wire payloads, orders them by
+    global accept sequence, and replays the exact write sequence the
+    batch CLI performs — one ``store_many`` over all results, one
+    ``save_quarantine``, one checkpointing close — into a *fresh*
+    target.  Because the wire forms round-trip bit-exactly and SQLite
+    is deterministic over an identical operation sequence, the merged
+    file compares byte-equal to a single-process ``repro extract``
+    over the same records in the same order.
+    """
+    from repro.extraction.pipeline import ExtractionResult
+
+    merged: list[tuple[int, str, str]] = []
+    for path in partition_paths:
+        if not Path(path).exists():
+            continue
+        partition = ResultStore(path)
+        try:
+            merged.extend(partition.shard_payloads())
+        finally:
+            partition.close()
+    merged.sort(key=lambda row: row[0])
+    results = [
+        ExtractionResult.from_dict(json.loads(payload))
+        for _, kind, payload in merged
+        if kind == "result"
+    ]
+    quarantine = [
+        json.loads(payload)
+        for _, kind, payload in merged
+        if kind == "quarantine"
+    ]
+    target = Path(target_path)
+    for stale in (
+        target,
+        Path(f"{target}-wal"),
+        Path(f"{target}-shm"),
+    ):
+        if stale.exists():
+            stale.unlink()
+    store = ResultStore(target)
+    try:
+        store.store_many(results)
+        if quarantine:
+            store.save_quarantine(quarantine, run_id=run_id)
+    finally:
+        store.close()
+    return {
+        "results": len(results),
+        "quarantined": len(quarantine),
+        "partitions": len(partition_paths),
+    }

@@ -153,6 +153,121 @@ class TestServiceQuarantineEqualsBatchQuarantine:
         b.close()
 
 
+class TestShardedStoreEqualsBatch:
+    """Sharded serving is invisible in the stored artifacts."""
+
+    def test_merged_partitions_byte_identical_to_batch(
+        self, cohort, tmp_path
+    ):
+        """Two forked shards, a poison record, server-side store.
+
+        The partitions merged at drain must be byte-for-byte the
+        store a batch run writes — results, provenance, and the
+        quarantine row (same global record index, same traceback
+        digest) included.
+        """
+        plan = "raise@2"
+        batch_runner = ResilientCorpusRunner(
+            RecordExtractor(),
+            chunk_size=2,
+            fault_plan=FaultPlan.parse(plan),
+            policy=FAST_POLICY,
+        )
+        batch_results = batch_runner.run(cohort)
+        batch_db = _store(
+            tmp_path / "batch.db",
+            batch_results,
+            batch_runner.quarantine,
+        )
+
+        service_db = tmp_path / "sharded.db"
+        service, path = _serve(
+            tmp_path,
+            extractor=RecordExtractor(),
+            fault_plan=FaultPlan.parse(plan),
+            config=ServiceConfig(
+                socket_path=str(tmp_path / "svc.sock"),
+                max_batch=2,
+                linger_s=0.01,
+                shards=2,
+                store_path=str(service_db),
+            ),
+        )
+        try:
+            with ServiceClient(socket_path=path) as client:
+                results, quarantined = client.extract_many(cohort)
+        finally:
+            service.stop(timeout=60)
+        assert len(results) == len(cohort) - 1
+        assert [index for index, _ in quarantined] == [2]
+        assert service.merge_summary == {
+            "results": len(cohort) - 1,
+            "quarantined": 1,
+            "partitions": 2,
+        }
+        assert service_db.read_bytes() == batch_db.read_bytes()
+        merged = ResultStore(service_db)
+        assert merged.missing_provenance() == []
+        assert (
+            merged.quarantine_digest()
+            == ResultStore(batch_db).quarantine_digest()
+        )
+        merged.close()
+
+    def test_fleet_instances_share_one_store(self, cohort, tmp_path):
+        """Two service instances, one WAL store, full provenance.
+
+        Fleet mode trades byte-ordering (arrival order interleaves)
+        for shared writes, so parity here is content-digest level:
+        the union of both instances' work must equal one batch run.
+        """
+        fleet_db = tmp_path / "fleet.db"
+        first, first_path = _serve(
+            tmp_path,
+            extractor=RecordExtractor(),
+            config=ServiceConfig(
+                socket_path=str(tmp_path / "one.sock"),
+                linger_s=0.01,
+                shards=2,
+                store_path=str(fleet_db),
+                fleet=True,
+            ),
+        )
+        second, second_path = _serve(
+            tmp_path,
+            extractor=RecordExtractor(),
+            config=ServiceConfig(
+                socket_path=str(tmp_path / "two.sock"),
+                linger_s=0.01,
+                shards=2,
+                store_path=str(fleet_db),
+                fleet=True,
+            ),
+        )
+        half = len(cohort) // 2
+        try:
+            with ServiceClient(socket_path=first_path) as client:
+                left, _ = client.extract_many(cohort[:half])
+            with ServiceClient(socket_path=second_path) as client:
+                right, _ = client.extract_many(cohort[half:])
+        finally:
+            first.stop(timeout=60)
+            second.stop(timeout=60)
+        assert len(left) + len(right) == len(cohort)
+
+        batch_db = _store(
+            tmp_path / "batch.db",
+            CorpusRunner(RecordExtractor()).run(cohort),
+        )
+        shared = ResultStore(fleet_db)
+        assert (
+            shared.content_digest()
+            == ResultStore(batch_db).content_digest()
+        )
+        assert shared.missing_provenance() == []
+        shared.close()
+
+
 class TestServeSubmitCli:
     """The real ``repro serve`` / ``repro submit`` subprocesses."""
 

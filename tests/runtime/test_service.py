@@ -167,9 +167,12 @@ class TestFaultWindowing:
         )
 
     def test_plan_sliced_to_batch_window(self):
+        # Indices stay global: the shard runner translates its
+        # batch-local positions through an index_map of accept
+        # sequences, so the plan window only filters.
         service = self._service("raise@3")
         window = service._batch_plan(base=2, count=4)
-        assert [f.index for f in window.faults] == [1]
+        assert [f.index for f in window.faults] == [3]
 
     def test_fault_outside_window_excluded(self):
         service = self._service("raise@3")
@@ -181,7 +184,7 @@ class TestFaultWindowing:
         first = service._batch_plan(base=0, count=4)
         second = service._batch_plan(base=4, count=4)
         assert [f.index for f in first.faults] == [1]
-        assert [f.index for f in second.faults] == [1]
+        assert [f.index for f in second.faults] == [5]
         assert [f.kind for f in second.faults] == ["hang"]
 
 
@@ -261,6 +264,53 @@ class TestBackpressure:
         assert len(results) == 6
         assert quarantined == []
         assert stats["rejected_overload"] > 0
+
+    def test_backoff_releases_when_queue_drains(
+        self, serve, tmp_path, monkeypatch
+    ):
+        """Regression: the client must not sleep out the full
+        ``retry_after_s`` hint when the queue drains sooner.
+
+        With responses still in flight, every shed record is resent
+        as soon as a completion proves the server's queue moved —
+        the client never reaches ``time.sleep`` at all, even though
+        the server's hint here (5 s per shed) would otherwise dwarf
+        the actual drain time.
+        """
+        service, path = serve(
+            extractor=StubExtractor(delay_s=0.02),
+            config=ServiceConfig(
+                socket_path=str(tmp_path / "svc.sock"),
+                max_queue=1,
+                max_batch=1,
+                linger_s=0.0,
+                retry_after_s=5.0,
+            ),
+        )
+        slept = []
+
+        class _Clock:
+            monotonic = staticmethod(time.monotonic)
+
+            @staticmethod
+            def sleep(seconds):
+                slept.append(seconds)
+                time.sleep(seconds)
+
+        monkeypatch.setattr("repro.client.time", _Clock)
+        records = [_record(f"p{i}") for i in range(6)]
+        started = time.monotonic()
+        with ServiceClient(socket_path=path) as client:
+            results, quarantined = client.extract_many(records)
+            stats = client.stats()
+        elapsed = time.monotonic() - started
+        assert len(results) == 6
+        assert quarantined == []
+        assert stats["rejected_overload"] > 0, "nothing was shed"
+        # The whole run finishes in drain time, not hint time: six
+        # records at 20ms each, versus 5s per honored hint.
+        assert slept == []
+        assert elapsed < 2.0
 
     def test_overloaded_response_carries_retry_hint(self, serve,
                                                     tmp_path):
@@ -439,6 +489,7 @@ class TestProtocolErrors:
             "deadline",
             "overloaded",
             "quarantined",
+            "shard-failed",
             "shutting-down",
         }
 

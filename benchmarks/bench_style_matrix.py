@@ -1,0 +1,60 @@
+"""STYLES — per-style accuracy matrix over adversarial dictation packs.
+
+§5's caveat made measurable: every registered style pack (terse,
+verbose, abbreviation-dense, run-on sections, OCR noise, transcription
+noise, cardiology labs) runs through the unchanged extraction pipeline
+and reports per-attribute precision/recall next to the consistent
+single-clinician baseline.  Writes ``EVAL_styles.json`` — the same
+artifact ``repro evaluate --style-matrix`` emits and CI gates on.
+
+Gates:
+* consistent-style row equals the pinned pre-pack baseline EXACTLY;
+* every pack's corpus passes gold-alignment validation (0 violations).
+"""
+
+import json
+from pathlib import Path
+
+from conftest import PAPER_SEED, print_table
+
+from repro.eval import run_style_matrix, render_style_table
+
+ARTIFACT = (
+    Path(__file__).resolve().parent.parent / "EVAL_styles.json"
+)
+
+
+def test_style_matrix(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_style_matrix(seed=PAPER_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    ARTIFACT.write_text(
+        json.dumps(results, indent=1, sort_keys=True) + "\n"
+    )
+
+    rows = []
+    for name, entry in results["packs"].items():
+        numeric = entry["numeric"].values()
+        terms = entry["terms"].values()
+        rows.append((
+            name,
+            f"{min(v['precision'] for v in numeric):.1%}",
+            f"{min(v['recall'] for v in numeric):.1%}",
+            f"{min(v['precision'] for v in terms):.1%}",
+            f"{min(v['recall'] for v in terms):.1%}",
+            f"{entry['smoking_accuracy']:.1%}",
+        ))
+    print_table(
+        "Accuracy vs dictation style (min per-attribute, 50 records)",
+        ["pack", "num P", "num R", "terms P", "terms R", "smoking"],
+        rows,
+    )
+    print(render_style_table(results))
+
+    assert results["baseline_match"], (
+        "consistent-style accuracy deviates from the pinned baseline"
+    )
+    for name, entry in results["packs"].items():
+        assert entry["gold_violations"] == 0, name

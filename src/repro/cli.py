@@ -393,6 +393,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="smoking",
     )
     evaluate.add_argument("--seed", type=int, default=42)
+    evaluate.add_argument(
+        "--style-matrix",
+        action="store_true",
+        help="run every adversarial style pack through the pipeline "
+             "and write per-style precision/recall to --output; "
+             "exits nonzero if the consistent-style row deviates "
+             "from the pinned baseline (seed 42 only)",
+    )
+    evaluate.add_argument(
+        "--output",
+        type=Path,
+        default=Path("EVAL_styles.json"),
+        help="style-matrix artifact path (default EVAL_styles.json)",
+    )
     return parser
 
 
@@ -942,6 +956,29 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
+    if args.style_matrix:
+        from repro.eval import render_style_table, run_style_matrix
+
+        results = run_style_matrix(seed=args.seed)
+        args.output.write_text(
+            json.dumps(results, indent=1, sort_keys=True) + "\n"
+        )
+        print(render_style_table(results))
+        print(f"wrote {args.output}")
+        if args.seed != 42:
+            print(
+                "note: baseline gate applies to --seed 42 only",
+                file=sys.stderr,
+            )
+            return 0
+        if not results["baseline_match"]:
+            print(
+                "error: consistent-style accuracy deviates from the "
+                "pinned baseline (see EVAL_styles.json)",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
     records, golds = paper_cohort(seed=args.seed)
     if args.experiment == "all":
         from repro.eval.report import full_report

@@ -19,6 +19,12 @@ from repro.eval.experiments import (
     smoking_experiment,
     table1_experiment,
 )
+from repro.eval.style_matrix import (
+    CONSISTENT_BASELINE,
+    consistent_matches_baseline,
+    render_style_table,
+    run_style_matrix,
+)
 
 __all__ = [
     "ErrorBreakdown",
@@ -37,4 +43,8 @@ __all__ = [
     "paper_ontology",
     "smoking_experiment",
     "table1_experiment",
+    "CONSISTENT_BASELINE",
+    "consistent_matches_baseline",
+    "render_style_table",
+    "run_style_matrix",
 ]

@@ -106,21 +106,27 @@ def numeric_experiment(
     records: list[PatientRecord],
     golds: list[GoldAnnotations],
     extractor: NumericExtractor | None = None,
+    attributes: tuple | None = None,
 ) -> NumericExperimentResult:
     """§5 in-text result: P = R = 100% on all eight numeric attributes.
 
     A value counts as correct only when it equals the gold exactly
-    (both components for blood pressure).
+    (both components for blood pressure).  ``attributes`` extends the
+    schema's eight with an attribute pack (e.g. the cardiology Labs
+    pack); the default reproduces the paper's setting exactly.
     """
-    extractor = extractor or NumericExtractor()
+    attrs = (
+        tuple(attributes)
+        if attributes is not None
+        else NUMERIC_ATTRIBUTES
+    )
+    extractor = extractor or NumericExtractor(attributes=attrs)
     result = NumericExperimentResult(
-        per_attribute={
-            a.name: ExtractionCounts() for a in NUMERIC_ATTRIBUTES
-        }
+        per_attribute={a.name: ExtractionCounts() for a in attrs}
     )
     for record, gold in zip(records, golds):
         extracted = extractor.extract_record(record)
-        for attr in NUMERIC_ATTRIBUTES:
+        for attr in attrs:
             counts = result.per_attribute[attr.name]
             expected = gold.numeric.get(attr.name)
             got = extracted.get(attr.name)

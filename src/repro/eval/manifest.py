@@ -132,6 +132,18 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         bench_file="bench_service.py",
         kind="infrastructure",
     ),
+    Experiment(
+        id="STYLES",
+        artifact="per-style accuracy matrix over adversarial "
+                 "dictation packs (§5 style-variance caveat)",
+        bench_file="bench_style_matrix.py",
+        kind="extension",
+        paper_values={
+            "consistent_numeric": (1.0, 1.0),
+            "prediction": "degradation when the writing style is "
+                          "full of variants",
+        },
+    ),
 )
 
 

@@ -1,0 +1,56 @@
+"""NegEx-style context filtering for term extraction.
+
+NILE (PAPERS.md) identifies negation and family history as the two
+canonical semantic traps for clinical concept extraction: "denies
+asthma" and "mother had breast cancer" both contain a perfectly valid
+vocabulary term that must NOT be recorded as a patient-positive
+finding.  This module implements the minimal trigger-scope algorithm
+(NegEx-lite): a cue token opens a scope that runs rightward until a
+terminator token or the end of the sentence, and any term hit whose
+first token falls inside an open scope is suppressed.
+"""
+
+from __future__ import annotations
+
+#: Tokens that negate everything to their right.
+NEGATION_CUES: frozenset[str] = frozenset(
+    {"no", "not", "denies", "denied", "without", "negative"}
+)
+
+#: Tokens attributing findings to a relative, not the patient.
+FAMILY_CUES: frozenset[str] = frozenset(
+    {
+        "mother", "father", "sister", "brother", "aunt", "uncle",
+        "grandmother", "grandfather", "daughter", "son", "cousin",
+        "maternal", "paternal", "family", "familial",
+        "mother's", "father's", "sister's", "brother's",
+    }
+)
+
+#: Tokens that close an open scope ("denies asthma but has COPD").
+SCOPE_TERMINATORS: frozenset[str] = frozenset(
+    {"but", "however", "although", "except", ";"}
+)
+
+
+def blocked_token_indices(tokens: list[str]) -> frozenset[int]:
+    """Sentence token indices inside a negation/family scope.
+
+    ``tokens`` are the sentence's token surfaces in order (punctuation
+    included).  The cue token itself is not blocked — cues never
+    collide with vocabulary surfaces, and a hit *starting at* a cue is
+    therefore impossible anyway.
+    """
+    blocked: set[int] = set()
+    scope_open = False
+    for index, token in enumerate(tokens):
+        word = token.lower()
+        if word in SCOPE_TERMINATORS:
+            scope_open = False
+            continue
+        if word in NEGATION_CUES or word in FAMILY_CUES:
+            scope_open = True
+            continue
+        if scope_open:
+            blocked.add(index)
+    return frozenset(blocked)

@@ -1,0 +1,56 @@
+"""Optional attribute packs beyond the paper's pinned 24-slot schema.
+
+``schema.validate_schema`` hard-pins the study's 18-field/24-attribute
+arity at import, so new attributes cannot join ``NUMERIC_ATTRIBUTES``
+without breaking the reproduction contract.  Packs sidestep that: each
+is a tuple of extra attribute definitions a caller passes explicitly
+(``NumericExtractor(attributes=NUMERIC_ATTRIBUTES + pack)``); the core
+schema never changes.
+
+The cardiology pack exercises Mand's hard numeric cases (PAPERS.md):
+values with unit suffixes ("122 mg/dL", "98 percent"), decimals
+("57.5"), run-on parallel value lists, prior-visit distractors, and
+keyword-bearing abbreviations that tokenize into digit fragments
+("SpO2 98%" yields a spurious candidate ``2``).
+"""
+
+from __future__ import annotations
+
+from repro.extraction.schema import NumericAttribute
+
+#: Extra numeric attributes dictated in a "Labs" section.
+CARDIOLOGY_ATTRIBUTES: tuple[NumericAttribute, ...] = (
+    NumericAttribute(
+        name="respiratory_rate",
+        section="Labs",
+        keyword="respiratory rate",
+        synonyms=("respirations", "rr"),
+        minimum=6, maximum=45,
+    ),
+    NumericAttribute(
+        name="oxygen_saturation",
+        section="Labs",
+        keyword="oxygen saturation",
+        synonyms=("saturation", "sat", "spo2", "o2 sat"),
+        minimum=60, maximum=100,
+    ),
+    NumericAttribute(
+        name="ldl_cholesterol",
+        section="Labs",
+        keyword="ldl",
+        synonyms=("ldl cholesterol", "low density lipoprotein"),
+        minimum=30, maximum=300,
+    ),
+    NumericAttribute(
+        name="ejection_fraction",
+        section="Labs",
+        keyword="ejection fraction",
+        synonyms=("ef", "lvef"),
+        minimum=10, maximum=85,
+    ),
+)
+
+#: Registry of named packs, for CLI/eval lookup.
+ATTRIBUTE_PACKS: dict[str, tuple[NumericAttribute, ...]] = {
+    "cardiology": CARDIOLOGY_ATTRIBUTES,
+}

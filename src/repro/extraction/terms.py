@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.extraction.negation import blocked_token_indices
 from repro.extraction.schema import TERMS_ATTRIBUTES, TermsAttribute
 from repro.nlp.document import Annotation, Document
 from repro.nlp.pipeline import Pipeline, default_pipeline
@@ -82,6 +83,7 @@ class TermExtractor:
         normalizer: TermNormalizer | None = None,
         document_cache: DocumentCache | None = None,
         attributes: tuple[TermsAttribute, ...] | None = None,
+        context_filter: bool = True,
     ) -> None:
         self.ontology = ontology or default_ontology()
         self.attributes: tuple[TermsAttribute, ...] = (
@@ -104,6 +106,10 @@ class TermExtractor:
             pipeline = document_cache.pipeline
         self.pipeline = pipeline or default_pipeline()
         self.use_synonyms = use_synonyms
+        #: NegEx-lite suppression of negated/family-attributed hits
+        #: ("denies asthma", "mother had breast cancer").  On by
+        #: default; pass False to study the unfiltered extractor.
+        self.context_filter = context_filter
         self.normalizer = normalizer or TermNormalizer()
         self._predefined_keys: dict[
             tuple[str, tuple[str, ...]], dict[str, str]
@@ -186,12 +192,20 @@ class TermExtractor:
     ) -> list[TermHit]:
         texts = [document.span_text(t) for t in tokens]
         tags = [t.features.get("pos", "NN") for t in tokens]
+        blocked = (
+            blocked_token_indices(texts)
+            if self.context_filter
+            else frozenset()
+        )
         hits: list[TermHit] = []
         i = 0
         while i < len(tokens):
             hit = self._match_at(texts, tags, i, semantic_types)
             if hit is not None:
-                hits.append(hit)
+                # A hit inside a negation/family scope is still a
+                # recognized term — skip past it, record nothing.
+                if hit.start_token not in blocked:
+                    hits.append(hit)
                 i = hit.end_token  # continue after the term's endpoint
             else:
                 i += 1

@@ -24,6 +24,7 @@ SECTION_ORDER: tuple[str, ...] = (
     "Review of Systems",
     "Physical Examination",
     "Vitals",
+    "Labs",
     "HEENT",
     "Neck",
     "Chest",
@@ -55,6 +56,9 @@ SECTION_ALIASES: dict[str, str] = {
     "allergies": "Allergies",
     "vitals": "Vitals",
     "vital signs": "Vitals",
+    "labs": "Labs",
+    "laboratory data": "Labs",
+    "laboratory studies": "Labs",
     "heent": "HEENT",
     "neck": "Neck",
     "chest": "Chest",

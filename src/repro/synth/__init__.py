@@ -2,6 +2,13 @@
 
 from repro.synth.generator import CohortSpec, RecordGenerator
 from repro.synth.gold import GoldAnnotations
+from repro.synth.noise import (
+    CharacterConfusions,
+    HeaderMangler,
+    TokenSlips,
+    apply_noise,
+)
+from repro.synth.packs import STYLE_PACKS, StylePack, pack_by_name
 from repro.synth.styles import DictationStyle
 
 __all__ = [
@@ -9,4 +16,11 @@ __all__ = [
     "RecordGenerator",
     "GoldAnnotations",
     "DictationStyle",
+    "CharacterConfusions",
+    "HeaderMangler",
+    "TokenSlips",
+    "apply_noise",
+    "STYLE_PACKS",
+    "StylePack",
+    "pack_by_name",
 ]

@@ -14,6 +14,7 @@ coding.
 from __future__ import annotations
 
 import random
+import re
 from dataclasses import dataclass, field
 
 from repro.extraction.schema import (
@@ -38,6 +39,32 @@ _NUMBER_WORDS = {
     12: "twelve", 13: "thirteen", 14: "fourteen", 15: "fifteen",
     16: "sixteen",
 }
+
+#: Chart-speak rewrites for the abbreviation-dense style.  Applied only
+#: to numeric/categorical sections (never Past Medical/Surgical
+#: History, where a rewrite could erase a gold term surface such as
+#: "high blood pressure"), and only to digit forms of gravida/para so
+#: word-number gold stays dictated.
+_ABBREVIATIONS: tuple[tuple[re.Pattern, str], ...] = (
+    (re.compile(r"\bBlood pressure\b"), "BP"),
+    (re.compile(r"\bblood pressure\b"), "BP"),
+    (re.compile(r"\bTemperature\b"), "Temp"),
+    (re.compile(r"\btemperature\b"), "temp"),
+    (re.compile(r"\bWeight\b"), "Wt"),
+    (re.compile(r"\bweight\b"), "wt"),
+    (re.compile(r"\bPulse\b"), "HR"),
+    (re.compile(r"\bpulse\b"), "HR"),
+    (re.compile(r"\b(\d+)[- ]year[- ]old\b"), r"\1 y/o"),
+    (re.compile(r"\bgravida (\d+),? (?:and )?para (\d+)\b"), r"G\1P\2"),
+    (re.compile(r"\byears\b"), "yrs"),
+)
+
+#: Sections the abbreviation pass may touch: numeric and categorical
+#: content only, no gold term surfaces.
+_ABBREVIATION_SECTIONS = frozenset(
+    {"Vitals", "GYN History", "History of Present Illness",
+     "Social History"}
+)
 
 
 @dataclass(frozen=True)
@@ -131,6 +158,8 @@ class RecordGenerator:
         gold.categorical = values["categorical"]
 
         sections = self._render_sections(rng, patient_id, values)
+        if self.style.abbreviation_probability > 0:
+            self._abbreviate_sections(rng, sections)
         record = PatientRecord(patient_id=patient_id, sections=sections)
         record.raw_text = record.render()
         return record, gold
@@ -233,9 +262,21 @@ class RecordGenerator:
     # -------------------------------------------------------- rendering
 
     def _pick(self, rng: random.Random, pool: list[str]) -> str:
-        """Standard template, or a variant with style.variability odds."""
+        """Standard template, or a variant with style.variability odds.
+
+        The non-variant branch honours ``template_preference``
+        deterministically (shortest/longest template) so styled
+        clinicians consume exactly the same random draws as the
+        consistent one — determinism of existing corpora is pinned by
+        tests.
+        """
         if len(pool) > 1 and rng.random() < self.style.variability:
             return rng.choice(pool[1:])
+        preference = self.style.template_preference
+        if preference == "terse":
+            return min(pool, key=len)
+        if preference == "verbose":
+            return max(pool, key=len)
         return pool[0]
 
     def _class_pick(self, rng: random.Random, pool: list[str]) -> str:
@@ -428,6 +469,37 @@ class RecordGenerator:
             Section("Physical Examination", physical),
             Section("Vitals", vitals),
         ]
+        run_on = style.run_on_probability
+        exam_section = sections[-2]
         for name, pool in T.EXAM_BOILERPLATE.items():
-            sections.append(Section(name, rng.choice(pool)))
+            text = rng.choice(pool)
+            # Run-on dictation folds exam findings into Physical
+            # Examination inline ("... HEENT: PERRLA. Neck: supple.")
+            # instead of starting a fresh section.  The guard keeps
+            # the consistent style's random stream untouched.
+            if run_on and rng.random() < run_on:
+                exam_section.text += f" {name}: {text}"
+            else:
+                sections.append(Section(name, text))
         return sections
+
+    def _abbreviate_sections(
+        self, rng: random.Random, sections: list[Section]
+    ) -> None:
+        """Apply chart-speak abbreviations to eligible sections."""
+        probability = self.style.abbreviation_probability
+
+        def substitute(match: re.Match, repl: str) -> str:
+            if rng.random() < probability:
+                return match.expand(repl)
+            return match.group(0)
+
+        for section in sections:
+            if section.name not in _ABBREVIATION_SECTIONS:
+                continue
+            text = section.text
+            for pattern, repl in _ABBREVIATIONS:
+                text = pattern.sub(
+                    lambda m, r=repl: substitute(m, r), text
+                )
+            section.text = text

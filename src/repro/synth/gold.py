@@ -36,9 +36,14 @@ class GoldAnnotations:
     categorical: dict[str, str | None] = field(default_factory=dict)
 
     def complete(self) -> bool:
-        """Do all attribute slots exist (possibly with None values)?"""
+        """Do all attribute slots exist (possibly with None values)?
+
+        Numeric is a superset check: attribute packs (e.g. the
+        cardiology Labs pack) append extra slots beyond the paper's
+        pinned eight without making the annotation incomplete.
+        """
         return (
-            set(self.numeric) == {a.name for a in NUMERIC_ATTRIBUTES}
+            set(self.numeric) >= {a.name for a in NUMERIC_ATTRIBUTES}
             and set(self.terms) == {a.name for a in TERMS_ATTRIBUTES}
             and set(self.categorical)
             == {a.name for a in CATEGORICAL_ATTRIBUTES}

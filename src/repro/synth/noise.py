@@ -1,0 +1,230 @@
+"""Composable surface-noise channels for synthetic records.
+
+OCR'd and transcribed dictation is not clean ASCII prose: characters
+confuse, tokens stutter or drop, and section headers come back in
+whatever spelling the transcriptionist favours.  Each channel here
+perturbs the *surface* of a record only — a protected-span mask keeps
+every gold-bearing token (digits, dictated number words, and every
+surface form of a gold term concept) byte-identical, so
+``synth.validator`` still holds on the noised output.  The answer key
+never moves; only the text around it degrades.
+
+Channels compose: :func:`apply_noise` runs the body channels over each
+section, rewrites headers through :class:`HeaderMangler`, then
+re-splits the mangled raw text with the production section splitter so
+the returned record is exactly what a file consumer would parse.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+
+from repro.ontology.builder import default_ontology
+from repro.ontology.store import OntologyStore
+from repro.records.model import PatientRecord
+from repro.records.section_splitter import split_record
+from repro.synth.gold import GoldAnnotations
+
+_TOKEN_RE = re.compile(r"\S+")
+_PUNCT = ".,;:!?()"
+
+#: Classic OCR confusion pairs, ASCII letters only.  Digits are never
+#: produced: a stray digit could mint a numeric distractor that the
+#: validator cannot distinguish from gold.
+_CONFUSIONS: dict[str, str] = {
+    "e": "c",
+    "i": "l",
+    "l": "i",
+    "m": "rn",
+    "h": "b",
+    "u": "n",
+    "n": "u",
+    "w": "vv",
+}
+
+#: Alternate header spellings a transcriptionist produces.  All keep a
+#: leading capital (the splitter's header regex requires one) and all
+#: canonicalize back through ``SECTION_ALIASES``.
+HEADER_VARIANTS: dict[str, tuple[str, ...]] = {
+    "Past Medical History": ("PMH", "Past medical history"),
+    "Past Surgical History": ("PSH", "Past surgical history"),
+    "History of Present Illness": ("HPI",),
+    "Review of Systems": ("ROS", "Review of systems"),
+    "Vitals": ("Vital Signs", "Vital signs"),
+    "Physical Examination": ("Physical Exam", "Physical examination"),
+    "GYN History": ("Gynecologic History",),
+    "Family History": ("Family history",),
+    "Social History": ("Social history",),
+}
+
+
+def _is_number_word(token: str) -> bool:
+    from repro.nlp.numbers import parse_number_word
+
+    return parse_number_word(token.lower()) is not None
+
+
+def protected_mask(text: str, phrases: tuple[str, ...]) -> bytearray:
+    """Byte mask of *text*: 1 where noise must not touch.
+
+    Protects digit-bearing tokens, number words ("gravida four"), and
+    every occurrence of the given phrases (gold term surfaces),
+    case-insensitively.
+    """
+    mask = bytearray(len(text))
+    for match in _TOKEN_RE.finditer(text):
+        token = match.group().strip(_PUNCT)
+        if not token:
+            continue
+        if any(ch.isdigit() for ch in token) or _is_number_word(token):
+            for i in range(match.start(), match.end()):
+                mask[i] = 1
+    lowered = text.lower()
+    for phrase in phrases:
+        needle = phrase.lower()
+        start = 0
+        while True:
+            index = lowered.find(needle, start)
+            if index < 0:
+                break
+            for i in range(index, index + len(needle)):
+                mask[i] = 1
+            start = index + 1
+    return mask
+
+
+@dataclass(frozen=True)
+class CharacterConfusions:
+    """OCR-style letter substitutions outside protected spans."""
+
+    rate: float = 0.02
+
+    name: str = "ocr-confusions"
+
+    def perturb(
+        self, text: str, mask: bytearray, rng: random.Random
+    ) -> str:
+        out: list[str] = []
+        for i, ch in enumerate(text):
+            if (
+                not mask[i]
+                and ch in _CONFUSIONS
+                and rng.random() < self.rate
+            ):
+                out.append(_CONFUSIONS[ch])
+            else:
+                out.append(ch)
+        return "".join(out)
+
+
+@dataclass(frozen=True)
+class TokenSlips:
+    """Transcription-style token drops and doublings.
+
+    Only lowercase, digit-free, unprotected tokens of length > 2 are
+    eligible — sentence-initial words (capitalized) and everything the
+    mask covers survive, so sentence structure and gold spans hold.
+    """
+
+    drop_rate: float = 0.01
+    double_rate: float = 0.02
+
+    name: str = "token-slips"
+
+    def perturb(
+        self, text: str, mask: bytearray, rng: random.Random
+    ) -> str:
+        pieces: list[str] = []
+        last_end = 0
+        for match in _TOKEN_RE.finditer(text):
+            token = match.group()
+            gap = text[last_end:match.start()]
+            last_end = match.end()
+            stripped = token.strip(_PUNCT)
+            eligible = (
+                len(stripped) > 2
+                and stripped.islower()
+                and not any(mask[match.start():match.end()])
+            )
+            if eligible and rng.random() < self.drop_rate:
+                continue
+            pieces.append(gap)
+            pieces.append(token)
+            if eligible and rng.random() < self.double_rate:
+                pieces.append(" " + stripped)
+        pieces.append(text[last_end:])
+        return "".join(pieces)
+
+
+@dataclass(frozen=True)
+class HeaderMangler:
+    """Rewrites section headers to alternate dictated spellings."""
+
+    rate: float = 0.5
+
+    name: str = "header-mangler"
+
+    def mangle(self, section_name: str, rng: random.Random) -> str:
+        variants = HEADER_VARIANTS.get(section_name)
+        if variants and rng.random() < self.rate:
+            return rng.choice(variants)
+        return section_name
+
+
+def gold_surfaces(
+    gold: GoldAnnotations, ontology: OntologyStore
+) -> tuple[str, ...]:
+    """Every surface form under which a gold term may be dictated."""
+    surfaces: list[str] = []
+    for names in gold.terms.values():
+        for name in names:
+            matches = ontology.lookup(name)
+            if matches:
+                surfaces.extend(matches[0].concept.all_names())
+            else:
+                surfaces.append(name)
+    return tuple(surfaces)
+
+
+def apply_noise(
+    record: PatientRecord,
+    gold: GoldAnnotations,
+    channels: tuple,
+    rng: random.Random,
+    ontology: OntologyStore | None = None,
+) -> PatientRecord:
+    """Run the channels over a record; return the re-split result.
+
+    Body channels (``perturb``) touch section text under the protected
+    mask; a :class:`HeaderMangler` rewrites the section header lines.
+    The mangled raw text is re-parsed with the production splitter so
+    the returned record's sections are exactly what loading the noised
+    file would yield — and gold alignment is checkable against it.
+    """
+    ontology = ontology or default_ontology()
+    body_channels = [c for c in channels if hasattr(c, "perturb")]
+    mangler = next(
+        (c for c in channels if isinstance(c, HeaderMangler)), None
+    )
+    surfaces = gold_surfaces(gold, ontology)
+
+    lines = [f"Patient:  {record.patient_id}", ""]
+    for section in record.sections:
+        if section.name == "Patient":
+            continue
+        text = section.text
+        for channel in body_channels:
+            mask = protected_mask(text, surfaces)
+            text = channel.perturb(text, mask, rng)
+        header = (
+            mangler.mangle(section.name, rng) if mangler
+            else section.name
+        )
+        lines.append(f"{header}:  {text}")
+        lines.append("")
+    raw = "\n".join(lines).rstrip() + "\n"
+    noised = split_record(raw)
+    noised.patient_id = record.patient_id
+    return noised

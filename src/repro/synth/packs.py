@@ -1,0 +1,201 @@
+"""Named adversarial style packs: profile + noise + attribute extras.
+
+One :class:`StylePack` is everything needed to synthesize a cohort the
+way one (hostile) clinician-plus-transcription pipeline would produce
+it: a :class:`~repro.synth.styles.DictationStyle`, a tuple of noise
+channels applied post-render, and optionally an extra attribute pack
+whose values are dictated into a new section with their own gold.
+
+``STYLE_PACKS`` is the registry the eval matrix, the CLI, and the test
+fixtures iterate; adding a pack here automatically adds a row to
+``repro evaluate --style-matrix`` and a hostile fixture record to the
+test suite (see docs/evaluation.md).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.extraction.packs import CARDIOLOGY_ATTRIBUTES
+from repro.extraction.schema import NumericAttribute
+from repro.ontology.store import OntologyStore
+from repro.records.model import PatientRecord, Section
+from repro.synth.generator import CohortSpec, RecordGenerator
+from repro.synth.gold import GoldAnnotations
+from repro.synth.noise import (
+    CharacterConfusions,
+    HeaderMangler,
+    TokenSlips,
+    apply_noise,
+)
+from repro.synth.styles import DictationStyle
+
+#: Labs-section templates covering Mand's hard numeric shapes: unit
+#: suffixes, decimals, parallel run-on lists, prior-value distractors,
+#: and the digit-bearing "SpO2" keyword whose tokenization mints a
+#: spurious candidate value.
+LABS_TEMPLATES: tuple[str, ...] = (
+    "Respiratory rate is {rr}. Oxygen saturation of {spo2} percent "
+    "on room air. LDL cholesterol was {ldl} mg/dL. Ejection fraction "
+    "is {ef} percent.",
+    "Respiratory rate, oxygen saturation, and ejection fraction are "
+    "{rr}, {spo2}, and {ef}. LDL cholesterol of {ldl} mg/dL.",
+    "LDL cholesterol down from {ldl2} to {ldl} mg/dL. Ejection "
+    "fraction of {ef} percent, oxygen saturation {spo2} percent, "
+    "respiratory rate {rr}.",
+    "SpO2 {spo2}%. Respiratory rate: {rr}. LDL: {ldl} mg/dL. "
+    "Ejection fraction: {ef} percent.",
+)
+
+
+class StylePack:
+    """A named adversarial scenario over the synthetic corpus."""
+
+    def __init__(
+        self,
+        name: str,
+        description: str,
+        style: DictationStyle | None = None,
+        channels: tuple = (),
+        attributes: tuple[NumericAttribute, ...] = (),
+    ) -> None:
+        self.name = name
+        self.description = description
+        self.style = style or DictationStyle.consistent()
+        self.channels = channels
+        self.attributes = attributes
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"StylePack({self.name!r})"
+
+    def all_attributes(self) -> tuple[NumericAttribute, ...]:
+        """Core schema attributes plus this pack's extras."""
+        from repro.extraction.schema import NUMERIC_ATTRIBUTES
+
+        return tuple(NUMERIC_ATTRIBUTES) + tuple(self.attributes)
+
+    # ----------------------------------------------------------- corpus
+
+    def generate_cohort(
+        self,
+        spec: CohortSpec | None = None,
+        seed: int = 42,
+        ontology: OntologyStore | None = None,
+    ) -> tuple[list[PatientRecord], list[GoldAnnotations]]:
+        """A cohort rendered the way this pack's clinician dictates.
+
+        Per-record noise/labs randomness is seeded from
+        ``"{pack}|{seed}|{patient_id}"`` — independent of the base
+        generator's stream, so the underlying clinical content is the
+        same across packs at a given seed and only the surface (plus
+        any pack-extra section) differs.
+        """
+        generator = RecordGenerator(
+            style=self.style, seed=seed, ontology=ontology
+        )
+        records, golds = generator.generate_cohort(spec)
+        out: list[PatientRecord] = []
+        for record, gold in zip(records, golds):
+            rng = random.Random(
+                f"{self.name}|{seed}|{record.patient_id}"
+            )
+            if self.attributes:
+                record = self._add_labs(record, gold, rng)
+            if self.channels:
+                record = apply_noise(
+                    record, gold, self.channels, rng,
+                    ontology=generator.ontology,
+                )
+            out.append(record)
+        return out, golds
+
+    def _add_labs(
+        self,
+        record: PatientRecord,
+        gold: GoldAnnotations,
+        rng: random.Random,
+    ) -> PatientRecord:
+        rr = rng.randint(12, 24)
+        spo2 = rng.randint(90, 100)
+        ldl = rng.randint(70, 190)
+        # Half the cohort gets a decimal ejection fraction — the
+        # validator and extractor must both survive "57.5".
+        ef = (
+            rng.randint(35, 70) + 0.5
+            if rng.random() < 0.5
+            else float(rng.randint(35, 70))
+        )
+        template = rng.choice(LABS_TEMPLATES)
+        text = template.format(
+            rr=rr,
+            spo2=spo2,
+            ldl=ldl,
+            ldl2=ldl + rng.randint(12, 40),
+            ef=int(ef) if float(ef).is_integer() else ef,
+        )
+        gold.numeric["respiratory_rate"] = float(rr)
+        gold.numeric["oxygen_saturation"] = float(spo2)
+        gold.numeric["ldl_cholesterol"] = float(ldl)
+        gold.numeric["ejection_fraction"] = float(ef)
+        vitals_index = next(
+            i for i, s in enumerate(record.sections)
+            if s.name == "Vitals"
+        )
+        record.sections.insert(vitals_index + 1, Section("Labs", text))
+        record.raw_text = record.render()
+        return record
+
+
+#: The registry, in eval-matrix row order.  "consistent" first: its
+#: numbers are the CI-gated baseline.
+STYLE_PACKS: tuple[StylePack, ...] = (
+    StylePack(
+        "consistent",
+        "the paper's single-clinician dictation (baseline, CI-gated)",
+    ),
+    StylePack(
+        "terse",
+        "shortest templates, fragment-heavy vitals",
+        style=DictationStyle.terse(),
+    ),
+    StylePack(
+        "verbose",
+        "longest templates with prior-visit distractors, word numbers",
+        style=DictationStyle.verbose(),
+    ),
+    StylePack(
+        "abbreviation-dense",
+        "chart-speak: BP/temp/wt/G4P3 abbreviations",
+        style=DictationStyle.abbreviation_dense(),
+    ),
+    StylePack(
+        "run-on-sections",
+        "exam boilerplate folded into Physical Examination",
+        style=DictationStyle.run_on(),
+    ),
+    StylePack(
+        "ocr-noise",
+        "OCR character confusions plus mangled section headers",
+        channels=(
+            CharacterConfusions(rate=0.02),
+            HeaderMangler(rate=0.5),
+        ),
+    ),
+    StylePack(
+        "transcription-noise",
+        "dropped and stuttered tokens from dictation transcription",
+        channels=(TokenSlips(drop_rate=0.02, double_rate=0.03),),
+    ),
+    StylePack(
+        "cardiology-vitals",
+        "extra Labs section with unit/decimal/distractor numerics",
+        attributes=CARDIOLOGY_ATTRIBUTES,
+    ),
+)
+
+
+def pack_by_name(name: str) -> StylePack:
+    for pack in STYLE_PACKS:
+        if pack.name == name:
+            return pack
+    raise KeyError(name)

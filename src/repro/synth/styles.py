@@ -5,11 +5,30 @@ style (all records were provided by the same clinician)" and predicts
 degradation "if the size of the data set increases or the writing style
 is full of variants".  A :class:`DictationStyle` makes that axis a
 first-class experimental knob.
+
+Named profiles model distinct clinicians rather than a single
+variability dial:
+
+* :meth:`consistent` — the paper's single clinician (Dr. Brooks).
+  Byte-identical to the default generator for any seed; the style
+  machinery below must never perturb its random stream.
+* :meth:`terse` — clipped dictation: the shortest template in every
+  pool, heavy use of unparseable fragments (``BP: 144/90``).
+* :meth:`verbose` — the longest template in every pool (the
+  prior-visit-distractor variants), numbers spelled as words.
+* :meth:`abbreviation_dense` — post-render phrase abbreviation
+  ("blood pressure" → "BP", "7-year-old" → "7 y/o", "gravida 4,
+  para 3" → "G4P3").
+* :meth:`run_on` — exam boilerplate sections folded into Physical
+  Examination so section boundaries blur.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+#: Valid values for :attr:`DictationStyle.template_preference`.
+TEMPLATE_PREFERENCES = ("standard", "terse", "verbose")
 
 
 @dataclass(frozen=True)
@@ -30,6 +49,18 @@ class DictationStyle:
         names for operations ("gallbladder removal") far more often
         than for diagnoses, which is what breaks predefined-surgery
         recall in Table 1.
+    ``template_preference``
+        which template a pool's non-variant draw yields: the
+        clinician's standard (index 0), the shortest ("terse"), or
+        the longest ("verbose").  Selection is deterministic, so it
+        consumes no extra random draws.
+    ``abbreviation_probability``
+        chance a known clinical phrase is abbreviated after rendering
+        ("blood pressure" → "BP").  Applied only to numeric and
+        categorical sections, never where gold term surfaces live.
+    ``run_on_probability``
+        chance an exam boilerplate section is folded into Physical
+        Examination instead of standing alone.
     """
 
     name: str
@@ -38,6 +69,9 @@ class DictationStyle:
     word_number_probability: float = 0.0
     medical_synonym_probability: float = 0.10
     surgical_synonym_probability: float = 0.75
+    template_preference: str = "standard"
+    abbreviation_probability: float = 0.0
+    run_on_probability: float = 0.0
 
     def __post_init__(self) -> None:
         for attr in (
@@ -46,10 +80,17 @@ class DictationStyle:
             "word_number_probability",
             "medical_synonym_probability",
             "surgical_synonym_probability",
+            "abbreviation_probability",
+            "run_on_probability",
         ):
             value = getattr(self, attr)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{attr} must be a probability: {value}")
+        if self.template_preference not in TEMPLATE_PREFERENCES:
+            raise ValueError(
+                "template_preference must be one of "
+                f"{TEMPLATE_PREFERENCES}: {self.template_preference!r}"
+            )
 
     @classmethod
     def consistent(cls) -> "DictationStyle":
@@ -66,4 +107,39 @@ class DictationStyle:
             word_number_probability=0.3 * level,
             medical_synonym_probability=min(1.0, 0.10 + 0.3 * level),
             surgical_synonym_probability=min(1.0, 0.75 + 0.2 * level),
+        )
+
+    @classmethod
+    def terse(cls) -> "DictationStyle":
+        """Clipped dictation: shortest templates, heavy fragments."""
+        return cls(
+            name="terse",
+            template_preference="terse",
+            fragment_probability=0.6,
+        )
+
+    @classmethod
+    def verbose(cls) -> "DictationStyle":
+        """Long-winded dictation: longest templates, word numbers."""
+        return cls(
+            name="verbose",
+            template_preference="verbose",
+            word_number_probability=0.35,
+        )
+
+    @classmethod
+    def abbreviation_dense(cls) -> "DictationStyle":
+        """Chart-speak: clinical phrases collapsed to abbreviations."""
+        return cls(
+            name="abbreviation-dense",
+            abbreviation_probability=0.85,
+        )
+
+    @classmethod
+    def run_on(cls) -> "DictationStyle":
+        """Section discipline breaks down: exam findings run together."""
+        return cls(
+            name="run-on-sections",
+            variability=0.25,
+            run_on_probability=0.9,
         )

@@ -1,0 +1,157 @@
+"""Semantic trap corpora: negation and family-history decoys.
+
+NILE (PAPERS.md) names the two canonical failure modes of clinical
+concept extraction: a negated mention ("denies asthma") and a
+family-history mention ("mother had breast cancer") both contain a
+valid vocabulary term that must NOT be recorded as patient-positive.
+Each :class:`TrapCase` is a full consultation note whose history
+sections are rewritten around such decoys, with gold labels asserting
+the patient-positive set, plus the explicit list of concepts the
+extractors are forbidden to emit anywhere.
+
+The traps ride on top of generated consistent-style records, so every
+other section (vitals, GYN, social, …) stays internally valid and the
+record survives ``synth.validator`` and the full extraction pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.records.model import PatientRecord
+from repro.synth.generator import RecordGenerator
+from repro.synth.gold import GoldAnnotations
+
+
+@dataclass(frozen=True)
+class TrapCase:
+    """One trap record with its gold and forbidden concept names."""
+
+    kind: str  # "negation" | "family-history"
+    record: PatientRecord
+    gold: GoldAnnotations
+    #: Concept preferred names that must not appear in ANY emitted
+    #: term attribute — they are dictated, but not about the patient.
+    forbidden_terms: tuple[str, ...]
+    #: Categorical labels that must not be emitted (attr -> label).
+    forbidden_categorical: dict[str, str] = field(default_factory=dict)
+
+
+#: (pmh text, patient-positive pmh golds, psh text, psh golds,
+#:  forbidden concept names)
+_NEGATION_SPECS: tuple[tuple, ...] = (
+    (
+        "She denies any history of asthma or diabetes. "
+        "Significant for anemia.",
+        {"predefined_past_medical_history": [],
+         "other_past_medical_history": ["anemia"]},
+        "No prior mastectomy or hysterectomy. Appendectomy.",
+        {"predefined_past_surgical_history": ["appendectomy"],
+         "other_past_surgical_history": []},
+        ("asthma", "diabetes", "mastectomy", "hysterectomy"),
+    ),
+    (
+        "Denies hypertension but has documented gallstones.",
+        {"predefined_past_medical_history": [],
+         "other_past_medical_history": ["gallstones"]},
+        "Negative for any prior operations except cholecystectomy.",
+        {"predefined_past_surgical_history": ["cholecystectomy"],
+         "other_past_surgical_history": []},
+        ("high blood pressure",),
+    ),
+    (
+        "Not significant for depression. Positive for "
+        "hypothyroidism.",
+        {"predefined_past_medical_history": [],
+         "other_past_medical_history": ["hypothyroidism"]},
+        "Without previous surgeries.",
+        {"predefined_past_surgical_history": [],
+         "other_past_surgical_history": []},
+        ("depression",),
+    ),
+)
+
+_FAMILY_SPECS: tuple[tuple, ...] = (
+    (
+        "Her mother had breast cancer and her sister had diabetes. "
+        "Significant for hypercholesterolemia.",
+        {"predefined_past_medical_history": ["hypercholesterolemia"],
+         "other_past_medical_history": []},
+        "Appendectomy.",
+        {"predefined_past_surgical_history": ["appendectomy"],
+         "other_past_surgical_history": []},
+        ("breast cancer", "diabetes"),
+    ),
+    (
+        "Family history is remarkable for coronary artery disease "
+        "in her father. She carries a diagnosis of gout.",
+        {"predefined_past_medical_history": [],
+         "other_past_medical_history": ["gout"]},
+        "Maternal aunt underwent mastectomy. She herself had a "
+        "tubal ligation.",
+        {"predefined_past_surgical_history": ["tubal ligation"],
+         "other_past_surgical_history": []},
+        ("coronary artery disease", "mastectomy"),
+    ),
+)
+
+
+def _build_case(
+    kind: str,
+    index: int,
+    pmh: str,
+    pmh_gold: dict,
+    psh: str,
+    psh_gold: dict,
+    forbidden: tuple[str, ...],
+    smoking_trap: bool,
+) -> TrapCase:
+    # A fresh generated record supplies valid surroundings; only the
+    # history (and optionally social) sections become the trap.
+    generator = RecordGenerator(seed=9000 + index)
+    record, gold = generator.generate(
+        f"trap-{kind}-{index}", smoking="never"
+    )
+    record.section("Past Medical History").text = pmh
+    record.section("Past Surgical History").text = psh
+    gold.terms.update({k: list(v) for k, v in pmh_gold.items()})
+    gold.terms.update({k: list(v) for k, v in psh_gold.items()})
+    forbidden_categorical: dict[str, str] = {}
+    if smoking_trap:
+        record.section("Social History").text = (
+            "Denies tobacco use. Denies alcohol use. No drug use. "
+            "She exercises occasionally."
+        )
+        gold.categorical["smoking"] = "never"
+        gold.categorical["alcohol_use"] = "never"
+        gold.categorical["drug_use"] = "never"
+        gold.categorical["exercise_level"] = "occasional"
+        forbidden_categorical["smoking"] = "current"
+    record.raw_text = record.render()
+    return TrapCase(
+        kind=kind,
+        record=record,
+        gold=gold,
+        forbidden_terms=forbidden,
+        forbidden_categorical=forbidden_categorical,
+    )
+
+
+def negation_traps() -> tuple[TrapCase, ...]:
+    """Records whose histories negate the decoy concepts."""
+    return tuple(
+        _build_case("negation", i, *spec, smoking_trap=(i == 0))
+        for i, spec in enumerate(_NEGATION_SPECS)
+    )
+
+
+def family_history_traps() -> tuple[TrapCase, ...]:
+    """Records whose decoys belong to relatives, not the patient."""
+    return tuple(
+        _build_case("family-history", i, *spec, smoking_trap=False)
+        for i, spec in enumerate(_FAMILY_SPECS)
+    )
+
+
+def all_traps() -> tuple[TrapCase, ...]:
+    return negation_traps() + family_history_traps()

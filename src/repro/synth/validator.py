@@ -12,13 +12,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import RecordFormatError
 from repro.extraction.schema import (
     CATEGORICAL_ATTRIBUTES,
     NUMERIC_ATTRIBUTES,
+    NumericAttribute,
     TERMS_ATTRIBUTES,
 )
 from repro.ontology.builder import default_ontology
 from repro.records.model import PatientRecord
+from repro.records.section_splitter import split_record
 from repro.synth.gold import GoldAnnotations
 
 
@@ -39,10 +42,23 @@ def _format_number(value: float) -> str:
 
 
 def validate_pair(
-    record: PatientRecord, gold: GoldAnnotations
+    record: PatientRecord,
+    gold: GoldAnnotations,
+    numeric_attributes: tuple[NumericAttribute, ...] | None = None,
 ) -> list[Violation]:
-    """All violations of the record↔gold contract (empty = valid)."""
+    """All violations of the record↔gold contract (empty = valid).
+
+    ``numeric_attributes`` extends the schema's eight with attribute
+    packs (cardiology Labs); gold numeric slots with no definition in
+    the effective set are themselves violations, so a pack corpus
+    cannot silently skip validation of its extra values.
+    """
     violations: list[Violation] = []
+    numeric_attrs = (
+        tuple(numeric_attributes)
+        if numeric_attributes is not None
+        else NUMERIC_ATTRIBUTES
+    )
 
     def bad(attribute: str, message: str) -> None:
         violations.append(
@@ -57,8 +73,41 @@ def validate_pair(
     if not gold.complete():
         bad("gold", "gold annotations incomplete")
 
+    # The rendered raw text must re-split into exactly the in-memory
+    # sections: style/noise output whose headers broke (a section
+    # silently folding into its predecessor) desynchronizes every
+    # span check below against what a file consumer would see.
+    if record.raw_text:
+        try:
+            reparsed = split_record(record.raw_text)
+        except RecordFormatError as error:
+            bad("raw_text", f"raw text does not re-split: {error}")
+        else:
+            ours = [(s.name, s.text) for s in record.sections]
+            theirs = [(s.name, s.text) for s in reparsed.sections]
+            if ours != theirs:
+                names_ours = [n for n, _ in ours]
+                names_theirs = [n for n, _ in theirs]
+                if names_ours != names_theirs:
+                    bad("raw_text",
+                        f"sections {names_ours} re-split to "
+                        f"{names_theirs}")
+                else:
+                    diverged = next(
+                        name for (name, a), (_, b)
+                        in zip(ours, theirs) if a != b
+                    )
+                    bad("raw_text",
+                        f"section {diverged!r} text diverges from "
+                        "its raw rendering")
+
+    known_numeric = {a.name for a in numeric_attrs}
+    for name in gold.numeric:
+        if name not in known_numeric:
+            bad(name, "gold numeric slot has no attribute definition")
+
     # Numeric gold values must be dictated in their section.
-    for attr in NUMERIC_ATTRIBUTES:
+    for attr in numeric_attrs:
         expected = gold.numeric.get(attr.name)
         if expected is None:
             continue
@@ -115,10 +164,16 @@ def _word_form_present(text: str, value: float) -> bool:
 
 
 def validate_cohort(
-    records: list[PatientRecord], golds: list[GoldAnnotations]
+    records: list[PatientRecord],
+    golds: list[GoldAnnotations],
+    numeric_attributes: tuple[NumericAttribute, ...] | None = None,
 ) -> list[Violation]:
     """Validate every pair of a cohort."""
     violations: list[Violation] = []
     for record, gold in zip(records, golds):
-        violations.extend(validate_pair(record, gold))
+        violations.extend(
+            validate_pair(
+                record, gold, numeric_attributes=numeric_attributes
+            )
+        )
     return violations

@@ -32,6 +32,29 @@ def hostile_text(request):
 
 
 @pytest.fixture(scope="session")
+def adversarial_corpus():
+    """One hostile record per registered style pack.
+
+    The surface-adversarial counterpart to ``hostile_corpus``: every
+    :data:`repro.synth.STYLE_PACKS` entry contributes one record
+    dictated its way (terse fragments, OCR noise, mangled headers,
+    extra Labs section, …).  Promoted here so the fault-matrix and
+    service shard-parity suites chew on adversarial-but-wellformed
+    text with the same machinery they use for malformed text.
+    """
+    from repro.synth import STYLE_PACKS, CohortSpec
+
+    spec = CohortSpec(size=1, smoking_counts={"current": 1})
+    records = []
+    for pack in STYLE_PACKS:
+        cohort, _ = pack.generate_cohort(spec, seed=1234)
+        record = cohort[0]
+        record.patient_id = f"adversarial-{pack.name}"
+        records.append(record)
+    return records
+
+
+@pytest.fixture(scope="session")
 def hostile_corpus():
     """Patient records whose section bodies are the hostile strings.
 

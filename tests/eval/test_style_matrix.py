@@ -1,0 +1,119 @@
+"""Style-matrix harness tests: schema, stamping, and the CI gate.
+
+The expensive full-matrix run lives in ``benchmarks/`` (STYLES); here
+we pin the result schema on a small cohort, the manifest stamping, and
+— on the paper spec — that the consistent-style row still equals the
+pinned pre-pack baseline, which is the exact predicate CI gates on.
+"""
+
+import pytest
+
+from repro.eval import (
+    CONSISTENT_BASELINE,
+    consistent_matches_baseline,
+    render_style_table,
+    run_style_matrix,
+)
+from repro.synth import CohortSpec, STYLE_PACKS, pack_by_name
+
+SMALL_SPEC = CohortSpec(
+    size=4, smoking_counts={"never": 2, "current": 2}
+)
+
+
+@pytest.fixture(scope="module")
+def small_results():
+    packs = (pack_by_name("consistent"), pack_by_name("terse"),
+             pack_by_name("cardiology-vitals"))
+    return run_style_matrix(
+        seed=7, spec=SMALL_SPEC, packs=packs, smoking=False
+    )
+
+
+class TestResultSchema:
+    def test_manifest_stamping(self, small_results):
+        assert small_results["experiment"] == "STYLES"
+        assert small_results["bench_file"] == "bench_style_matrix.py"
+        assert small_results["seed"] == 7
+        assert small_results["cohort_size"] == 4
+
+    def test_per_pack_entries(self, small_results):
+        for entry in small_results["packs"].values():
+            assert set(entry) >= {
+                "description", "gold_violations", "numeric", "terms",
+            }
+            for values in entry["numeric"].values():
+                assert set(values) == {"precision", "recall"}
+
+    def test_pack_attributes_add_numeric_rows(self, small_results):
+        cardio = small_results["packs"]["cardiology-vitals"]
+        assert "ejection_fraction" in cardio["numeric"]
+        assert "ejection_fraction" not in (
+            small_results["packs"]["consistent"]["numeric"]
+        )
+
+    def test_no_gold_violations_anywhere(self, small_results):
+        for name, entry in small_results["packs"].items():
+            assert entry["gold_violations"] == 0, name
+
+    def test_baseline_embedded_for_the_artifact(self, small_results):
+        assert small_results["baseline"] == CONSISTENT_BASELINE
+
+    def test_json_serializable(self, small_results):
+        import json
+
+        json.dumps(small_results)
+
+
+class TestBaselineGate:
+    def test_smoking_required_for_match(self, small_results):
+        # smoking=False runs can never claim the baseline holds
+        assert small_results["baseline_match"] is False
+        assert consistent_matches_baseline(small_results) is False
+
+    def test_missing_consistent_pack_is_no_match(self):
+        assert consistent_matches_baseline({"packs": {}}) is False
+
+    def test_consistent_row_matches_pinned_baseline_on_paper_spec(
+        self,
+    ):
+        # THE gate: identical predicate to CI's style-matrix job,
+        # restricted to the consistent pack to stay test-suite-fast
+        results = run_style_matrix(
+            seed=42, packs=(pack_by_name("consistent"),)
+        )
+        assert results["baseline_match"] is True
+
+    def test_baseline_covers_all_core_attributes(self):
+        from repro.extraction.schema import NUMERIC_ATTRIBUTES
+
+        assert set(CONSISTENT_BASELINE["numeric"]) == {
+            a.name for a in NUMERIC_ATTRIBUTES
+        }
+        assert len(CONSISTENT_BASELINE["terms"]) == 4
+        assert 0 < CONSISTENT_BASELINE["smoking_accuracy"] <= 1
+
+
+class TestRenderTable:
+    def test_table_lists_every_pack(self, small_results):
+        table = render_style_table(small_results)
+        for pack in small_results["packs"]:
+            assert pack in table
+        assert "baseline_match" in table
+
+    def test_table_handles_missing_smoking(self, small_results):
+        assert "—" in render_style_table(small_results)
+
+
+class TestRegistryCoverage:
+    def test_default_run_covers_every_registered_pack(self):
+        # guard against a pack being registered but silently skipped;
+        # use a tiny spec so the full-registry run stays cheap
+        results = run_style_matrix(
+            seed=3,
+            spec=CohortSpec(size=2, smoking_counts={"never": 2}),
+            smoking=False,
+        )
+        assert set(results["packs"]) == {
+            p.name for p in STYLE_PACKS
+        }

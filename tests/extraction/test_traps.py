@@ -1,0 +1,194 @@
+"""Negation and family-history trap tests, unit through e2e.
+
+Each trap record dictates a valid vocabulary term that must NOT be
+recorded as patient-positive ("denies asthma", "mother had breast
+cancer").  The unit layer pins the scope rules; the e2e layer pushes
+every trap through ``repro extract`` and asserts the forbidden
+concepts never reach the result store while everything that IS stored
+carries provenance.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.extraction import TermExtractor
+from repro.extraction.negation import (
+    FAMILY_CUES,
+    NEGATION_CUES,
+    blocked_token_indices,
+)
+from repro.storage import ResultStore
+from repro.synth.traps import (
+    all_traps,
+    family_history_traps,
+    negation_traps,
+)
+
+
+class TestNegationScope:
+    def test_denies_blocks_rightward(self):
+        tokens = "she denies asthma and diabetes .".split()
+        blocked = blocked_token_indices(tokens)
+        assert 2 in blocked and 4 in blocked
+        assert 0 not in blocked
+
+    def test_cue_token_itself_not_blocked(self):
+        tokens = "denies asthma .".split()
+        assert 0 not in blocked_token_indices(tokens)
+
+    def test_terminator_closes_scope(self):
+        tokens = "no asthma but gallstones present .".split()
+        blocked = blocked_token_indices(tokens)
+        assert 1 in blocked
+        assert 3 not in blocked  # "but" re-opens patient scope
+
+    def test_family_cue_blocks_scope(self):
+        tokens = "mother had breast cancer .".split()
+        blocked = blocked_token_indices(tokens)
+        assert 2 in blocked and 3 in blocked
+
+    def test_unrelated_sentence_unblocked(self):
+        tokens = "significant for anemia and gout .".split()
+        assert blocked_token_indices(tokens) == frozenset()
+
+    def test_cue_sets_disjoint_from_terminators(self):
+        from repro.extraction.negation import SCOPE_TERMINATORS
+
+        assert not (NEGATION_CUES | FAMILY_CUES) & SCOPE_TERMINATORS
+
+
+class TestTermTrapsInProcess:
+    @pytest.fixture(scope="class")
+    def extractor(self):
+        return TermExtractor()
+
+    @pytest.mark.parametrize(
+        "case", all_traps(), ids=lambda c: c.record.patient_id
+    )
+    def test_forbidden_terms_suppressed(self, case, extractor):
+        for section in ("Past Medical History",
+                        "Past Surgical History"):
+            hits = extractor.extract_terms(
+                case.record.section_text(section)
+            )
+            emitted = {h.concept_name for h in hits}
+            leaked = emitted & set(case.forbidden_terms)
+            assert not leaked, (case.record.patient_id, leaked)
+
+    @pytest.mark.parametrize(
+        "case", all_traps(), ids=lambda c: c.record.patient_id
+    )
+    def test_patient_positive_terms_still_found(self, case, extractor):
+        emitted = set()
+        for section in ("Past Medical History",
+                        "Past Surgical History"):
+            emitted |= {
+                h.concept_name
+                for h in extractor.extract_terms(
+                    case.record.section_text(section)
+                )
+            }
+        expected = {
+            name for names in case.gold.terms.values()
+            for name in names
+        }
+        assert expected <= emitted, expected - emitted
+
+    def test_context_filter_can_be_disabled(self):
+        # the ablation switch: without the filter the decoys DO leak,
+        # which is exactly the failure mode the traps encode
+        unfiltered = TermExtractor(context_filter=False)
+        hits = unfiltered.extract_terms(
+            "She denies any history of asthma or diabetes."
+        )
+        assert {h.concept_name for h in hits} >= {
+            "asthma", "diabetes"
+        }
+
+
+class TestTrapsEndToEnd:
+    @pytest.fixture(scope="class")
+    def store(self, tmp_path_factory):
+        from repro.records import save_records
+
+        traps = all_traps()
+        notes = tmp_path_factory.mktemp("trap-notes")
+        save_records([c.record for c in traps], notes)
+        db = tmp_path_factory.mktemp("trap-db") / "traps.db"
+        assert main([
+            "extract", "--input", str(notes), "--db", str(db),
+        ]) == 0
+        with ResultStore(db) as store:
+            yield store
+
+    TERM_ATTRIBUTES = (
+        "predefined_past_medical_history",
+        "other_past_medical_history",
+        "predefined_past_surgical_history",
+        "other_past_surgical_history",
+    )
+
+    @pytest.mark.parametrize(
+        "case", all_traps(), ids=lambda c: c.record.patient_id
+    )
+    def test_no_forbidden_term_stored(self, case, store):
+        emitted = set()
+        for attribute in self.TERM_ATTRIBUTES:
+            emitted |= set(
+                store.terms(case.record.patient_id, attribute)
+            )
+        leaked = emitted & set(case.forbidden_terms)
+        assert not leaked, (case.record.patient_id, leaked)
+
+    @pytest.mark.parametrize(
+        "case", all_traps(), ids=lambda c: c.record.patient_id
+    )
+    def test_emitted_terms_have_provenance(self, case, store):
+        for attribute in self.TERM_ATTRIBUTES:
+            terms = store.terms(case.record.patient_id, attribute)
+            rows = store.provenance(
+                case.record.patient_id, attribute
+            )
+            assert len(rows) == len(terms)
+
+    def test_nothing_lacks_provenance(self, store):
+        assert store.missing_provenance() == []
+
+    def test_all_traps_processed(self, store):
+        assert set(store.patients()) == {
+            c.record.patient_id for c in all_traps()
+        }
+
+
+class TestCategoricalTrap:
+    def test_denies_tobacco_not_classified_current(self):
+        """The smoking trap's Social History says "Denies tobacco
+        use" — a classifier trained on the standard cohort must not
+        read the tobacco mention as a current smoker."""
+        from repro.extraction.categorical import (
+            CategoricalClassifier,
+        )
+        from repro.extraction.schema import attribute
+        from repro.synth import CohortSpec, RecordGenerator
+
+        records, golds = RecordGenerator(seed=42).generate_cohort(
+            CohortSpec.paper()
+        )
+        smoking = attribute("smoking")
+        texts, labels = [], []
+        for record, gold in zip(records, golds):
+            label = gold.categorical["smoking"]
+            if label is None:
+                continue
+            texts.append(record.section_text(smoking.section))
+            labels.append(label)
+        classifier = CategoricalClassifier(smoking).fit(texts, labels)
+
+        case = negation_traps()[0]
+        assert case.forbidden_categorical == {"smoking": "current"}
+        label = classifier.predict_record(case.record)
+        assert label != "current"
+
+    def test_family_history_cases_have_no_categorical_traps(self):
+        for case in family_history_traps():
+            assert case.forbidden_categorical == {}

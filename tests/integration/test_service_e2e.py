@@ -106,6 +106,30 @@ class TestServiceEqualsBatch:
         b = _store(tmp_path / "plain.db", plain)
         assert a.read_bytes() == b.read_bytes()
 
+    def test_adversarial_corpus_through_service(
+        self, adversarial_corpus, tmp_path
+    ):
+        # one record per style pack: OCR noise, mangled headers,
+        # run-on sections, extra Labs — daemon path must equal the
+        # batch path byte-for-byte on all of them
+        service, path = _serve(
+            tmp_path, extractor=RecordExtractor()
+        )
+        try:
+            with ServiceClient(socket_path=path) as client:
+                results, quarantined = client.extract_many(
+                    adversarial_corpus
+                )
+        finally:
+            service.stop(timeout=30)
+        assert quarantined == []
+        plain = CorpusRunner(RecordExtractor()).run(
+            adversarial_corpus
+        )
+        a = _store(tmp_path / "service.db", results)
+        b = _store(tmp_path / "plain.db", plain)
+        assert a.read_bytes() == b.read_bytes()
+
 
 class TestServiceQuarantineEqualsBatchQuarantine:
     def test_same_poison_same_store(self, cohort, tmp_path):
@@ -213,6 +237,47 @@ class TestShardedStoreEqualsBatch:
             == ResultStore(batch_db).quarantine_digest()
         )
         merged.close()
+
+    def test_adversarial_corpus_shard_parity(
+        self, adversarial_corpus, tmp_path
+    ):
+        """Batch == 1-shard == N-shard byte identity on style-pack
+        adversarial text: sharding must stay invisible no matter how
+        hostile the dictation surface is."""
+        batch_db = _store(
+            tmp_path / "batch.db",
+            CorpusRunner(RecordExtractor()).run(adversarial_corpus),
+        )
+        for shards in (1, 2):
+            service_db = tmp_path / f"shards{shards}.db"
+            service, path = _serve(
+                tmp_path,
+                extractor=RecordExtractor(),
+                config=ServiceConfig(
+                    socket_path=str(
+                        tmp_path / f"svc{shards}.sock"
+                    ),
+                    max_batch=3,
+                    linger_s=0.01,
+                    shards=shards,
+                    store_path=str(service_db),
+                ),
+            )
+            try:
+                with ServiceClient(socket_path=path) as client:
+                    results, quarantined = client.extract_many(
+                        adversarial_corpus
+                    )
+            finally:
+                service.stop(timeout=60)
+            assert quarantined == []
+            assert len(results) == len(adversarial_corpus)
+            assert service_db.read_bytes() == batch_db.read_bytes(), (
+                f"{shards}-shard store diverged from batch"
+            )
+            merged = ResultStore(service_db)
+            assert merged.missing_provenance() == []
+            merged.close()
 
     def test_fleet_instances_share_one_store(self, cohort, tmp_path):
         """Two service instances, one WAL store, full provenance.

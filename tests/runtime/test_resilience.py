@@ -205,3 +205,34 @@ class TestJournaling:
         assert results == CorpusRunner(RecordExtractor()).run(
             hostile_corpus
         )
+
+    def test_adversarial_corpus_is_not_quarantined(
+        self, adversarial_corpus
+    ):
+        # Style-pack output (OCR noise, mangled headers, extra Labs
+        # sections) is adversarial-but-wellformed: it must flow
+        # through the resilient path byte-identically to the plain
+        # engine with nothing quarantined.
+        runner = ResilientCorpusRunner(
+            RecordExtractor(), policy=FAST_POLICY
+        )
+        results = runner.run(adversarial_corpus)
+        assert [r.patient_id for r in results] == [
+            r.patient_id for r in adversarial_corpus
+        ]
+        assert runner.quarantine == []
+        assert results == CorpusRunner(RecordExtractor()).run(
+            adversarial_corpus
+        )
+
+    def test_adversarial_corpus_survives_fault_injection(
+        self, adversarial_corpus
+    ):
+        # A transient worker kill mid-run over the adversarial corpus
+        # must recover with output identical to the clean run.
+        baseline = CorpusRunner(RecordExtractor()).run(
+            adversarial_corpus
+        )
+        runner = _runner(1, FaultPlan.parse("corrupt@mid"))
+        assert runner.run(adversarial_corpus) == baseline
+        assert runner.quarantine == []

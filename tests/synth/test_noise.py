@@ -1,0 +1,171 @@
+"""Noise-channel tests: protected spans, determinism, re-splitting.
+
+The contract under test: every channel may degrade the surface text
+arbitrarily *except* inside protected spans — digit-bearing tokens,
+number words, and gold term surfaces stay byte-identical, which is
+what keeps ``synth.validator`` green on noised output.
+"""
+
+import random
+import re
+
+import pytest
+
+from repro.records import split_record
+from repro.synth import (
+    CharacterConfusions,
+    HeaderMangler,
+    RecordGenerator,
+    TokenSlips,
+    apply_noise,
+)
+from repro.synth.noise import (
+    HEADER_VARIANTS,
+    gold_surfaces,
+    protected_mask,
+)
+
+
+@pytest.fixture
+def pair():
+    return RecordGenerator(seed=21).generate("noise-1")
+
+
+class TestProtectedMask:
+    def test_digit_tokens_masked(self):
+        text = "Blood pressure is 144/90, pulse of 84."
+        mask = protected_mask(text, ())
+        for match in re.finditer(r"144/90|84", text):
+            assert all(
+                mask[i] for i in range(match.start(), match.end())
+            )
+
+    def test_number_words_masked(self):
+        text = "She is gravida four, para three."
+        mask = protected_mask(text, ())
+        start = text.index("four")
+        assert all(mask[start:start + 4])
+
+    def test_gold_phrases_masked_case_insensitively(self):
+        text = "Significant for Diabetes and anemia."
+        mask = protected_mask(text, ("diabetes",))
+        start = text.index("Diabetes")
+        assert all(mask[start:start + len("diabetes")])
+
+    def test_plain_prose_unmasked(self):
+        mask = protected_mask("She feels generally well.", ())
+        assert not any(mask)
+
+
+class TestChannels:
+    def test_confusions_never_touch_masked_bytes(self):
+        text = "temperature of 98.3 measured orally" * 20
+        mask = protected_mask(text, ())
+        noised = CharacterConfusions(rate=1.0).perturb(
+            text, mask, random.Random(0)
+        )
+        assert "98.3" in noised
+        assert noised != text  # unmasked letters did confuse
+
+    def test_confusions_introduce_no_digits(self):
+        text = "she will continue annual mammography screening"
+        noised = CharacterConfusions(rate=1.0).perturb(
+            text, bytearray(len(text)), random.Random(0)
+        )
+        assert not any(ch.isdigit() for ch in noised)
+
+    def test_token_slips_preserve_masked_tokens(self):
+        text = "weight of 154 pounds recorded during the visit"
+        mask = protected_mask(text, ())
+        noised = TokenSlips(drop_rate=1.0, double_rate=0.0).perturb(
+            text, mask, random.Random(0)
+        )
+        assert "154" in noised
+        assert "recorded" not in noised  # eligible token dropped
+
+    def test_token_doubles_stutter(self):
+        text = "she continues to feel generally quite well today"
+        noised = TokenSlips(drop_rate=0.0, double_rate=1.0).perturb(
+            text, bytearray(len(text)), random.Random(0)
+        )
+        assert "continues continues" in noised
+
+    def test_channels_deterministic(self):
+        text = "the patient was seen in the office for follow up"
+        channel = CharacterConfusions(rate=0.5)
+        a = channel.perturb(text, bytearray(len(text)), random.Random(9))
+        b = channel.perturb(text, bytearray(len(text)), random.Random(9))
+        assert a == b
+
+    def test_header_variants_keep_splitter_compatible_capitals(self):
+        for variants in HEADER_VARIANTS.values():
+            for variant in variants:
+                assert variant[0].isupper(), variant
+
+    def test_mangler_emits_known_variant(self):
+        mangled = HeaderMangler(rate=1.0).mangle(
+            "Past Medical History", random.Random(0)
+        )
+        assert mangled in HEADER_VARIANTS["Past Medical History"]
+
+
+class TestApplyNoise:
+    channels = (
+        CharacterConfusions(rate=0.05),
+        HeaderMangler(rate=1.0),
+    )
+
+    def test_noised_record_resplits_canonically(self, pair):
+        record, gold = pair
+        noised = apply_noise(
+            record, gold, self.channels, random.Random(1)
+        )
+        reparsed = split_record(noised.raw_text)
+        # mangled headers ("PMH") canonicalize back via aliases
+        assert set(record.section_names()) == set(
+            reparsed.section_names()
+        )
+
+    def test_gold_numbers_survive_noise(self, pair):
+        record, gold = pair
+        noised = apply_noise(
+            record, gold, self.channels, random.Random(1)
+        )
+        sys, dia = gold.numeric["blood_pressure"]
+        assert f"{int(sys)}/{int(dia)}" in noised.raw_text
+
+    def test_gold_term_surfaces_survive_noise(self, pair):
+        record, gold = pair
+        noised = apply_noise(
+            record, gold, self.channels, random.Random(1)
+        )
+        from repro.ontology.builder import default_ontology
+
+        ontology = default_ontology()
+        lowered = noised.raw_text.lower()
+        for names in gold.terms.values():
+            for name in names:
+                surfaces = gold_surfaces(
+                    type(gold)(
+                        patient_id=gold.patient_id,
+                        terms={"only": [name]},
+                    ),
+                    ontology,
+                )
+                assert any(
+                    s.lower() in lowered for s in surfaces
+                ), name
+
+    def test_apply_noise_deterministic(self, pair):
+        record, gold = pair
+        a = apply_noise(record, gold, self.channels, random.Random(4))
+        b = apply_noise(record, gold, self.channels, random.Random(4))
+        assert a.raw_text == b.raw_text
+
+    def test_noise_actually_degrades_surface(self, pair):
+        record, gold = pair
+        noised = apply_noise(
+            record, gold, (CharacterConfusions(rate=0.2),),
+            random.Random(2),
+        )
+        assert noised.raw_text != record.raw_text

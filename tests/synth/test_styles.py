@@ -1,0 +1,183 @@
+"""Style-pack tests: registry, determinism guard, observable styles.
+
+The determinism tests are the PR's load-bearing guard: adding style
+knobs must not move a single byte of the consistent-style corpus,
+because every pinned accuracy baseline (NUM, TAB1, SMOKE, STYLES)
+is computed on it.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.synth import (
+    STYLE_PACKS,
+    CohortSpec,
+    DictationStyle,
+    RecordGenerator,
+    pack_by_name,
+)
+from repro.synth.validator import validate_cohort
+
+# sha256 over the concatenated raw_text of paper_cohort(seed=42).
+# Computed before the style packs existed; any drift means a new
+# style knob leaked into the default generation path.
+CONSISTENT_RECORDS_DIGEST = (
+    "1960f26efdbf502dd3a44518c56f1625459213de0e5e44b068d03e815f7b4908"
+)
+CONSISTENT_GOLD_DIGEST = (
+    "f1bb9e402701abca760ef1167e2c4897ad5db33cf2dd82a7908ac4a9d30550c9"
+)
+
+
+def _cohort_digests(records, golds):
+    h = hashlib.sha256()
+    for record in records:
+        h.update(record.raw_text.encode())
+    g = hashlib.sha256()
+    for gold in golds:
+        g.update(
+            json.dumps(
+                {
+                    "patient_id": gold.patient_id,
+                    "numeric": gold.numeric,
+                    "terms": gold.terms,
+                    "categorical": gold.categorical,
+                },
+                sort_keys=True,
+                default=list,
+            ).encode()
+        )
+    return h.hexdigest(), g.hexdigest()
+
+
+class TestDeterminismGuard:
+    def test_consistent_cohort_bytes_are_pinned(self):
+        records, golds = RecordGenerator(seed=42).generate_cohort(
+            CohortSpec.paper()
+        )
+        record_digest, gold_digest = _cohort_digests(records, golds)
+        assert record_digest == CONSISTENT_RECORDS_DIGEST
+        assert gold_digest == CONSISTENT_GOLD_DIGEST
+
+    def test_consistent_style_matches_default_generator(self):
+        default = RecordGenerator(seed=42).generate_cohort(
+            CohortSpec.paper()
+        )
+        explicit = RecordGenerator(
+            style=DictationStyle.consistent(), seed=42
+        ).generate_cohort(CohortSpec.paper())
+        assert [r.raw_text for r in default[0]] == [
+            r.raw_text for r in explicit[0]
+        ]
+
+    def test_consistent_pack_matches_default_generator(self):
+        spec = CohortSpec(size=5, smoking_counts={"never": 5})
+        base, _ = RecordGenerator(seed=42).generate_cohort(spec)
+        packed, _ = pack_by_name("consistent").generate_cohort(
+            spec, seed=42
+        )
+        assert [r.raw_text for r in packed] == [
+            r.raw_text for r in base
+        ]
+
+    def test_pack_generation_is_deterministic(self):
+        spec = CohortSpec(size=3, smoking_counts={"current": 3})
+        for pack in STYLE_PACKS:
+            a, _ = pack.generate_cohort(spec, seed=7)
+            b, _ = pack.generate_cohort(spec, seed=7)
+            assert [r.raw_text for r in a] == [r.raw_text for r in b], (
+                pack.name
+            )
+
+
+class TestRegistry:
+    def test_required_packs_registered(self):
+        names = {p.name for p in STYLE_PACKS}
+        assert {
+            "consistent",
+            "terse",
+            "verbose",
+            "abbreviation-dense",
+            "run-on-sections",
+            "ocr-noise",
+            "transcription-noise",
+            "cardiology-vitals",
+        } <= names
+
+    def test_pack_names_unique(self):
+        names = [p.name for p in STYLE_PACKS]
+        assert len(names) == len(set(names))
+
+    def test_every_pack_has_description(self):
+        assert all(p.description for p in STYLE_PACKS)
+
+    def test_unknown_pack_rejected(self):
+        with pytest.raises(KeyError):
+            pack_by_name("mumbled-dictation")
+
+
+class TestStyleBehaviour:
+    spec = CohortSpec(size=8, smoking_counts={"never": 8})
+
+    def test_terse_prefers_fragments_and_short_templates(self):
+        records, _ = pack_by_name("terse").generate_cohort(
+            self.spec, seed=5
+        )
+        base, _ = RecordGenerator(seed=5).generate_cohort(self.spec)
+        vitals = " ".join(r.section_text("Vitals") for r in records)
+        assert "BP:" in vitals  # fragment-style vitals appear
+        assert sum(len(r.raw_text) for r in records) < sum(
+            len(r.raw_text) for r in base
+        )
+
+    def test_verbose_prefers_longest_templates(self):
+        records, _ = pack_by_name("verbose").generate_cohort(
+            self.spec, seed=5
+        )
+        base, _ = RecordGenerator(seed=5).generate_cohort(self.spec)
+        assert sum(len(r.raw_text) for r in records) > sum(
+            len(r.raw_text) for r in base
+        )
+
+    def test_abbreviation_dense_abbreviates_vitals(self):
+        records, _ = pack_by_name(
+            "abbreviation-dense"
+        ).generate_cohort(self.spec, seed=5)
+        vitals = " ".join(r.section_text("Vitals") for r in records)
+        assert "BP" in vitals or "HR" in vitals or "Temp" in vitals
+
+    def test_run_on_merges_boilerplate_sections(self):
+        records, _ = pack_by_name(
+            "run-on-sections"
+        ).generate_cohort(self.spec, seed=5)
+        base, _ = RecordGenerator(seed=5).generate_cohort(self.spec)
+        assert min(len(r.sections) for r in records) < min(
+            len(r.sections) for r in base
+        )
+
+    def test_cardiology_pack_adds_labs_section(self):
+        records, golds = pack_by_name(
+            "cardiology-vitals"
+        ).generate_cohort(self.spec, seed=5)
+        for record, gold in zip(records, golds):
+            assert "Labs" in record.section_names()
+            assert "ejection_fraction" in gold.numeric
+
+    def test_bad_template_preference_rejected(self):
+        with pytest.raises(ValueError):
+            DictationStyle(name="bad", template_preference="florid")
+
+
+class TestPackGoldAlignment:
+    def test_every_pack_validates_clean(self):
+        spec = CohortSpec(
+            size=6, smoking_counts={"never": 3, "current": 3}
+        )
+        for pack in STYLE_PACKS:
+            records, golds = pack.generate_cohort(spec, seed=13)
+            violations = validate_cohort(
+                records, golds, numeric_attributes=pack.all_attributes()
+            )
+            assert violations == [], (pack.name, violations[:3])

@@ -94,3 +94,86 @@ class TestViolationDetection:
             if v.attribute == "smoking"
         ]
         assert "sometimes" in str(violation)
+
+
+class TestRawTextIntegrity:
+    """Style/noise output whose gold spans no longer align with the
+    rendered raw text must be rejected, not silently evaluated."""
+
+    @pytest.fixture
+    def pair(self):
+        return RecordGenerator(seed=17).generate("8")
+
+    def test_clean_pair_passes(self, pair):
+        record, gold = pair
+        assert validate_pair(record, gold) == []
+
+    def test_mutated_section_text_detected(self, pair):
+        # in-memory section edited without re-rendering raw_text:
+        # exactly what a buggy noise channel would produce
+        record, gold = pair
+        record.section("Vitals").text += " extra dictation"
+        violations = validate_pair(record, gold)
+        assert any(
+            v.attribute == "raw_text" and "diverges" in v.message
+            for v in violations
+        )
+
+    def test_broken_header_detected(self, pair):
+        # a mangled header the splitter no longer recognizes folds the
+        # section into its predecessor in the re-split view
+        record, gold = pair
+        record.raw_text = record.raw_text.replace(
+            "Vitals:", "vitals--"
+        )
+        violations = validate_pair(record, gold)
+        assert any(v.attribute == "raw_text" for v in violations)
+
+    def test_unknown_numeric_slot_detected(self, pair):
+        record, gold = pair
+        gold.numeric["troponin"] = 0.04
+        violations = validate_pair(record, gold)
+        assert any(
+            v.attribute == "troponin"
+            and "no attribute definition" in v.message
+            for v in violations
+        )
+
+    def test_pack_attributes_extend_known_set(self, pair):
+        from repro.extraction.packs import CARDIOLOGY_ATTRIBUTES
+        from repro.extraction.schema import NUMERIC_ATTRIBUTES
+        from repro.records import Section
+
+        record, gold = pair
+        gold.numeric["ejection_fraction"] = 57.5
+        attrs = tuple(NUMERIC_ATTRIBUTES) + CARDIOLOGY_ATTRIBUTES
+        # without the Labs section the value is not dictated...
+        violations = validate_pair(
+            record, gold, numeric_attributes=attrs
+        )
+        assert any(
+            v.attribute == "ejection_fraction" for v in violations
+        )
+        # ...and once dictated, the pack attribute validates clean
+        record.sections.append(
+            Section("Labs", "Ejection fraction is 57.5 percent.")
+        )
+        record.raw_text = record.render()
+        violations = validate_pair(
+            record, gold, numeric_attributes=attrs
+        )
+        assert not any(
+            v.attribute == "ejection_fraction" for v in violations
+        )
+
+    def test_noised_pack_output_validates_clean(self):
+        import random
+
+        from repro.synth import CharacterConfusions, apply_noise
+
+        record, gold = RecordGenerator(seed=23).generate("9")
+        noised = apply_noise(
+            record, gold, (CharacterConfusions(rate=0.05),),
+            random.Random(3),
+        )
+        assert validate_pair(noised, gold) == []

@@ -176,6 +176,13 @@ def build_parser() -> argparse.ArgumentParser:
              "parse-cache hit rate, prune ratio",
     )
     extract.add_argument(
+        "--profile-stages", action="store_true",
+        help="attribute extraction wall time to pipeline stages "
+             "(tokenize, pos, term-scan, numeric, ...); the per-stage "
+             "table prints with --stats and rides into --trace "
+             "manifests",
+    )
+    extract.add_argument(
         "--trace", type=Path, default=None, metavar="JSONL",
         help="record one decision-span tree per record and write "
              "them (plus a run manifest line) to this JSONL file",
@@ -615,6 +622,7 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         run_id=run_id or "",
         artifact=artifact,
         parse_cache=parse_cache,
+        profile_stages=args.profile_stages,
     )
     results = runner.run(records)
     if parse_cache is not None and parse_cache.dirty:
@@ -656,6 +664,7 @@ def _cmd_extract(args: argparse.Namespace) -> int:
                 )
             },
             parser_stats=runner.engine_stats.get("parser", {}),
+            stage_stats=runner.engine_stats.get("stages", {}),
         )
         written = tracer.write_jsonl(args.trace, manifest)
         print(
@@ -715,6 +724,20 @@ def _cmd_extract(args: argparse.Namespace) -> int:
             f"{stats['pool_rebuilds']} pool rebuilds, "
             f"{stats['resumed_chunks']} chunks resumed from journal"
         )
+        stages = stats.get("stages", {})
+        seconds = stages.get("seconds", {})
+        if seconds:
+            counts = stages.get("counts", {})
+            total = sum(seconds.values())
+            print("stage profile (exclusive wall time):")
+            for name in sorted(
+                seconds, key=seconds.__getitem__, reverse=True
+            ):
+                share = seconds[name] / total if total else 0.0
+                print(
+                    f"  {name:<12} {seconds[name]:8.3f}s "
+                    f"{share:6.1%}  x{counts.get(name, 0)}"
+                )
     return 0
 
 

@@ -121,6 +121,12 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         kind="infrastructure",
     ),
     Experiment(
+        id="PIPELINE",
+        artifact="fused scanner + term automaton post-parse lanes",
+        bench_file="bench_pipeline.py",
+        kind="infrastructure",
+    ),
+    Experiment(
         id="SUBSTRATE",
         artifact="substrate micro-benchmarks",
         bench_file="bench_substrates.py",

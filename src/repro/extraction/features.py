@@ -47,6 +47,9 @@ class FeatureLexicon:
                     forms.append(words)
         # Longest first so "blood pressure" beats "pressure".
         self.forms = sorted(forms, key=len, reverse=True)
+        # Every form match at position i needs texts[i] == form[0], so
+        # positions whose token is not a form head skip the form loop.
+        self._first_words = frozenset(form[0] for form in self.forms)
 
     def find(
         self, document: Document, tokens: list[Annotation] | None = None
@@ -54,23 +57,29 @@ class FeatureLexicon:
         """All mentions over the document's (or given) token list."""
         tokens = document.tokens() if tokens is None else tokens
         texts = [document.span_text(t).lower() for t in tokens]
+        return self.find_tokens(texts)
+
+    def find_tokens(self, texts: list[str]) -> list[FeatureMention]:
+        """All mentions over pre-lowercased token surfaces."""
+        if self._first_words.isdisjoint(texts):
+            return []
+        first_words = self._first_words
         mentions: list[FeatureMention] = []
         i = 0
-        while i < len(texts):
-            matched = False
-            for form in self.forms:
-                if tuple(texts[i:i + len(form)]) == form:
-                    mentions.append(
-                        FeatureMention(
-                            attribute=self.attribute.name,
-                            start_token=i,
-                            end_token=i + len(form),
-                            surface=" ".join(form),
+        n = len(texts)
+        while i < n:
+            if texts[i] in first_words:
+                for form in self.forms:
+                    if tuple(texts[i:i + len(form)]) == form:
+                        mentions.append(
+                            FeatureMention(
+                                attribute=self.attribute.name,
+                                start_token=i,
+                                end_token=i + len(form),
+                                surface=" ".join(form),
+                            )
                         )
-                    )
-                    i += len(form)
-                    matched = True
-                    break
-            if not matched:
-                i += 1
+                        i += len(form) - 1
+                        break
+            i += 1
         return mentions

@@ -23,6 +23,7 @@ import re
 from dataclasses import dataclass
 from enum import Enum
 
+from repro import profiling
 from repro.extraction.features import FeatureLexicon, FeatureMention
 from repro.extraction.schema import (
     NUMERIC_ATTRIBUTES,
@@ -31,7 +32,7 @@ from repro.extraction.schema import (
 from repro.linkgrammar.distance import ASSOCIATION_WEIGHTS, nearest_word
 from repro.linkgrammar.linkage import Linkage
 from repro.linkgrammar.parser import LinkGrammarParser
-from repro.nlp.document import Annotation, Document
+from repro.nlp.document import Annotation, Document, SentenceView
 from repro.nlp.pipeline import Pipeline, default_pipeline
 from repro.records.model import PatientRecord
 from repro.runtime import tracing
@@ -161,6 +162,8 @@ class NumericExtractor:
         use_proximity: bool = True,
         document_cache: DocumentCache | None = None,
         linkage_cache: LinkageCache | None = None,
+        fast_paths: bool = True,
+        regex_index: dict[str, str] | None = None,
     ) -> None:
         self.attributes = attributes
         self.parser = parser or LinkGrammarParser()
@@ -179,6 +182,28 @@ class NumericExtractor:
         # between records (consistent dictation styles repeat sentence
         # shapes across a whole cohort).
         self.linkage_cache = linkage_cache or LinkageCache()
+        #: When False, rebuild per-sentence context (texts/tags/number
+        #: indices) on every call instead of reading the document's
+        #: cached sentence views — the pre-view behaviour kept as the
+        #: benchmark baseline and parity oracle.
+        self.fast_paths = fast_paths
+        #: Per-attribute alternation of ``regex_patterns``, used purely
+        #: as a no-match prefilter (the original ordered per-pattern
+        #: loop still decides which pattern fires and how out-of-range
+        #: matches fall through).  Supplied precompiled-artifact side
+        #: as pattern strings; built here when absent.
+        self.regex_index = regex_index or {
+            attr.name: "|".join(
+                f"(?:{p})" for p in attr.regex_patterns
+            )
+            for attr in attributes
+            if len(attr.regex_patterns) > 1
+        }
+        self._regex_compiled: dict[str, re.Pattern | None] = {}
+        # Key for extractor-private memos on a sentence view's cache
+        # (the resolved linkage; attributes sharing a sentence parse
+        # it once per record instead of once each).
+        self._view_token = object()
 
     # ------------------------------------------------------------ public
 
@@ -193,25 +218,27 @@ class NumericExtractor:
         """
         results: dict[str, NumericExtraction | None] = {}
         documents: dict[str, Document] = {}
-        for attr in self.attributes:
-            text = record.section_text(attr.section)
-            if not text:
-                results[attr.name] = None
-                continue
-            if attr.section not in documents:
-                with tracing.span("section", attr.section):
-                    documents[attr.section] = self._document(text)
-            with tracing.span(
-                "attribute", attr.name, section=attr.section
-            ):
-                found = self.extract_attribute(
-                    attr, text, document=documents[attr.section]
-                )
-                if found is not None and tracing.enabled():
-                    tracing.annotate(
-                        method=found.method.value, detail=found.detail
+        with profiling.stage("numeric"):
+            for attr in self.attributes:
+                text = record.section_text(attr.section)
+                if not text:
+                    results[attr.name] = None
+                    continue
+                if attr.section not in documents:
+                    with tracing.span("section", attr.section):
+                        documents[attr.section] = self._document(text)
+                with tracing.span(
+                    "attribute", attr.name, section=attr.section
+                ):
+                    found = self.extract_attribute(
+                        attr, text, document=documents[attr.section]
                     )
-                results[attr.name] = found
+                    if found is not None and tracing.enabled():
+                        tracing.annotate(
+                            method=found.method.value,
+                            detail=found.detail,
+                        )
+                    results[attr.name] = found
         return results
 
     def extract_attribute(
@@ -226,7 +253,12 @@ class NumericExtractor:
         when omitted it is produced here (via the shared document
         cache when one is configured).
         """
-        for pattern in attr.regex_patterns:
+        patterns = attr.regex_patterns
+        if patterns and self.fast_paths:
+            combined = self._combined_regex(attr)
+            if combined is not None and combined.search(text) is None:
+                patterns = ()  # no individual pattern can match either
+        for pattern in patterns:
             match = re.search(pattern, text, re.IGNORECASE)
             if match:
                 value = float(match.group(1))
@@ -240,11 +272,35 @@ class NumericExtractor:
                     )
         if document is None:
             document = self._document(text)
+        if self.fast_paths:
+            for view in document.sentence_views():
+                found = self._extract_from_sentence(
+                    attr, document, view.sentence, view=view
+                )
+                if found is not None:
+                    return found
+            return None
         for sentence in document.sentences():
             found = self._extract_from_sentence(attr, document, sentence)
             if found is not None:
                 return found
         return None
+
+    def _combined_regex(
+        self, attr: NumericAttribute
+    ) -> "re.Pattern | None":
+        """Compiled alternation over *attr*'s patterns, or ``None``."""
+        if attr.name in self._regex_compiled:
+            return self._regex_compiled[attr.name]
+        source = self.regex_index.get(attr.name)
+        compiled: re.Pattern | None = None
+        if source:
+            try:
+                compiled = re.compile(source, re.IGNORECASE)
+            except re.error:
+                compiled = None  # prefilter off, per-pattern loop rules
+        self._regex_compiled[attr.name] = compiled
+        return compiled
 
     def _document(self, text: str) -> Document:
         if self.document_cache is not None:
@@ -321,12 +377,19 @@ class NumericExtractor:
         attr: NumericAttribute,
         document: Document,
         sentence: Annotation,
+        view: SentenceView | None = None,
     ) -> NumericExtraction | None:
-        tokens = document.tokens(sentence)
-        mentions = self._lexicons[attr.name].find(document, tokens)
+        if view is not None:
+            tokens = view.tokens
+            mentions = self._lexicons[attr.name].find_tokens(view.lowers)
+        else:
+            tokens = document.tokens(sentence)
+            mentions = self._lexicons[attr.name].find(document, tokens)
         if not mentions:
             return None
-        numbers = self._candidate_numbers(attr, document, sentence, tokens)
+        numbers = self._candidate_numbers(
+            attr, document, sentence, tokens, view
+        )
         if not numbers:
             return None
         sentence_text = document.span_text(sentence)
@@ -340,7 +403,7 @@ class NumericExtractor:
         ):
             found = self._associate_mentions(
                 attr, document, tokens, mentions, numbers,
-                sentence_text,
+                sentence_text, view,
             )
             if found is not None and tracing.enabled():
                 tracing.annotate(
@@ -358,6 +421,7 @@ class NumericExtractor:
         mentions: list[FeatureMention],
         numbers: list[tuple[int, float | tuple[float, float]]],
         sentence_text: str,
+        view: SentenceView | None = None,
     ) -> NumericExtraction | None:
         for mention in mentions:
             if self.use_linkage:
@@ -365,7 +429,7 @@ class NumericExtractor:
                     "association", mention.surface, strategy="linkage"
                 ):
                     hit = self._associate_by_linkage(
-                        document, tokens, mention, numbers
+                        document, tokens, mention, numbers, view
                     )
                 if hit is not None:
                     value, detail = hit
@@ -376,7 +440,11 @@ class NumericExtractor:
                         )
                     continue  # associated but implausible: next mention
             if self.use_patterns:
-                texts = [document.span_text(t).lower() for t in tokens]
+                texts = (
+                    view.lowers
+                    if view is not None
+                    else [document.span_text(t).lower() for t in tokens]
+                )
                 hit = self._associate_by_pattern(
                     texts, mention, numbers
                 )
@@ -404,11 +472,17 @@ class NumericExtractor:
         document: Document,
         sentence: Annotation,
         tokens: list[Annotation],
+        view: SentenceView | None = None,
     ) -> list[tuple[int, float | tuple[float, float]]]:
         """(token index, value) pairs for numbers matching the shape."""
-        token_starts = {t.start: i for i, t in enumerate(tokens)}
+        if view is not None:
+            token_starts = view.token_index_by_start
+            numbers_in_sentence = view.numbers
+        else:
+            token_starts = {t.start: i for i, t in enumerate(tokens)}
+            numbers_in_sentence = document.numbers(sentence)
         out: list[tuple[int, float | tuple[float, float]]] = []
-        for number in document.numbers(sentence):
+        for number in numbers_in_sentence:
             index = token_starts.get(number.start)
             if index is None:
                 continue
@@ -431,8 +505,9 @@ class NumericExtractor:
         tokens: list[Annotation],
         mention: FeatureMention,
         numbers: list[tuple[int, float | tuple[float, float]]],
+        view: SentenceView | None = None,
     ) -> tuple[float | tuple[float, float], str] | None:
-        linkage = self._parse_cached(document, tokens)
+        linkage = self._parse_cached(document, tokens, view)
         if linkage is None:
             return None
         token_to_pos = {
@@ -459,8 +534,31 @@ class NumericExtractor:
         return candidates[best], f"graph-distance={distance:g}"
 
     def _parse_cached(
-        self, document: Document, tokens: list[Annotation]
+        self,
+        document: Document,
+        tokens: list[Annotation],
+        view: SentenceView | None = None,
     ) -> Linkage | None:
+        if view is not None:
+            # Memoize the resolved linkage on the view: every attribute
+            # visiting this sentence pays the words/tags rebuild and
+            # cache-signature computation once per record.  Sharing one
+            # Linkage object is safe — hits already share its distance
+            # memo by design.
+            memo = view.cache.get(self._view_token)
+            if memo is None:
+                memo = {}
+                view.cache[self._view_token] = memo
+            if "linkage" in memo:
+                return memo["linkage"]
+            tags = view.tags
+            if "" in tags:  # untagged tokens default to NN, as below
+                tags = [t or "NN" for t in tags]
+            linkage = self.linkage_cache.lookup(
+                self.parser, view.lowers, tags
+            )
+            memo["linkage"] = linkage
+            return linkage
         words = [document.span_text(t).lower() for t in tokens]
         tags = [t.features.get("pos", "NN") for t in tokens]
         return self.linkage_cache.lookup(self.parser, words, tags)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro import profiling
 from repro.errors import TrainingError
 from repro.extraction.categorical import CategoricalClassifier
 from repro.extraction.numeric import NumericExtraction, NumericExtractor
@@ -272,19 +273,21 @@ class RecordExtractor:
         active.
         """
         result = ExtractionResult(patient_id=record.patient_id)
-        with tracing.span("record", record.patient_id):
+        with tracing.span("record", record.patient_id), \
+                profiling.stage("record"):
             result.numeric = self.numeric.extract_record(record)
             terms, assigned = self.terms.extract_record_detailed(
                 record
             )
             result.terms = terms
             paths: dict[str, str] = {}
-            for name, classifier in self.categorical.items():
-                label, path = classifier.predict_record_detailed(
-                    record
-                )
-                result.categorical[name] = label
-                paths[name] = path
+            with profiling.stage("categorical"):
+                for name, classifier in self.categorical.items():
+                    label, path = (
+                        classifier.predict_record_detailed(record)
+                    )
+                    result.categorical[name] = label
+                    paths[name] = path
             for name, extraction in result.numeric.items():
                 if extraction is None:
                     continue
@@ -350,4 +353,7 @@ class RecordExtractor:
         parser = getattr(self.numeric, "parser", None)
         if parser is not None:
             out["parser"] = parser.stats.to_dict()
+        profiler = profiling.active()
+        if profiler is not None:
+            out["stages"] = profiler.counters()
         return out

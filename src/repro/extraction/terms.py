@@ -24,10 +24,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import profiling
 from repro.extraction.negation import blocked_token_indices
 from repro.extraction.schema import TERMS_ATTRIBUTES, TermsAttribute
-from repro.nlp.document import Annotation, Document
+from repro.nlp.document import Annotation, Document, SentenceView
 from repro.nlp.pipeline import Pipeline, default_pipeline
+from repro.ontology.automaton import TermAutomaton
 from repro.ontology.builder import default_ontology
 from repro.ontology.concept import ConceptMatch, SemanticType
 from repro.ontology.normalizer import TermNormalizer
@@ -84,6 +86,9 @@ class TermExtractor:
         document_cache: DocumentCache | None = None,
         attributes: tuple[TermsAttribute, ...] | None = None,
         context_filter: bool = True,
+        automaton: TermAutomaton | None = None,
+        use_automaton: bool = True,
+        legacy_scan: bool = False,
     ) -> None:
         self.ontology = ontology or default_ontology()
         self.attributes: tuple[TermsAttribute, ...] = (
@@ -111,9 +116,29 @@ class TermExtractor:
         #: default; pass False to study the unfiltered extractor.
         self.context_filter = context_filter
         self.normalizer = normalizer or TermNormalizer()
+        #: When True, skip the view/automaton fast paths and rebuild
+        #: sentence context per call — the pre-automaton scan kept as
+        #: the parity oracle and benchmark baseline.
+        self.legacy_scan = legacy_scan
+        self.use_automaton = use_automaton
+        self.automaton = automaton
+        if self.automaton is None and use_automaton and not legacy_scan:
+            keys = getattr(self._index, "normalized_keys", None)
+            if keys is not None:
+                index_normalizer = getattr(
+                    self._index, "normalizer", self.normalizer
+                )
+                self.automaton = TermAutomaton(
+                    keys(), lemmatizer=index_normalizer.lemmatizer
+                )
+        #: Key for extractor-private memos stashed on a sentence view's
+        #: ``cache`` dict (candidate starts, negation scopes).  An
+        #: owned object cannot collide with other extractors' keys.
+        self._view_token = object()
         self._predefined_keys: dict[
             tuple[str, tuple[str, ...]], dict[str, str]
         ] = {}
+        self._normalize_cache: dict[str, str] = {}
 
     # ------------------------------------------------------------ public
 
@@ -158,7 +183,8 @@ class TermExtractor:
                         if text
                         else []
                     )
-            pairs = self._assign_hits(attr, section_hits[key])
+            with profiling.stage("term-assign"):
+                pairs = self._assign_hits(attr, section_hits[key])
             assigned[attr.name] = pairs
             results[attr.name] = [name for name, _ in pairs]
         return results, assigned
@@ -175,11 +201,16 @@ class TermExtractor:
             else self.pipeline.process_text(text)
         )
         hits: list[TermHit] = []
-        for sentence in document.sentences():
-            tokens = document.tokens(sentence)
-            hits.extend(
-                self._scan_sentence(document, tokens, semantic_types)
-            )
+        if self.legacy_scan:
+            for sentence in document.sentences():
+                tokens = document.tokens(sentence)
+                hits.extend(
+                    self._scan_sentence(document, tokens, semantic_types)
+                )
+            return hits
+        with profiling.stage("term-scan"):
+            for view in document.sentence_views():
+                hits.extend(self._scan_view(view, semantic_types))
         return hits
 
     # ------------------------------------------------------- internals
@@ -207,6 +238,63 @@ class TermExtractor:
                 if hit.start_token not in blocked:
                     hits.append(hit)
                 i = hit.end_token  # continue after the term's endpoint
+            else:
+                i += 1
+        return hits
+
+    def _scan_view(
+        self,
+        view: SentenceView,
+        semantic_types: set[SemanticType] | None,
+    ) -> list[TermHit]:
+        """Fast-path scan over a precomputed sentence view.
+
+        Identical results to :meth:`_scan_sentence`: texts/tags come
+        from the view instead of per-call rebuilds, the negation scope
+        and automaton candidate set are memoized on the view (shared
+        across the attributes visiting this sentence), and every
+        candidate position is resolved by the unchanged
+        :meth:`_match_at` probe.
+        """
+        texts = view.texts
+        if not texts:
+            return []
+        memo = view.cache.get(self._view_token)
+        if memo is None:
+            memo = {}
+            view.cache[self._view_token] = memo
+        if self.context_filter:
+            blocked = memo.get("blocked")
+            if blocked is None:
+                blocked = blocked_token_indices(texts)
+                memo["blocked"] = blocked
+        else:
+            blocked = frozenset()
+        candidates: set[int] | None = None
+        if self.use_automaton and self.automaton is not None:
+            if "candidates" in memo:
+                candidates = memo["candidates"]
+            else:
+                candidates = self.automaton.scan(texts)
+                memo["candidates"] = candidates
+        tags = memo.get("tags")
+        if tags is None:
+            tags = view.tags
+            if "" in tags:  # untagged tokens default to NN, as legacy
+                tags = [t or "NN" for t in tags]
+            memo["tags"] = tags
+        hits: list[TermHit] = []
+        i = 0
+        n = len(texts)
+        while i < n:
+            if candidates is not None and i not in candidates:
+                i += 1
+                continue
+            hit = self._match_at(texts, tags, i, semantic_types)
+            if hit is not None:
+                if hit.start_token not in blocked:
+                    hits.append(hit)
+                i = hit.end_token
             else:
                 i += 1
         return hits
@@ -302,7 +390,7 @@ class TermExtractor:
             else:
                 # v1: surface-name matching only — synonyms of
                 # predefined terms fall through to "other".
-                surface_key = self.normalizer.normalize(hit.surface)
+                surface_key = self._normalize_cached(hit.surface)
                 is_predefined = surface_key in predefined_keys
                 canonical = (
                     predefined_keys[surface_key]
@@ -315,6 +403,16 @@ class TermExtractor:
                 seen.add(canonical)
                 out.append((canonical, hit))
         return out
+
+    def _normalize_cached(self, surface: str) -> str:
+        """Memoized :meth:`TermNormalizer.normalize` (hits repeat)."""
+        key = self._normalize_cache.get(surface)
+        if key is None:
+            key = self.normalizer.normalize(surface)
+            if len(self._normalize_cache) >= 65536:
+                self._normalize_cache.clear()
+            self._normalize_cache[surface] = key
+        return key
 
 
 def extract_terms(text: str) -> list[TermHit]:

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import bisect
 import itertools
+import sys
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Iterable, Iterator
@@ -187,6 +188,7 @@ class Document:
         self.text = text
         self.name = name
         self.annotations = AnnotationSet()
+        self._sentence_views: list["SentenceView"] | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -217,6 +219,71 @@ class Document:
         self, within: Annotation | None = None
     ) -> list[str]:
         return [self.span_text(t) for t in self.tokens(within)]
+
+    def sentence_views(self) -> list["SentenceView"]:
+        """Per-sentence token/number views, computed once per document.
+
+        The extraction hot path repeatedly needs "the tokens of this
+        sentence plus their texts, lowercased texts, and POS tags"; each
+        of those used to be rebuilt per extractor call with an O(T)
+        containment scan.  A view materializes them in one pointer walk
+        over the (sorted) token and number lists and is cached on the
+        document, which itself lives in the LRU document cache.
+
+        Call only after the pipeline has run — views snapshot the
+        annotations present at first call.
+        """
+        views = self._sentence_views
+        if views is None:
+            views = _build_sentence_views(self)
+            self._sentence_views = views
+        return views
+
+
+@dataclass
+class SentenceView:
+    """Precomputed per-sentence token context for the extractors.
+
+    ``cache`` is scratch space for extractor-private memos (keyed by an
+    extractor-owned token object) so work derived from the view — term
+    candidates, negation scopes, linkage parses — is shared across the
+    attributes that visit the same sentence.
+    """
+
+    sentence: Annotation
+    tokens: list[Annotation]
+    texts: list[str]
+    lowers: list[str]
+    tags: list[str]
+    numbers: list[Annotation]
+    token_index_by_start: dict[int, int]
+    cache: dict[Any, Any] = field(default_factory=dict)
+
+
+def _build_sentence_views(document: Document) -> list[SentenceView]:
+    sentences = document.sentences()
+    spans = [(s.start, s.end) for s in sentences]
+    token_groups = align_tokens(document.tokens(), spans)
+    number_groups = align_tokens(document.numbers(), spans)
+    text = document.text
+    intern = sys.intern
+    views: list[SentenceView] = []
+    for sentence, toks, nums in zip(sentences, token_groups, number_groups):
+        texts = [intern(text[t.start:t.end]) for t in toks]
+        views.append(
+            SentenceView(
+                sentence=sentence,
+                tokens=toks,
+                texts=texts,
+                lowers=[intern(s.lower()) for s in texts],
+                tags=[t.features.get("pos", "") for t in toks],
+                numbers=nums,
+                token_index_by_start={
+                    t.start: i for i, t in enumerate(toks)
+                },
+            )
+        )
+    return views
 
 
 def align_tokens(

@@ -12,6 +12,7 @@ readings (``144/90``) and English words (``seventeen``,
 from __future__ import annotations
 
 from repro.nlp.document import Annotation, Document, TokenKind
+from repro import profiling
 
 _UNITS = {
     "zero": 0, "one": 1, "two": 2, "three": 3, "four": 4, "five": 5,
@@ -69,52 +70,79 @@ def parse_word_sequence(words: list[str]) -> float | None:
     return total + current if seen else None
 
 
+def collect_number_features(
+    texts: list[str],
+    kinds: list[TokenKind | None],
+    spans: list[tuple[int, int]],
+) -> list[tuple[int, int, dict]]:
+    """Number spans + features for a pre-tokenized text.
+
+    Walks the full token stream (word-number runs may cross sentence
+    boundaries).  Shared by the staged :class:`NumberAnnotator` and the
+    fused scanner so both annotate identically.
+    """
+    out: list[tuple[int, int, dict]] = []
+    n = len(texts)
+    i = 0
+    while i < n:
+        kind = kinds[i]
+        text = texts[i]
+        if kind is TokenKind.RATIO:
+            parts = tuple(float(p) for p in text.split("/"))
+            out.append(
+                (
+                    spans[i][0],
+                    spans[i][1],
+                    {"values": parts, "value": parts[0], "form": "ratio"},
+                )
+            )
+            i += 1
+        elif kind is TokenKind.NUMBER:
+            out.append(
+                (
+                    spans[i][0],
+                    spans[i][1],
+                    {
+                        "value": float(text.replace(",", "")),
+                        "form": "digits",
+                    },
+                )
+            )
+            i += 1
+        elif parse_number_word(text) is not None:
+            j = i
+            words = []
+            while j < n and parse_number_word(texts[j]) is not None:
+                words.append(texts[j])
+                j += 1
+            value = parse_word_sequence(words)
+            if value is not None:
+                out.append(
+                    (
+                        spans[i][0],
+                        spans[j - 1][1],
+                        {"value": value, "form": "words"},
+                    )
+                )
+            i = j
+        else:
+            i += 1
+    return out
+
+
 class NumberAnnotator:
     """Adds ``Number`` annotations over digit, ratio and word numbers."""
 
     def annotate(self, document: Document) -> None:
-        tokens = document.tokens()
-        i = 0
-        while i < len(tokens):
-            tok = tokens[i]
-            kind = tok.features.get("kind")
-            text = document.span_text(tok)
-            if kind is TokenKind.RATIO:
-                parts = tuple(float(p) for p in text.split("/"))
-                document.annotations.add(
-                    "Number",
-                    tok.start,
-                    tok.end,
-                    {"values": parts, "value": parts[0], "form": "ratio"},
-                )
-                i += 1
-            elif kind is TokenKind.NUMBER:
-                document.annotations.add(
-                    "Number",
-                    tok.start,
-                    tok.end,
-                    {"value": float(text.replace(",", "")), "form": "digits"},
-                )
-                i += 1
-            elif parse_number_word(text) is not None:
-                j = i
-                words = []
-                while j < len(tokens) and parse_number_word(
-                    document.span_text(tokens[j])
-                ) is not None:
-                    words.append(document.span_text(tokens[j]))
-                    j += 1
-                value = parse_word_sequence(words)
-                if value is not None:
-                    document.annotations.add(
-                        "Number",
-                        tokens[i].start,
-                        tokens[j - 1].end,
-                        {"value": value, "form": "words"},
-                    )
-                i = j
-            else:
-                i += 1
+        with profiling.stage("number"):
+            tokens = document.tokens()
+            texts = [document.span_text(t) for t in tokens]
+            kinds = [t.features.get("kind") for t in tokens]
+            spans = [(t.start, t.end) for t in tokens]
+            for start, end, features in collect_number_features(
+                texts, kinds, spans
+            ):
+                document.annotations.add("Number", start, end, features)
 
 
 def annotate_numbers(document: Document) -> list[Annotation]:

@@ -40,8 +40,18 @@ class Pipeline:
         return self.process(Document(text, name=name))
 
 
-def default_pipeline() -> Pipeline:
-    """The paper's GATE application: tokens, sentences, POS, numbers."""
+def default_pipeline(fused: bool = True) -> Pipeline:
+    """The paper's GATE application: tokens, sentences, POS, numbers.
+
+    By default the four stages run fused in a single traversal
+    (:class:`repro.nlp.scanner.FusedScanner`); pass ``fused=False`` for
+    the staged component list, which produces identical annotations and
+    serves as the parity baseline in benchmarks and tests.
+    """
+    if fused:
+        from repro.nlp.scanner import FusedScanner
+
+        return Pipeline([FusedScanner()])
     return Pipeline(
         [Tokenizer(), SentenceSplitter(), PosTagger(), NumberAnnotator()]
     )

@@ -31,6 +31,7 @@ from repro.nlp.lexicon import (
     VERB_BASES,
     WORD_TAGS,
 )
+from repro import profiling
 
 # Suffix -> tag for unknown words, ordered longest suffix first.
 _SUFFIX_TAGS: list[tuple[str, str]] = [
@@ -116,14 +117,17 @@ class PosTagger:
     """Assigns a ``pos`` feature to every Token annotation."""
 
     def annotate(self, document: Document) -> None:
-        for sentence in document.sentences() or [None]:
-            tokens = document.tokens(sentence)
-            if sentence is None:
-                tokens = document.tokens()
-            texts = [document.span_text(t) for t in tokens]
-            tags = self.tag(texts, [t.features.get("kind") for t in tokens])
-            for tok, tag in zip(tokens, tags):
-                tok.features["pos"] = tag
+        with profiling.stage("pos"):
+            for sentence in document.sentences() or [None]:
+                tokens = document.tokens(sentence)
+                if sentence is None:
+                    tokens = document.tokens()
+                texts = [document.span_text(t) for t in tokens]
+                tags = self.tag(
+                    texts, [t.features.get("kind") for t in tokens]
+                )
+                for tok, tag in zip(tokens, tags):
+                    tok.features["pos"] = tag
 
     def tag(
         self,

@@ -22,8 +22,86 @@ from __future__ import annotations
 
 from repro.nlp.abbreviations import NON_TERMINAL_ABBREVIATIONS
 from repro.nlp.document import Annotation, Document
+from repro import profiling
 
 _TERMINALS = {".", "!", "?"}
+
+
+def sentence_boundaries(
+    text: str,
+    spans: list[tuple[int, int]],
+    texts: list[str],
+    split_on_newline: bool = True,
+) -> list[tuple[int, int]]:
+    """Sentence spans for a pre-tokenized text.
+
+    *spans* and *texts* are the token character spans and surfaces in
+    document order.  Shared by the staged :class:`SentenceSplitter` and
+    the fused scanner so both produce identical boundaries.
+    """
+    out: list[tuple[int, int]] = []
+    if not spans:
+        return out
+    sent_start = spans[0][0]
+    last = len(spans) - 1
+    for i, (start, end) in enumerate(spans):
+        if _breaks_after(text, spans, texts, i, split_on_newline):
+            out.append((sent_start, end))
+            if i < last:
+                sent_start = spans[i + 1][0]
+    if not out or out[-1][1] < spans[last][1]:
+        out.append((sent_start, spans[last][1]))
+    return out
+
+
+def _breaks_after(
+    text: str,
+    spans: list[tuple[int, int]],
+    texts: list[str],
+    i: int,
+    split_on_newline: bool,
+) -> bool:
+    tok_text = texts[i]
+    if i + 1 >= len(spans):
+        return True
+    if tok_text in _TERMINALS:
+        if tok_text == "." and _is_abbreviation_period(
+            text, spans, texts, i
+        ):
+            return False
+        return True
+    if split_on_newline:
+        gap = text[spans[i][1]:spans[i + 1][0]]
+        if "\n" in gap:
+            return True
+    return False
+
+
+def _is_abbreviation_period(
+    text: str,
+    spans: list[tuple[int, int]],
+    texts: list[str],
+    i: int,
+) -> bool:
+    """Is the period at token *i* part of an abbreviation?
+
+    True when the previous token is a known non-terminal
+    abbreviation that abuts the period, and the following token does
+    not start a clearly new sentence (capitalized word after
+    whitespace is treated as a new sentence even after an
+    abbreviation, since dictated notes say e.g. "...154 lbs. HEENT:").
+    """
+    if i == 0:
+        return False
+    if spans[i - 1][1] != spans[i][0]:
+        return False
+    if texts[i - 1].lower() not in NON_TERMINAL_ABBREVIATIONS:
+        return False
+    gap = text[spans[i][1]:spans[i + 1][0]]
+    if "\n" in gap:
+        return False
+    # Lowercase or numeric continuation -> same sentence.
+    return not texts[i + 1][:1].isupper()
 
 
 class SentenceSplitter:
@@ -34,71 +112,21 @@ class SentenceSplitter:
 
     def annotate(self, document: Document) -> None:
         """Add ``Sentence`` annotations covering every token."""
-        tokens = document.tokens()
-        if not tokens:
-            return
-        for start, end in self._boundaries(document, tokens):
-            document.annotations.add("Sentence", start, end)
+        with profiling.stage("sentence"):
+            tokens = document.tokens()
+            if not tokens:
+                return
+            for start, end in self._boundaries(document, tokens):
+                document.annotations.add("Sentence", start, end)
 
     def _boundaries(
         self, document: Document, tokens: list[Annotation]
     ) -> list[tuple[int, int]]:
-        spans: list[tuple[int, int]] = []
-        sent_start = tokens[0].start
-        for i, tok in enumerate(tokens):
-            if self._breaks_after(document, tokens, i):
-                spans.append((sent_start, tok.end))
-                if i + 1 < len(tokens):
-                    sent_start = tokens[i + 1].start
-        if not spans or spans[-1][1] < tokens[-1].end:
-            spans.append((sent_start, tokens[-1].end))
-        return spans
-
-    def _breaks_after(
-        self, document: Document, tokens: list[Annotation], i: int
-    ) -> bool:
-        tok = tokens[i]
-        text = document.span_text(tok)
-        if i + 1 >= len(tokens):
-            return True
-        if text in _TERMINALS:
-            if text == "." and self._is_abbreviation_period(
-                document, tokens, i
-            ):
-                return False
-            return True
-        if self.split_on_newline:
-            gap = document.text[tok.end:tokens[i + 1].start]
-            if "\n" in gap:
-                return True
-        return False
-
-    def _is_abbreviation_period(
-        self, document: Document, tokens: list[Annotation], i: int
-    ) -> bool:
-        """Is the period at token *i* part of an abbreviation?
-
-        True when the previous token is a known non-terminal
-        abbreviation that abuts the period, and the following token does
-        not start a clearly new sentence (capitalized word after
-        whitespace is treated as a new sentence even after an
-        abbreviation, since dictated notes say e.g. "...154 lbs. HEENT:").
-        """
-        if i == 0:
-            return False
-        prev = tokens[i - 1]
-        if prev.end != tokens[i].start:
-            return False
-        prev_text = document.span_text(prev).lower()
-        if prev_text not in NON_TERMINAL_ABBREVIATIONS:
-            return False
-        nxt = tokens[i + 1]
-        nxt_text = document.span_text(nxt)
-        gap = document.text[tokens[i].end:nxt.start]
-        if "\n" in gap:
-            return False
-        # Lowercase or numeric continuation -> same sentence.
-        return not nxt_text[:1].isupper()
+        spans = [(t.start, t.end) for t in tokens]
+        texts = [document.span_text(t) for t in tokens]
+        return sentence_boundaries(
+            document.text, spans, texts, self.split_on_newline
+        )
 
 
 def split_sentences(text: str) -> list[str]:

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.errors import TokenizationError
 from repro.nlp.document import Document, TokenKind
+from repro import profiling
 
 # Ordered alternation; names become TokenKind values.
 _TOKEN_RE = re.compile(
@@ -96,13 +97,14 @@ class Tokenizer:
 
     def annotate(self, document: Document) -> None:
         """Add ``Token`` annotations to *document*."""
-        for raw in self.tokenize_text(document.text):
-            document.annotations.add(
-                "Token",
-                raw.start,
-                raw.end,
-                {"kind": raw.kind},
-            )
+        with profiling.stage("tokenize"):
+            for raw in self.tokenize_text(document.text):
+                document.annotations.add(
+                    "Token",
+                    raw.start,
+                    raw.end,
+                    {"kind": raw.kind},
+                )
 
 
 def tokenize(text: str) -> list[str]:

@@ -1,0 +1,193 @@
+"""Multi-pattern candidate scanner over ontology surface forms.
+
+The term extractor's inner loop probes every token window against the
+ontology (§3.2 lookup).  The first-token prefilter
+(:meth:`CompiledOntology.token_may_match`) already skips most
+positions, but still costs one check per token per section per
+attribute group.  This module compiles the whole vocabulary into an
+Aho–Corasick-style word automaton scanned **once per sentence**: the
+output is the set of token positions where a concept mention can
+possibly start, and only those positions are probed.
+
+Normalized keys are *sorted* lemma multisets ("blood high pressure"),
+while text windows arrive in surface order — so matching is multiset
+equality, not subsequence equality.  The automaton therefore inserts
+every permutation of each key's token tuple into a word-level trie
+(vocabulary keys are short — five tokens at most in the bundled
+ontology — so this is a few thousand short patterns) and scans with an
+NFA frontier that restarts at the root on every token, the classic
+failure-link-free formulation of Aho–Corasick for set-valued symbols.
+
+Soundness contract (`tests/ontology/test_automaton.py` and the
+hypothesis parity suite): :meth:`scan` returns a **superset** of the
+positions where the prefilter+probe path finds a hit, and the extractor
+re-probes each candidate through the unchanged lookup path, so
+resolution — match, ordering, provenance — is bit-for-bit identical.
+Over-generation only costs a wasted probe:
+
+* each scanned token contributes its non-stopword pieces in surface
+  order; every piece advances the frontier through both its raw form
+  and its lemma (a mixed raw/lemma path over-generates, never misses);
+* pieceless tokens (bare punctuation) are transparent to the frontier,
+  and candidate starts are extended backwards across them, since a
+  window may begin with punctuation that normalization discards;
+* a key longer than :data:`PERM_LIMIT` tokens would need too many
+  permutations, so the automaton marks itself degraded and
+  :meth:`scan` returns ``None`` ("probe everything") — soundness never
+  depends on the vocabulary's shape.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import TYPE_CHECKING, Iterable
+
+from repro.morphology.lemmatizer import Lemmatizer
+from repro.ontology.normalizer import _STOPWORDS, _TOKEN_RE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ontology.store import CompiledOntology
+
+#: Keys longer than this fall back to probe-everything (see above).
+PERM_LIMIT = 7
+
+_PIECE_CACHE_LIMIT = 65536
+
+
+class TermAutomaton:
+    """Word-level multi-pattern automaton over normalized ontology keys."""
+
+    def __init__(
+        self,
+        keys: Iterable[str],
+        lemmatizer: Lemmatizer | None = None,
+    ) -> None:
+        self.lemmatizer = lemmatizer or Lemmatizer()
+        self._children: list[dict[str, int]] = [{}]
+        self._terminal: list[bool] = [False]
+        self._piece_cache: dict[str, tuple[tuple[str, ...], ...]] = {}
+        self.degraded = False
+        self.pattern_count = 0
+        self.key_count = 0
+        for key in keys:
+            tokens = key.split()
+            if not tokens:
+                continue
+            self.key_count += 1
+            if len(tokens) > PERM_LIMIT:
+                self.degraded = True
+                continue
+            for pattern in set(permutations(tokens)):
+                self._insert(pattern)
+
+    @classmethod
+    def from_ontology(
+        cls, ontology: "CompiledOntology"
+    ) -> "TermAutomaton":
+        return cls(
+            ontology.normalized_keys(),
+            lemmatizer=ontology.normalizer.lemmatizer,
+        )
+
+    # ------------------------------------------------------------ build
+
+    def _insert(self, pattern: tuple[str, ...]) -> None:
+        children = self._children
+        node = 0
+        for symbol in pattern:
+            child = children[node].get(symbol)
+            if child is None:
+                child = len(children)
+                children[node][symbol] = child
+                children.append({})
+                self._terminal.append(False)
+            node = child
+        self._terminal[node] = True
+        self.pattern_count += 1
+
+    @property
+    def node_count(self) -> int:
+        return len(self._children)
+
+    # ------------------------------------------------------------- scan
+
+    def _symbol_alternatives(
+        self, text: str
+    ) -> tuple[tuple[str, ...], ...]:
+        """Per-piece symbol alternatives of one token surface, cached."""
+        cached = self._piece_cache.get(text)
+        if cached is not None:
+            return cached
+        alts: list[tuple[str, ...]] = []
+        for piece in _TOKEN_RE.findall(text.lower()):
+            if piece in _STOPWORDS:
+                continue
+            lemma = self.lemmatizer.lemma(piece, "noun")
+            alts.append((piece,) if lemma == piece else (piece, lemma))
+        result = tuple(alts)
+        if len(self._piece_cache) >= _PIECE_CACHE_LIMIT:
+            self._piece_cache.clear()
+        self._piece_cache[text] = result
+        return result
+
+    def scan(self, texts: list[str]) -> set[int] | None:
+        """Candidate mention-start token indices for one sentence.
+
+        Returns ``None`` when degraded (caller must probe every
+        position).  Otherwise the result is a superset of every start
+        at which the ontology probe can match any token window.
+        """
+        if self.degraded:
+            return None
+        children = self._children
+        terminal = self._terminal
+        candidates: set[int] = set()
+        # node id -> token indices where its partial matches started
+        frontier: dict[int, set[int]] = {}
+        piece_lists: list[tuple[tuple[str, ...], ...]] = []
+        for i, text in enumerate(texts):
+            alts_seq = self._symbol_alternatives(text)
+            piece_lists.append(alts_seq)
+            if not alts_seq:
+                continue  # transparent: frontier crosses it intact
+            current = {
+                node: set(starts) for node, starts in frontier.items()
+            }
+            current.setdefault(0, set()).add(i)
+            for alts in alts_seq:
+                advanced: dict[int, set[int]] = {}
+                for node, starts in current.items():
+                    node_children = children[node]
+                    for symbol in alts:
+                        child = node_children.get(symbol)
+                        if child is not None:
+                            advanced.setdefault(child, set()).update(
+                                starts
+                            )
+                current = advanced
+                if not current:
+                    break
+            for node, starts in current.items():
+                if terminal[node]:
+                    candidates.update(starts)
+            frontier = current
+        if candidates:
+            # A probe window may begin with pieceless tokens that
+            # normalization discards; those starts match too.
+            for start in sorted(candidates):
+                j = start - 1
+                while (
+                    j >= 0
+                    and j not in candidates
+                    and not piece_lists[j]
+                ):
+                    candidates.add(j)
+                    j -= 1
+        return candidates
+
+    # --------------------------------------------------------- pickling
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_piece_cache"] = {}
+        return state

@@ -330,6 +330,10 @@ class CompiledOntology:
             if m.concept.semantic_type in semantic_types
         ]
 
+    def normalized_keys(self) -> list[str]:
+        """Every normalized key in the index (automaton build input)."""
+        return list(self._names)
+
     def token_may_match(self, token: str) -> bool:
         """Can a candidate term containing *token* ever match?
 

@@ -1,0 +1,134 @@
+"""Stage-level wall-time profiling for the extraction pipeline.
+
+The extractors are instrumented with :func:`stage` context managers
+around the pipeline's hot phases (``tokenize``, ``pos``, ``term-scan``,
+``numeric``, ``categorical``, ...).  When no profiler is active the
+context manager is a shared no-op object, so the instrumentation costs
+one global read per stage — the same zero-cost-when-off pattern as
+:mod:`repro.runtime.tracing`.
+
+This module lives at the package root and imports nothing from
+:mod:`repro`: the NLP components instrument their hot loops with it,
+and :mod:`repro.runtime`'s package init transitively imports the NLP
+pipeline, so a home under ``repro.runtime`` would create an import
+cycle.
+
+Timing is **exclusive**: entering a nested stage suspends the clock of
+the enclosing stage, so the per-stage seconds of one record sum to the
+wall time of the outermost stage rather than double-counting.  The
+profiler keeps a stack of open stages and attributes the elapsed time
+since the last push/pop to whichever stage is on top.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator
+from contextlib import contextmanager
+
+
+class StageProfiler:
+    """Accumulates exclusive wall time and entry counts per stage."""
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+        self._stack: list[str] = []
+        self._mark: float = 0.0
+
+    # ----------------------------------------------------- recording
+
+    def push(self, name: str) -> None:
+        now = time.perf_counter()
+        if self._stack:
+            top = self._stack[-1]
+            self.seconds[top] = (
+                self.seconds.get(top, 0.0) + now - self._mark
+            )
+        self._stack.append(name)
+        self.counts[name] = self.counts.get(name, 0) + 1
+        self._mark = now
+
+    def pop(self) -> None:
+        now = time.perf_counter()
+        top = self._stack.pop()
+        self.seconds[top] = self.seconds.get(top, 0.0) + now - self._mark
+        self._mark = now
+
+    # ----------------------------------------------------- reporting
+
+    def counters(self) -> dict[str, Any]:
+        """Snapshot as nested numeric dicts (merge/diff friendly)."""
+        return {
+            "seconds": dict(self.seconds),
+            "counts": dict(self.counts),
+        }
+
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+
+class _NullStage:
+    """Shared no-op context manager returned when profiling is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+class _ActiveStage:
+    """Reusable push/pop context bound to the active profiler."""
+
+    __slots__ = ("_profiler", "_name")
+
+    def __init__(self, profiler: StageProfiler, name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> None:
+        self._profiler.push(self._name)
+
+    def __exit__(self, *exc: object) -> bool:
+        self._profiler.pop()
+        return False
+
+
+_NULL_STAGE = _NullStage()
+_ACTIVE: StageProfiler | None = None
+
+
+def activate(profiler: StageProfiler | None) -> StageProfiler | None:
+    """Install *profiler* as the process-wide profiler; returns prior."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = profiler
+    return previous
+
+
+def active() -> StageProfiler | None:
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    return _ACTIVE is not None
+
+
+@contextmanager
+def activated(profiler: StageProfiler) -> Iterator[StageProfiler]:
+    previous = activate(profiler)
+    try:
+        yield profiler
+    finally:
+        activate(previous)
+
+
+def stage(name: str) -> Any:
+    """Context manager timing *name* on the active profiler (no-op off)."""
+    profiler = _ACTIVE
+    if profiler is None:
+        return _NULL_STAGE
+    return _ActiveStage(profiler, name)

@@ -41,13 +41,15 @@ if TYPE_CHECKING:
     from repro.extraction.pipeline import RecordExtractor
     from repro.linkgrammar.dictionary import Dictionary, MatchTables
     from repro.linkgrammar.expressions import Disjunct
+    from repro.ontology.automaton import TermAutomaton
     from repro.ontology.store import CompiledOntology
 
 #: Bump whenever the pickled layout of :class:`CompiledGrammar`,
 #: :class:`CompiledOntology`, or :class:`CompiledArtifact` changes in
 #: a way old readers cannot handle.  Part of the fingerprint, so a
 #: version bump also invalidates every cached artifact.
-ARTIFACT_VERSION = 1
+#: Version 2 added the term automaton and numeric regex index sections.
+ARTIFACT_VERSION = 2
 
 
 def source_fingerprint() -> str:
@@ -59,6 +61,7 @@ def source_fingerprint() -> str:
     ontology load — so callers can validate a cache entry before
     paying for anything.
     """
+    from repro.extraction.schema import NUMERIC_ATTRIBUTES
     from repro.linkgrammar import lexicon_data
     from repro.nlp.lexicon import WORD_TAGS
     from repro.ontology.data.vocabulary import CATEGORIES
@@ -71,6 +74,14 @@ def source_fingerprint() -> str:
     digest.update(repr(lexicon_data.TAG_DEFAULTS).encode())
     digest.update(repr(sorted(WORD_TAGS.items())).encode())
     digest.update(repr(sorted(CATEGORIES.items())).encode())
+    digest.update(
+        repr(
+            [
+                (attr.name, attr.regex_patterns)
+                for attr in NUMERIC_ATTRIBUTES
+            ]
+        ).encode()
+    )
     return digest.hexdigest()[:16]
 
 
@@ -127,6 +138,15 @@ class CompiledArtifact:
     #: trained extractor.  ``None`` for the shared fingerprint-keyed
     #: cache — models vary per run and ride in separately.
     models: dict[str, dict] | None = None
+    #: Word-level term automaton over every normalized ontology
+    #: surface form (version 2).  Lets the term extractor find all
+    #: candidate mention starts in one pass per sentence instead of
+    #: probing the prefix index at every token.
+    term_automaton: "TermAutomaton | None" = None
+    #: Per-attribute alternation of the numeric fallback regexes
+    #: (version 2), compiled lazily by the numeric extractor as a
+    #: single no-match prefilter before the ordered per-pattern loop.
+    regex_index: dict[str, str] | None = None
 
     @classmethod
     def build(
@@ -142,11 +162,13 @@ class CompiledArtifact:
         for callers that must observe the full from-source cost — the
         benchmarks — or need isolation from the shared state.
         """
+        from repro.extraction.schema import NUMERIC_ATTRIBUTES
         from repro.linkgrammar.dictionary import (
             Dictionary,
             default_dictionary,
         )
         from repro.nlp.lexicon import WORD_TAGS
+        from repro.ontology.automaton import TermAutomaton
         from repro.ontology.builder import (
             build_concepts,
             default_ontology,
@@ -159,13 +181,23 @@ class CompiledArtifact:
         else:
             dictionary = default_dictionary()
             store = default_ontology()
+        ontology = store.compiled()
+        regex_index = {
+            attr.name: "|".join(
+                f"(?:{pattern})" for pattern in attr.regex_patterns
+            )
+            for attr in NUMERIC_ATTRIBUTES
+            if len(attr.regex_patterns) > 1
+        }
         return cls(
             version=ARTIFACT_VERSION,
             fingerprint=source_fingerprint(),
             grammar=CompiledGrammar.from_dictionary(dictionary),
-            ontology=store.compiled(),
+            ontology=ontology,
             word_tags=dict(WORD_TAGS),
             models=models,
+            term_automaton=TermAutomaton.from_ontology(ontology),
+            regex_index=regex_index,
         )
 
     # -------------------------------------------------------- persist
@@ -236,6 +268,22 @@ class CompiledArtifact:
             )
         return artifact
 
+    def require_section(self, name: str) -> Any:
+        """The named artifact section, or a recompile-hint error.
+
+        Version gating already rejects artifacts from older layouts,
+        but hand-built or partially-populated artifacts can still
+        carry ``None`` sections; the error names exactly what is
+        missing so the fix is obvious.
+        """
+        value = getattr(self, name, None)
+        if value is None:
+            raise ArtifactError(
+                f"{name.replace('_', ' ')} section absent from "
+                "compiled artifact — rerun `repro compile`"
+            )
+        return value
+
     # ---------------------------------------------------------- build
 
     def make_extractor(
@@ -273,10 +321,12 @@ class CompiledArtifact:
             parser=parser,
             document_cache=caches.documents,
             linkage_cache=caches.linkages,
+            regex_index=self.require_section("regex_index"),
         )
         terms = TermExtractor(
             ontology=self.ontology,
             document_cache=caches.documents,
+            automaton=self.require_section("term_automaton"),
         )
         extractor = RecordExtractor(
             numeric=numeric,
@@ -306,6 +356,12 @@ class CompiledArtifact:
             "concepts": len(self.ontology),
             "word_tags": len(self.word_tags),
             "models": sorted(self.models) if self.models else [],
+            "automaton_nodes": (
+                self.term_automaton.node_count
+                if self.term_automaton is not None
+                else 0
+            ),
+            "regex_index": sorted(self.regex_index or {}),
         }
 
 

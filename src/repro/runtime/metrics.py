@@ -97,6 +97,25 @@ class Metrics:
             self.gauges[name] = max(self.gauges.get(name, value), value)
 
 
+def guarded_ratio(
+    numerator: float,
+    denominator: float,
+    floor: float = 1e-6,
+) -> float | None:
+    """``numerator / denominator``, or ``None`` below the noise floor.
+
+    Speedup ratios against a near-zero denominator are numerically
+    meaningless (a fully-cached lane can finish in microseconds, and
+    clamping the denominator just manufactures an absurd number — a
+    benchmark once reported a 238-million-fold "speedup" this way).
+    Returning ``None`` keeps the JSON artifact honest: consumers see
+    "too fast to compare" instead of garbage.
+    """
+    if denominator < floor:
+        return None
+    return numerator / denominator
+
+
 # ------------------------------------------------- nested stat dicts
 
 def merge_stats(

@@ -43,10 +43,12 @@ import traceback as traceback_module
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Sequence
 
+from repro import profiling
 from repro.errors import ResilienceError
 from repro.records.model import PatientRecord
 from repro.runtime import runner as _runner
@@ -360,6 +362,7 @@ def _init_resilient_worker(
     artifact_path: str | None = None,
     document_cache_size: int | None = None,
     parse_cache_path: str | None = None,
+    profile_stages: bool = False,
 ) -> None:
     """Pool initializer: normal worker setup plus the worker flag
     that lets ``kill`` faults really terminate the process."""
@@ -369,6 +372,7 @@ def _init_resilient_worker(
         artifact_path,
         document_cache_size,
         parse_cache_path,
+        profile_stages,
     )
     mark_worker()
 
@@ -438,6 +442,7 @@ class ResilientCorpusRunner(CorpusRunner):
         artifact: "Any | str | Path | None" = None,
         document_cache_size: int | None = None,
         parse_cache: "Any | None" = None,
+        profile_stages: bool = False,
     ) -> None:
         super().__init__(
             extractor,
@@ -447,6 +452,7 @@ class ResilientCorpusRunner(CorpusRunner):
             artifact=artifact,
             document_cache_size=document_cache_size,
             parse_cache=parse_cache,
+            profile_stages=profile_stages,
         )
         self.policy = policy or RetryPolicy()
         if isinstance(journal, (str, Path)):
@@ -488,8 +494,14 @@ class ResilientCorpusRunner(CorpusRunner):
             if self.fault_plan
             else None
         )
-        with self.metrics.time("extract_seconds"):
-            results = self._run_resilient(records, plan)
+        context: Any = (
+            profiling.activated(self.stage_profiler)
+            if self.stage_profiler is not None
+            else nullcontext()
+        )
+        with context:
+            with self.metrics.time("extract_seconds"):
+                results = self._run_resilient(records, plan)
         self.metrics.count("records", len(records))
         return results
 
@@ -791,6 +803,7 @@ class ResilientCorpusRunner(CorpusRunner):
                 self._artifact_path,
                 worker_cache_size,
                 parse_cache_path,
+                self.profile_stages,
             ),
         )
 

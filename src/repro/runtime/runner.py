@@ -24,9 +24,11 @@ from __future__ import annotations
 import math
 import time
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Sequence
 
+from repro import profiling
 from repro.records.model import PatientRecord
 from repro.runtime import tracing
 from repro.runtime.metrics import Metrics, diff_stats, merge_stats
@@ -85,6 +87,7 @@ def _init_worker(
     artifact_path: str | None = None,
     document_cache_size: int | None = None,
     parse_cache_path: str | None = None,
+    profile_stages: bool = False,
 ) -> None:
     """Build one extraction stack per worker process.
 
@@ -97,6 +100,11 @@ def _init_worker(
     global _WORKER_EXTRACTOR, _WORKER_INIT_SECONDS
     global _WORKER_INIT_REPORTED
     started = time.perf_counter()
+    if profile_stages and profiling.active() is None:
+        # Process-wide for the worker's lifetime: _extract_chunk runs
+        # outside this frame, and chunk deltas pick the numbers up
+        # through the extractor's counters() snapshots.
+        profiling.activate(profiling.StageProfiler())
     artifact = _SHARED_ARTIFACT
     if artifact is None and artifact_path is not None:
         from repro.errors import ArtifactError
@@ -233,6 +241,7 @@ class CorpusRunner:
         artifact: "CompiledArtifact | str | Path | None" = None,
         document_cache_size: int | None = None,
         parse_cache: "PersistentParseCache | None" = None,
+        profile_stages: bool = False,
     ) -> None:
         from repro.extraction.pipeline import RecordExtractor
 
@@ -281,6 +290,13 @@ class CorpusRunner:
         self.extractor = extractor
         self.workers = workers
         self.chunk_size = chunk_size
+        #: When set, the run (and every pool worker) attributes wall
+        #: time to pipeline stages; merged per-stage seconds/counts
+        #: land in ``stats()["stages"]``.
+        self.profile_stages = profile_stages
+        self.stage_profiler = (
+            profiling.StageProfiler() if profile_stages else None
+        )
         #: When set, every run records one span tree per record here
         #: (worker trees are merged back in input order).
         self.tracer = tracer
@@ -312,11 +328,17 @@ class CorpusRunner:
         """Extract every record, results in input order."""
         records = list(records)
         self._size_document_cache(len(records))
-        with self.metrics.time("extract_seconds"):
-            if self.workers == 1 or len(records) <= 1:
-                results = self._run_serial(records)
-            else:
-                results = self._run_parallel(records)
+        context: Any = (
+            profiling.activated(self.stage_profiler)
+            if self.stage_profiler is not None
+            else nullcontext()
+        )
+        with context:
+            with self.metrics.time("extract_seconds"):
+                if self.workers == 1 or len(records) <= 1:
+                    results = self._run_serial(records)
+                else:
+                    results = self._run_parallel(records)
         self.metrics.count("records", len(records))
         return results
 
@@ -409,6 +431,7 @@ class CorpusRunner:
                 if before
                 else 0.0
             ),
+            "stages": self.engine_stats.get("stages", {}),
             "engine": self.engine_stats,
         }
 
@@ -558,6 +581,7 @@ class CorpusRunner:
                     self._artifact_path,
                     worker_cache_size,
                     parse_cache_path,
+                    self.profile_stages,
                 ),
             ) as pool:
                 # pool.map yields chunks in input order and re-raises

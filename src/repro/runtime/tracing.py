@@ -350,6 +350,7 @@ def build_manifest(
     dictionary_signature: str | None = None,
     model_fingerprints: dict[str, str] | None = None,
     parser_stats: dict[str, Any] | None = None,
+    stage_stats: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Fingerprint one traced run.
 
@@ -359,6 +360,9 @@ def build_manifest(
     parser counters (bitset hits, persistent cache hits/misses, beam
     prunes) record *how* the parses were produced, so a perf
     regression between two byte-identical runs is attributable.
+    ``stage_stats`` (per-stage exclusive seconds and entry counts from
+    :mod:`repro.profiling`, present when the run profiled stages)
+    localises such a regression to a pipeline phase.
     """
     config = dict(config or {})
     return {
@@ -367,6 +371,7 @@ def build_manifest(
         "dictionary_signature": dictionary_signature or "",
         "model_fingerprints": dict(model_fingerprints or {}),
         "parser_stats": dict(parser_stats or {}),
+        "stage_stats": dict(stage_stats or {}),
         "records": len(tracer.roots),
         "timing_percentiles": tracer.percentiles(),
     }

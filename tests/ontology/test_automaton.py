@@ -1,0 +1,195 @@
+"""Term automaton: superset-candidate contract and scan parity.
+
+The automaton may over-generate candidate start positions (each one
+is re-probed through the unchanged lookup path) but must never miss a
+position where the prefilter+probe scan finds a hit — on any ontology
+subset and any text, hostile ones included.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp.pipeline import default_pipeline
+from repro.ontology.automaton import PERM_LIMIT, TermAutomaton
+from repro.ontology.builder import build_concepts, default_ontology
+from repro.ontology.store import OntologyStore
+
+HOSTILE_TEXTS = [
+    "pt c/o chest pain, denies asthma.  BP 144/90!!",
+    "h/o diabetes mellitus; high blood pressure (essential)",
+    "mother had breast cancer . . . no gallstones",
+    "DIABETES, diabetes, DiAbEtEs and the diabetes",
+    "coronary artery bypass graft x3, mammogram neg",
+    "aspirin 81mg q.d.\n\nlipitor 10 mg\nno known allergies",
+    "pressure blood high - permuted word salad pressure",
+    "unrelated text with no medical terms whatsoever",
+    "",
+]
+
+
+@pytest.fixture(scope="module")
+def ontology():
+    return default_ontology().compiled()
+
+
+@pytest.fixture(scope="module")
+def automaton(ontology):
+    return TermAutomaton.from_ontology(ontology)
+
+
+def _sentence_token_texts(text):
+    document = default_pipeline().process_text(text)
+    return [view.texts for view in document.sentence_views()]
+
+
+def _probe_hits(extractor, texts):
+    """Start positions where the legacy probe path finds a match."""
+    tags = ["NN"] * len(texts)
+    starts = []
+    i = 0
+    while i < len(texts):
+        hit = extractor._match_at(texts, tags, i, None)
+        if hit is not None:
+            starts.append(i)
+            i = hit.end_token
+        else:
+            i += 1
+    return starts
+
+
+class TestBuild:
+    def test_full_vocabulary_fits(self, automaton):
+        assert not automaton.degraded
+        assert automaton.key_count > 0
+        assert automaton.pattern_count >= automaton.key_count
+        assert automaton.node_count > automaton.key_count
+
+    def test_from_ontology_equals_explicit_keys(self, ontology):
+        explicit = TermAutomaton(
+            ontology.normalized_keys(),
+            lemmatizer=ontology.normalizer.lemmatizer,
+        )
+        built = TermAutomaton.from_ontology(ontology)
+        assert built.node_count == explicit.node_count
+        assert built.pattern_count == explicit.pattern_count
+
+    def test_long_key_degrades_to_probe_everything(self):
+        long_key = " ".join(f"w{i}" for i in range(PERM_LIMIT + 1))
+        automaton = TermAutomaton(["diabetes", long_key])
+        assert automaton.degraded
+        assert automaton.scan(["diabetes"]) is None
+
+    def test_pickle_roundtrip_scans_identically(self, automaton):
+        texts = ["high", "blood", "pressure", "and", "diabetes"]
+        automaton.scan(texts)  # populate the piece cache
+        clone = pickle.loads(pickle.dumps(automaton))
+        assert clone._piece_cache == {}
+        assert clone.scan(texts) == automaton.scan(texts)
+        assert clone.node_count == automaton.node_count
+
+
+class TestScan:
+    def test_multiword_term_in_surface_order(self, automaton):
+        candidates = automaton.scan(
+            ["high", "blood", "pressure", "today"]
+        )
+        assert 0 in candidates
+
+    def test_stopword_and_punctuation_transparent(self, automaton):
+        # "(" and "the" contribute no pieces: a probe window may
+        # start on them, so their positions join the candidate set.
+        candidates = automaton.scan(["(", "the", "diabetes", ")"])
+        assert {0, 1, 2} <= candidates
+
+    def test_no_terms_no_candidates(self, automaton):
+        assert automaton.scan(["xyzzy", "qwerty", "12345"]) == set()
+        assert automaton.scan([]) == set()
+
+    def test_candidates_cover_probe_hits_on_hostile_texts(
+        self, automaton
+    ):
+        from repro.extraction.terms import TermExtractor
+
+        extractor = TermExtractor(
+            legacy_scan=True, use_automaton=False
+        )
+        for text in HOSTILE_TEXTS:
+            for texts in _sentence_token_texts(text):
+                candidates = automaton.scan(texts)
+                hits = _probe_hits(extractor, texts)
+                assert set(hits) <= candidates, (text, texts, hits)
+
+
+class TestExtractorParity:
+    """Automaton+view scan == legacy prefilter+probe scan, bit for bit."""
+
+    def _extractors(self, store=None):
+        from repro.extraction.terms import TermExtractor
+
+        kwargs = {} if store is None else {"ontology": store}
+        fast = TermExtractor(**kwargs)
+        legacy = TermExtractor(
+            legacy_scan=True, use_automaton=False, **kwargs
+        )
+        assert fast.automaton is not None
+        return fast, legacy
+
+    def test_hostile_texts_identical_hits(self):
+        fast, legacy = self._extractors()
+        for text in HOSTILE_TEXTS:
+            assert fast.extract_terms(text) == (
+                legacy.extract_terms(text)
+            ), text
+
+    def test_record_extraction_identical_with_provenance(self):
+        from repro.synth import CohortSpec, RecordGenerator
+
+        records, _ = RecordGenerator(seed=23).generate_cohort(
+            CohortSpec(
+                size=10,
+                smoking_counts={
+                    "never": 7, "current": 1, "former": 1, None: 1,
+                },
+            )
+        )
+        fast, legacy = self._extractors()
+        for record in records:
+            # TermHit equality covers surface, cui, span, and the POS
+            # pattern — the full provenance payload.
+            assert fast.extract_record_detailed(record) == (
+                legacy.extract_record_detailed(record)
+            ), record.patient_id
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_random_ontology_subsets_identical(self, data):
+        concepts = build_concepts()
+        subset = data.draw(
+            st.lists(
+                st.sampled_from(concepts),
+                min_size=1,
+                max_size=40,
+                unique_by=lambda c: c.cui,
+            )
+        )
+        words = [
+            word
+            for concept in subset[:10]
+            for name in concept.all_names()
+            for word in name.lower().split()
+        ] + ["the", "no", "of", "patient", "denies", ",", "."]
+        text = " ".join(
+            data.draw(
+                st.lists(
+                    st.sampled_from(words), min_size=0, max_size=30
+                )
+            )
+        )
+        store = OntologyStore(subset)
+        fast, legacy = self._extractors(store)
+        assert fast.extract_terms(text) == (
+            legacy.extract_terms(text)
+        ), text

@@ -284,6 +284,79 @@ class TestArtifact:
         assert loaded_again
 
 
+class TestArtifactSections:
+    """v2 sections: term automaton and consolidated regex index."""
+
+    def _sectionless(self, artifact):
+        return CompiledArtifact(
+            version=ARTIFACT_VERSION,
+            fingerprint=artifact.fingerprint,
+            grammar=artifact.grammar,
+            ontology=artifact.ontology,
+            word_tags=artifact.word_tags,
+        )
+
+    def test_build_populates_v2_sections(self, artifact):
+        assert ARTIFACT_VERSION == 2
+        assert artifact.term_automaton is not None
+        assert not artifact.term_automaton.degraded
+        assert artifact.regex_index
+        for name, pattern in artifact.regex_index.items():
+            assert "(?:" in pattern, name
+        stats = artifact.stats()
+        assert stats["automaton_nodes"] > 0
+        assert stats["regex_index"] == sorted(artifact.regex_index)
+
+    def test_missing_section_names_itself_in_the_error(self, artifact):
+        stale = self._sectionless(artifact)
+        with pytest.raises(
+            ArtifactError,
+            match="term automaton.*absent.*rerun `repro compile`",
+        ):
+            stale.require_section("term_automaton")
+        with pytest.raises(ArtifactError, match="regex index.*absent"):
+            stale.require_section("regex_index")
+
+    def test_make_extractor_refuses_sectionless_artifact(
+        self, artifact
+    ):
+        # A v1-era pickle that somehow survived the version gate must
+        # still fail loudly instead of silently falling back to the
+        # slow probe-everything paths.
+        with pytest.raises(ArtifactError, match="rerun"):
+            self._sectionless(artifact).make_extractor()
+
+    def test_sections_survive_pickling(self, artifact, artifact_path):
+        loaded = CompiledArtifact.load(artifact_path)
+        assert (
+            loaded.term_automaton.node_count
+            == artifact.term_automaton.node_count
+        )
+        assert loaded.regex_index == artifact.regex_index
+
+    def test_fingerprint_covers_numeric_patterns(self, monkeypatch):
+        from repro.extraction import schema as attrs_mod
+
+        before = source_fingerprint()
+        attr = attrs_mod.NUMERIC_ATTRIBUTES[0]
+        patched = attr.__class__(
+            **{
+                **{
+                    field: getattr(attr, field)
+                    for field in attr.__dataclass_fields__
+                },
+                "regex_patterns": tuple(attr.regex_patterns)
+                + (r"\bnever matches\b",),
+            }
+        )
+        monkeypatch.setattr(
+            attrs_mod,
+            "NUMERIC_ATTRIBUTES",
+            (patched,) + tuple(attrs_mod.NUMERIC_ATTRIBUTES[1:]),
+        )
+        assert source_fingerprint() != before
+
+
 class TestExtractionParity:
     def test_serial_equal_including_provenance(
         self, cohort, artifact

@@ -414,6 +414,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=Path("EVAL_styles.json"),
         help="style-matrix artifact path (default EVAL_styles.json)",
     )
+    evaluate.add_argument(
+        "--floors",
+        type=Path,
+        default=None,
+        help="per-attribute recall/precision floors file "
+             "(eval_floors.json); with --style-matrix, exits nonzero "
+             "when any measured value falls below its floor",
+    )
     return parser
 
 
@@ -994,14 +1002,27 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 0
+        status = 0
         if not results["baseline_match"]:
             print(
                 "error: consistent-style accuracy deviates from the "
                 "pinned baseline (see EVAL_styles.json)",
                 file=sys.stderr,
             )
-            return 1
-        return 0
+            status = 1
+        if args.floors is not None:
+            from repro.eval import check_floors, load_floors
+
+            floor_violations = check_floors(
+                results, load_floors(args.floors)
+            )
+            for violation in floor_violations:
+                print(f"floor violation: {violation}", file=sys.stderr)
+            if floor_violations:
+                status = 1
+            else:
+                print(f"floors: all pass ({args.floors})")
+        return status
     records, golds = paper_cohort(seed=args.seed)
     if args.experiment == "all":
         from repro.eval.report import full_report

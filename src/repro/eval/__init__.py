@@ -21,7 +21,9 @@ from repro.eval.experiments import (
 )
 from repro.eval.style_matrix import (
     CONSISTENT_BASELINE,
+    check_floors,
     consistent_matches_baseline,
+    load_floors,
     render_style_table,
     run_style_matrix,
 )
@@ -44,7 +46,9 @@ __all__ = [
     "smoking_experiment",
     "table1_experiment",
     "CONSISTENT_BASELINE",
+    "check_floors",
     "consistent_matches_baseline",
+    "load_floors",
     "render_style_table",
     "run_style_matrix",
 ]

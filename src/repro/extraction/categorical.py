@@ -41,6 +41,26 @@ _POS_CLASSES: dict[str, tuple[str, ...]] = {
     "adverb": ("RB",),
 }
 
+#: Chart-speak token → expansion words, folded into the feature
+#: vocabulary.  "Denies tob. use" must produce the same ``tobacco``
+#: feature as "Denies tobacco use", or every abbreviating clinician
+#: fractures the ID3 training vocabulary (the measured
+#: abbreviation-dense smoking-accuracy drop).  Derived from the NLP
+#: layer's abbreviation inventory so the two stay in sync.
+def _feature_expansions() -> dict[str, tuple[str, ...]]:
+    from repro.nlp.abbreviations import CLINICAL_ABBREVIATIONS
+
+    table = {
+        abbr: tuple(expansion.lower().split())
+        for abbr, (_tag, expansion) in CLINICAL_ABBREVIATIONS.items()
+    }
+    table["yrs"] = ("years",)
+    table["yr"] = ("year",)
+    return table
+
+
+_FEATURE_EXPANSIONS: dict[str, tuple[str, ...]] = _feature_expansions()
+
 _ALL_CLASSES = frozenset(_POS_CLASSES)
 
 
@@ -106,6 +126,18 @@ class SentenceFeatureExtractor:
                 if not self._pos_ok(tag):
                     continue
                 word = document.span_text(token).lower()
+                expansion = _FEATURE_EXPANSIONS.get(word)
+                if expansion is not None:
+                    # Normalize chart-speak into the expanded
+                    # vocabulary: the abbreviation itself is not a
+                    # feature, its expansion words are.
+                    for expanded in expansion:
+                        features.add(
+                            self.lemmatizer.lemma(expanded, tag)
+                            if opts.use_lemma
+                            else expanded
+                        )
+                    continue
                 if opts.use_lemma:
                     word = self.lemmatizer.lemma(word, tag)
                 features.add(word)

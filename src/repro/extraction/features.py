@@ -12,7 +12,17 @@ from dataclasses import dataclass
 
 from repro.extraction.schema import NumericAttribute
 from repro.morphology.inflector import variants
+from repro.nlp.abbreviations import CLINICAL_ABBREVIATIONS
 from repro.nlp.document import Annotation, Document
+from repro.nlp.tokenizer import tokenize
+
+#: expansion ("blood pressure") → abbreviated surfaces ("bp"), derived
+#: once from the clinical abbreviation inventory.  Lets every numeric
+#: attribute match chart-speak for any synonym whose expansion is
+#: catalogued, without per-attribute synonym lists repeating them.
+_ABBREVIATED_FORMS: dict[str, list[str]] = {}
+for _abbr, (_tag, _expansion) in CLINICAL_ABBREVIATIONS.items():
+    _ABBREVIATED_FORMS.setdefault(_expansion.lower(), []).append(_abbr)
 
 
 @dataclass(frozen=True)
@@ -33,16 +43,30 @@ class FeatureMention:
 class FeatureLexicon:
     """Expanded surface forms for a numeric attribute's feature.
 
-    Expansion happens once: keyword + synonyms, each with inflected
-    variants, stored as lowercase word tuples for token matching.
+    Expansion happens once: keyword + synonyms + catalogued
+    abbreviations of either, each with inflected variants, stored as
+    lowercase word tuples for token matching.  Forms are split with
+    the production tokenizer, not ``str.split`` — a digit-bearing
+    keyword like "SpO2" tokenizes into ``("spo", "2")`` in running
+    text, and a form that never matches the tokenizer's output is a
+    silent recall hole.
     """
 
     def __init__(self, attribute: NumericAttribute) -> None:
         self.attribute = attribute
-        forms: list[tuple[str, ...]] = []
+        bases: list[str] = []
         for base in (attribute.keyword, *attribute.synonyms):
+            if base not in bases:
+                bases.append(base)
+            for abbreviated in _ABBREVIATED_FORMS.get(base.lower(), ()):
+                if abbreviated not in bases:
+                    bases.append(abbreviated)
+        forms: list[tuple[str, ...]] = []
+        for base in bases:
             for variant in variants(base, pos="noun"):
-                words = tuple(variant.split())
+                words = tuple(
+                    token.lower() for token in tokenize(variant)
+                )
                 if words and words not in forms:
                     forms.append(words)
         # Longest first so "blood pressure" beats "pressure".

@@ -29,6 +29,9 @@ from repro.extraction.schema import (
     NUMERIC_ATTRIBUTES,
     NumericAttribute,
 )
+from repro.extraction.temporal import (
+    blocked_token_indices as temporal_blocked_indices,
+)
 from repro.linkgrammar.distance import ASSOCIATION_WEIGHTS, nearest_word
 from repro.linkgrammar.linkage import Linkage
 from repro.linkgrammar.parser import LinkGrammarParser
@@ -50,6 +53,7 @@ class Method(str, Enum):
     """How a value was associated with its feature."""
 
     REGEX = "regex"          # attribute-specific surface pattern
+    ALIGNMENT = "alignment"  # parallel-list ordinal alignment
     LINKAGE = "linkage"      # link-grammar shortest distance
     PATTERN = "pattern"      # CONCEPT is/of/,/: NUMBER fallback
     PROXIMITY = "proximity"  # nearest number by token distance
@@ -160,6 +164,8 @@ class NumericExtractor:
         use_linkage: bool = True,
         use_patterns: bool = True,
         use_proximity: bool = True,
+        use_alignment: bool = True,
+        context_filter: bool = True,
         document_cache: DocumentCache | None = None,
         linkage_cache: LinkageCache | None = None,
         fast_paths: bool = True,
@@ -174,6 +180,14 @@ class NumericExtractor:
         self.use_linkage = use_linkage
         self.use_patterns = use_patterns
         self.use_proximity = use_proximity
+        #: Parallel-list ordinal alignment ("rate, saturation, and EF
+        #: are 12, 95, and 45"), tried before linkage when the list
+        #: structure matches exactly.
+        self.use_alignment = use_alignment
+        #: Prior-value suppression (repro.extraction.temporal): the
+        #: numeric sibling of the term extractor's NegEx-lite filter.
+        #: On by default; pass False to study the unfiltered extractor.
+        self.context_filter = context_filter
         self._lexicons = {
             attr.name: FeatureLexicon(attr) for attr in attributes
         }
@@ -321,7 +335,7 @@ class NumericExtractor:
             tokens = document.tokens(sentence)
             mentions = self._lexicons[attr.name].find(document, tokens)
             numbers = self._candidate_numbers(
-                attr, document, sentence, tokens
+                attr, document, sentence, tokens, mentions=mentions
             )
             if not mentions or not numbers:
                 continue
@@ -381,15 +395,23 @@ class NumericExtractor:
     ) -> NumericExtraction | None:
         if view is not None:
             tokens = view.tokens
-            mentions = self._lexicons[attr.name].find_tokens(view.lowers)
+            texts = view.lowers
+            mentions = self._lexicons[attr.name].find_tokens(texts)
         else:
             tokens = document.tokens(sentence)
-            mentions = self._lexicons[attr.name].find(document, tokens)
+            texts = [document.span_text(t).lower() for t in tokens]
+            mentions = self._lexicons[attr.name].find_tokens(texts)
         if not mentions:
             return None
-        numbers = self._candidate_numbers(
-            attr, document, sentence, tokens, view
+        all_numbers = self._number_context(
+            attr, document, sentence, tokens, texts, view, mentions
         )
+        numbers = [
+            (index, value)
+            for index, value, is_ratio in all_numbers
+            if attr.is_ratio == is_ratio
+            and (is_ratio or self._in_range(attr, value))
+        ]
         if not numbers:
             return None
         sentence_text = document.span_text(sentence)
@@ -403,7 +425,8 @@ class NumericExtractor:
         ):
             found = self._associate_mentions(
                 attr, document, tokens, mentions, numbers,
-                sentence_text, view,
+                sentence_text, view, texts=texts,
+                all_numbers=all_numbers,
             )
             if found is not None and tracing.enabled():
                 tracing.annotate(
@@ -422,8 +445,24 @@ class NumericExtractor:
         numbers: list[tuple[int, float | tuple[float, float]]],
         sentence_text: str,
         view: SentenceView | None = None,
+        texts: list[str] | None = None,
+        all_numbers: (
+            list[tuple[int, float | tuple[float, float], bool]] | None
+        ) = None,
     ) -> NumericExtraction | None:
+        if texts is None:
+            texts = [document.span_text(t).lower() for t in tokens]
         for mention in mentions:
+            if self.use_alignment and all_numbers is not None:
+                hit = self._associate_by_alignment(
+                    attr, texts, mention, all_numbers
+                )
+                if hit is not None:
+                    value, detail = hit
+                    return NumericExtraction(
+                        attr.name, value, Method.ALIGNMENT,
+                        sentence_text, detail=detail,
+                    )
             if self.use_linkage:
                 with tracing.span(
                     "association", mention.surface, strategy="linkage"
@@ -440,11 +479,6 @@ class NumericExtractor:
                         )
                     continue  # associated but implausible: next mention
             if self.use_patterns:
-                texts = (
-                    view.lowers
-                    if view is not None
-                    else [document.span_text(t).lower() for t in tokens]
-                )
                 hit = self._associate_by_pattern(
                     texts, mention, numbers
                 )
@@ -473,31 +507,183 @@ class NumericExtractor:
         sentence: Annotation,
         tokens: list[Annotation],
         view: SentenceView | None = None,
+        mentions: list[FeatureMention] | None = None,
     ) -> list[tuple[int, float | tuple[float, float]]]:
-        """(token index, value) pairs for numbers matching the shape."""
+        """(token index, value) pairs for numbers matching the shape.
+
+        Shape- and range-filtered over :meth:`_number_context`: ratio
+        attributes keep ratio annotations (``_value_ok`` bounds both
+        readings later), scalar attributes keep plain numbers already
+        inside ``[minimum, maximum]`` — an out-of-range number can
+        never be this attribute's value, and leaving it in lets the
+        linkage associate it and mask the in-range answer.
+        """
+        texts = (
+            view.lowers
+            if view is not None
+            else [document.span_text(t).lower() for t in tokens]
+        )
+        context = self._number_context(
+            attr, document, sentence, tokens, texts, view, mentions
+        )
+        return [
+            (index, value)
+            for index, value, is_ratio in context
+            if attr.is_ratio == is_ratio
+            and (is_ratio or self._in_range(attr, value))
+        ]
+
+    def _number_context(
+        self,
+        attr: NumericAttribute,
+        document: Document,
+        sentence: Annotation,
+        tokens: list[Annotation],
+        texts: list[str],
+        view: SentenceView | None = None,
+        mentions: list[FeatureMention] | None = None,
+    ) -> list[tuple[int, float | tuple[float, float], bool]]:
+        """All usable (index, value, is_ratio) numbers of a sentence.
+
+        Two context filters run before any shape/range logic:
+
+        * prior-value suppression (:mod:`repro.extraction.temporal`) —
+          numbers inside a temporal clause or a "down from X"
+          trajectory are never candidates;
+        * feature-mention exclusion — a digit inside the feature's own
+          surface ("SpO2" tokenizes into ``spo``/``2``) is part of the
+          keyword, not a value.
+        """
         if view is not None:
             token_starts = view.token_index_by_start
             numbers_in_sentence = view.numbers
         else:
             token_starts = {t.start: i for i, t in enumerate(tokens)}
             numbers_in_sentence = document.numbers(sentence)
-        out: list[tuple[int, float | tuple[float, float]]] = []
+        blocked = (
+            self._blocked_indices(texts, view)
+            if self.context_filter
+            else frozenset()
+        )
+        spans = (
+            tuple((m.start_token, m.end_token) for m in mentions)
+            if mentions
+            else ()
+        )
+        out: list[tuple[int, float | tuple[float, float], bool]] = []
         for number in numbers_in_sentence:
             index = token_starts.get(number.start)
             if index is None:
                 continue
-            is_ratio = number.features.get("form") == "ratio"
-            if attr.is_ratio != is_ratio:
+            if index in blocked:
                 continue
+            if any(start <= index < end for start, end in spans):
+                continue
+            is_ratio = number.features.get("form") == "ratio"
             value = (
                 number.features["values"][:2]
                 if is_ratio
                 else number.features["value"]
             )
-            out.append((index, value))
+            out.append((index, value, is_ratio))
         return out
 
+    def _blocked_indices(
+        self, texts: list[str], view: SentenceView | None
+    ) -> frozenset[int]:
+        """Temporal-filter scope of one sentence, memoized per view."""
+        if view is None:
+            return temporal_blocked_indices(texts)
+        memo = view.cache.get(self._view_token)
+        if memo is None:
+            memo = {}
+            view.cache[self._view_token] = memo
+        blocked = memo.get("temporal-blocked")
+        if blocked is None:
+            blocked = temporal_blocked_indices(texts)
+            memo["temporal-blocked"] = blocked
+        return blocked
+
     # ------------------------------------------------------ association
+
+    #: Tokens allowed between list items on either side of the copula.
+    _LIST_SEPARATORS = frozenset({",", "and"})
+    #: Copulas introducing a parallel value list.
+    _LIST_COPULAS = frozenset({"are", "were"})
+
+    def _associate_by_alignment(
+        self,
+        attr: NumericAttribute,
+        texts: list[str],
+        mention: FeatureMention,
+        all_numbers: list[
+            tuple[int, float | tuple[float, float], bool]
+        ],
+    ) -> tuple[float | tuple[float, float], str] | None:
+        """Parallel-list alignment: k-th concept takes the k-th value.
+
+        Run-on dictation lists features and values in lockstep:
+        "Respiratory rate, oxygen saturation, and ejection fraction
+        are 12, 95, and 45."  Graph distance cannot tell the values
+        apart — ordinal position can.  The rule only fires when the
+        structure is airtight: a plural copula after the mention,
+        values separated by nothing but commas/"and", and exactly as
+        many values as concept segments.  The aligned value must also
+        satisfy the attribute's shape and range, else the sentence was
+        misread and the association cascade proceeds as usual.
+        """
+        copula = None
+        for index in range(mention.end_token, len(texts)):
+            if texts[index] in self._LIST_COPULAS:
+                copula = index
+                break
+        if copula is None:
+            return None
+        # Values: every number after the copula, commas/"and" only in
+        # the gaps; one trailing unit word per value is tolerated
+        # ("154 pounds"), anything else breaks the structure.
+        values: list[tuple[float | tuple[float, float], bool]] = []
+        by_index = {index: (value, r) for index, value, r in all_numbers}
+        position = copula + 1
+        trailing = 0
+        while position < len(texts):
+            if position in by_index:
+                values.append(by_index[position])
+                trailing = 0
+            elif texts[position] in self._LIST_SEPARATORS:
+                pass
+            elif texts[position] == ".":
+                break
+            elif values and trailing == 0:
+                trailing = 1  # unit word riding on the last value
+            else:
+                return None
+            position += 1
+        if len(values) < 2:
+            return None
+        # Concepts: comma/"and"-separated segments before the copula.
+        segments: list[tuple[int, int]] = []
+        start = 0
+        for index in range(copula + 1):
+            if index == copula or texts[index] in self._LIST_SEPARATORS:
+                if index > start:
+                    segments.append((start, index))
+                start = index + 1
+        if len(segments) != len(values):
+            return None
+        ordinal = next(
+            (
+                k for k, (seg_start, seg_end) in enumerate(segments)
+                if seg_start <= mention.start_token < seg_end
+            ),
+            None,
+        )
+        if ordinal is None:
+            return None
+        value, is_ratio = values[ordinal]
+        if attr.is_ratio != is_ratio or not self._value_ok(attr, value):
+            return None
+        return value, f"list-ordinal={ordinal}"
 
     def _associate_by_linkage(
         self,

@@ -50,7 +50,44 @@ CARDIOLOGY_ATTRIBUTES: tuple[NumericAttribute, ...] = (
     ),
 )
 
+#: Dosage attributes dictated into the Medications list.  The drug
+#: name is the feature keyword and the milligram strength the value —
+#: Mand's canonical "attribute name is a drug, value has a unit"
+#: shape, including decimal strengths ("lisinopril 2.5 mg") and
+#: titration distractors ("increased from 25 to 50 mg").
+MEDICATION_DOSAGE_ATTRIBUTES: tuple[NumericAttribute, ...] = (
+    NumericAttribute(
+        name="aspirin_dose",
+        section="Medications",
+        keyword="aspirin",
+        synonyms=("asa",),
+        minimum=25, maximum=650,
+    ),
+    NumericAttribute(
+        name="metoprolol_dose",
+        section="Medications",
+        keyword="metoprolol",
+        synonyms=("lopressor", "toprol"),
+        minimum=12.5, maximum=400,
+    ),
+    NumericAttribute(
+        name="lisinopril_dose",
+        section="Medications",
+        keyword="lisinopril",
+        synonyms=("zestril",),
+        minimum=2.5, maximum=80,
+    ),
+    NumericAttribute(
+        name="atorvastatin_dose",
+        section="Medications",
+        keyword="atorvastatin",
+        synonyms=("lipitor",),
+        minimum=10, maximum=80,
+    ),
+)
+
 #: Registry of named packs, for CLI/eval lookup.
 ATTRIBUTE_PACKS: dict[str, tuple[NumericAttribute, ...]] = {
     "cardiology": CARDIOLOGY_ATTRIBUTES,
+    "medication-dosage": MEDICATION_DOSAGE_ATTRIBUTES,
 }

@@ -33,9 +33,10 @@ class Provenance:
 
     One row per emitted value, regardless of kind:
 
-    * numeric — ``method`` is the association route (``linkage``,
-      ``pattern``, ``regex``, ``proximity``) and ``detail`` the exact
-      decision (graph distance, instantiated fallback pattern, regex);
+    * numeric — ``method`` is the association route (``regex``,
+      ``alignment``, ``linkage``, ``pattern``, ``proximity``) and
+      ``detail`` the exact decision (graph distance, list ordinal,
+      instantiated fallback pattern, regex);
     * term — ``method`` is ``pos-pattern`` and ``detail`` carries the
       candidate POS pattern plus the matched concept;
     * categorical — ``method`` is ``id3`` and ``detail`` the

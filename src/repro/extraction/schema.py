@@ -104,6 +104,8 @@ NUMERIC_ATTRIBUTES: tuple[NumericAttribute, ...] = (
             r"\b(\d+)[- ]year[- ]old\b",
             r"\b(\d+) years? old\b",
             r"\bage (\d+)\b",
+            # chart-speak: "33 y/o woman", "33 y.o."
+            r"\b(\d+)[- ]?y[/.]o\b",
         ),
     ),
     NumericAttribute(
@@ -119,6 +121,10 @@ NUMERIC_ATTRIBUTES: tuple[NumericAttribute, ...] = (
         keyword="gravida",
         synonyms=("pregnancy", "number of pregnancies"),
         minimum=0, maximum=15,
+        # compound obstetric shorthand: G4P3, G4P3A1, g4 p3
+        regex_patterns=(
+            r"\bG(\d+)\s*P\d+(?:\s*A\d+)?\b",
+        ),
     ),
     NumericAttribute(
         name="para",
@@ -126,6 +132,9 @@ NUMERIC_ATTRIBUTES: tuple[NumericAttribute, ...] = (
         keyword="para",
         synonyms=("live birth", "number of live births"),
         minimum=0, maximum=15,
+        regex_patterns=(
+            r"\bG\d+\s*P(\d+)(?:\s*A\d+)?\b",
+        ),
     ),
     NumericAttribute(
         name="blood_pressure",

@@ -1,0 +1,84 @@
+"""Prior-value context filtering for numeric extraction.
+
+Verbose dictation routinely quotes a *previous* reading next to the
+current one — "Compared with a pulse of 79 at her last visit, the
+pulse today is 72", "LDL cholesterol down from 201 to 180 mg/dL".
+Both distractor numbers sit in the same sentence as the feature
+keyword, and the link-grammar association happily picks whichever is
+graph-closer.  This module is the temporal sibling of
+:mod:`repro.extraction.negation`: a NegEx-lite scope rule that marks
+the token positions of *prior* values so the numeric extractor never
+treats them as candidates.
+
+Two rules, both clause-local:
+
+1. **Temporal clause** — a comma/semicolon-delimited clause containing
+   a prior-time cue ("last", "prior", "previous", "previously",
+   "formerly") has all its tokens blocked.  The current value lives in
+   a different clause of the same sentence ("…, the pulse today is
+   72"), so it survives.
+2. **Trajectory source** — in "up/down/increased/decreased from X to
+   Y", X is the prior value: tokens between "from" and the closing
+   "to" are blocked when "from" is preceded by a trajectory word.
+
+Like the negation filter, the rules are provably baseline-neutral: the
+consistent-style corpus dictates no prior values inside numeric
+clauses, so filtered and unfiltered extraction agree float-for-float
+(``tests/extraction/test_temporal.py`` pins this).
+"""
+
+from __future__ import annotations
+
+#: Words marking a clause as describing a previous encounter/value.
+TEMPORAL_CUES: frozenset[str] = frozenset(
+    {"last", "prior", "previous", "previously", "formerly"}
+)
+
+#: Words that open a trajectory whose "from" value is a prior reading.
+TRAJECTORY_WORDS: frozenset[str] = frozenset(
+    {"up", "down", "increased", "decreased", "improved", "declined",
+     "rose", "fell", "dropped"}
+)
+
+#: Clause delimiters (sentence-internal scope boundaries).
+_CLAUSE_BREAKS: frozenset[str] = frozenset({",", ";"})
+
+
+def blocked_token_indices(tokens: list[str]) -> frozenset[int]:
+    """Sentence token indices holding (or framing) prior values.
+
+    ``tokens`` are the sentence's token surfaces in order, punctuation
+    included (the same shape :func:`repro.extraction.negation.
+    blocked_token_indices` takes).  The result is the union of both
+    rules' scopes; the numeric extractor drops candidate numbers at
+    blocked positions before any association runs.
+    """
+    lowered = [token.lower() for token in tokens]
+    blocked: set[int] = set()
+
+    # Rule 1: block every token of a clause containing a temporal cue.
+    clause_start = 0
+    for index in range(len(lowered) + 1):
+        at_break = (
+            index == len(lowered) or lowered[index] in _CLAUSE_BREAKS
+        )
+        if not at_break:
+            continue
+        clause = range(clause_start, index)
+        if any(lowered[i] in TEMPORAL_CUES for i in clause):
+            blocked.update(clause)
+        clause_start = index + 1
+
+    # Rule 2: block the source value of "up/down from X to Y".
+    for index, word in enumerate(lowered):
+        if word != "from" or index == 0:
+            continue
+        if lowered[index - 1] not in TRAJECTORY_WORDS:
+            continue
+        for scope in range(index + 1, len(lowered)):
+            if lowered[scope] == "to":
+                break
+            if lowered[scope] in _CLAUSE_BREAKS:
+                break
+            blocked.add(scope)
+    return frozenset(blocked)

@@ -11,13 +11,14 @@ Algorithm, verbatim from the paper:
    term's endpoint.  Otherwise, we look for terms matching the next
    pattern from the current starting point."
 
-Predefined-column assignment reproduces the paper's v1 behaviour: a hit
-counts as a *predefined* attribute value only when its **surface** name
-normalizes to a predefined column name.  §5 blames exactly this for the
-predefined-surgery recall of 35% ("failures to recognize the synonyms
-of predefined surgical terms and improper assignments of them to other
-surgical terms"); pass ``use_synonyms=True`` — the paper's proposed
-fix — to assign by resolved concept instead.
+Predefined-column assignment defaults to the paper's *proposed fix*
+(``use_synonyms=True``): a hit is assigned by its resolved concept, so
+synonyms of predefined terms land in the predefined column.  §5 blames
+the v1 surface-name assignment for the predefined-surgery recall of
+35% ("failures to recognize the synonyms of predefined surgical terms
+and improper assignments of them to other surgical terms"); pass
+``use_synonyms=False`` to reproduce that v1 behaviour (the Table 1
+experiment does, as the paper's oracle).
 """
 
 from __future__ import annotations
@@ -38,9 +39,18 @@ from repro.records.model import PatientRecord
 from repro.runtime import tracing
 from repro.runtime.cache import DocumentCache
 
-#: The paper's ordered candidate patterns (longest first).
+#: The candidate patterns, ordered longest first: the paper's four
+#: (JJ NN NN / NN NN / JJ NN / NN) plus two dictation shapes the
+#: paper's set cannot propose — the prepositional synonym surface
+#: "removal of the gallbladder" (NN IN DT NN) and the three-noun
+#: compound "breast conservation surgery" (NN NN NN).  Both families
+#: appear throughout the surgical synonym vocabulary, and a candidate
+#: that is never proposed can never be looked up, which is exactly the
+#: §5 predefined-surgery recall failure.
 POS_PATTERNS: tuple[tuple[str, ...], ...] = (
+    ("NN", "IN", "DT", "NN"),
     ("JJ", "NN", "NN"),
+    ("NN", "NN", "NN"),
     ("NN", "NN"),
     ("JJ", "NN"),
     ("NN",),
@@ -53,6 +63,8 @@ POS_PATTERNS: tuple[tuple[str, ...], ...] = (
 _SLOT_TAGS: dict[str, frozenset[str]] = {
     "JJ": frozenset({"JJ", "JJR", "JJS", "VBG", "VBN"}),
     "NN": frozenset({"NN", "NNS", "NNP"}),
+    "IN": frozenset({"IN"}),
+    "DT": frozenset({"DT"}),
 }
 
 
@@ -81,7 +93,7 @@ class TermExtractor:
         self,
         ontology: OntologyStore | CompiledOntology | None = None,
         pipeline: Pipeline | None = None,
-        use_synonyms: bool = False,
+        use_synonyms: bool = True,
         normalizer: TermNormalizer | None = None,
         document_cache: DocumentCache | None = None,
         attributes: tuple[TermsAttribute, ...] | None = None,

@@ -24,6 +24,8 @@ NON_TERMINAL_ABBREVIATIONS: frozenset[str] = frozenset(
         "wks", "mo", "mos", "yr", "yrs",
         # anatomy / exam shorthand
         "abd", "ext", "neuro", "resp", "cv", "gi", "gu", "gyn",
+        # social-history chart-speak ("tob. use", "cigs.")
+        "tob", "cigs",
     }
 )
 
@@ -76,4 +78,9 @@ CLINICAL_ABBREVIATIONS: dict[str, tuple[str, str]] = {
     "qd": ("RB", "daily"),
     "bid": ("RB", "twice daily"),
     "tid": ("RB", "three times daily"),
+    # social-history chart-speak (smoking classifier vocabulary)
+    "tob": ("NN", "tobacco"),
+    "cigs": ("NNS", "cigarettes"),
+    "pk-yr": ("NN", "pack-year"),
+    "pk-yrs": ("NNS", "pack-years"),
 }

@@ -57,6 +57,9 @@ _ABBREVIATIONS: tuple[tuple[re.Pattern, str], ...] = (
     (re.compile(r"\b(\d+)[- ]year[- ]old\b"), r"\1 y/o"),
     (re.compile(r"\bgravida (\d+),? (?:and )?para (\d+)\b"), r"G\1P\2"),
     (re.compile(r"\byears\b"), "yrs"),
+    (re.compile(r"\btobacco\b"), "tob."),
+    (re.compile(r"\bcigarettes\b"), "cigs"),
+    (re.compile(r"\bpack-year\b"), "pk-yr"),
 )
 
 #: Sections the abbreviation pass may touch: numeric and categorical

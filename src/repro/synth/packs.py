@@ -16,7 +16,10 @@ from __future__ import annotations
 
 import random
 
-from repro.extraction.packs import CARDIOLOGY_ATTRIBUTES
+from repro.extraction.packs import (
+    CARDIOLOGY_ATTRIBUTES,
+    MEDICATION_DOSAGE_ATTRIBUTES,
+)
 from repro.extraction.schema import NumericAttribute
 from repro.ontology.store import OntologyStore
 from repro.records.model import PatientRecord, Section
@@ -47,6 +50,23 @@ LABS_TEMPLATES: tuple[str, ...] = (
     "Ejection fraction: {ef} percent.",
 )
 
+#: Medication-dosage sentences appended to the Medications list.
+#: Strengths ride next to other drugs' strengths (run-on list), as a
+#: decimal ("2.5 mg"), and behind a titration distractor ("increased
+#: from 25 to 50 mg" — only the destination value is current).
+MEDICATION_TEMPLATES: tuple[str, ...] = (
+    "Aspirin {asa} mg daily, metoprolol {met} mg twice daily, "
+    "lisinopril {lis} mg daily, and atorvastatin {ator} mg at "
+    "bedtime.",
+    "Atorvastatin {ator} mg. Lisinopril {lis} mg. Metoprolol "
+    "{met} mg. Aspirin {asa} mg.",
+    "Metoprolol was increased from {met2} to {met} mg. She also "
+    "takes aspirin {asa} mg, lisinopril {lis} mg, and atorvastatin "
+    "{ator} mg.",
+    "Current doses: aspirin {asa} mg, metoprolol {met} mg, "
+    "atorvastatin {ator} mg, lisinopril {lis} mg.",
+)
+
 
 class StylePack:
     """A named adversarial scenario over the synthetic corpus."""
@@ -58,12 +78,16 @@ class StylePack:
         style: DictationStyle | None = None,
         channels: tuple = (),
         attributes: tuple[NumericAttribute, ...] = (),
+        renderer=None,
     ) -> None:
         self.name = name
         self.description = description
         self.style = style or DictationStyle.consistent()
         self.channels = channels
         self.attributes = attributes
+        # How this pack's extra attributes are dictated into the
+        # record; packs with attributes default to the Labs renderer.
+        self.renderer = renderer
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"StylePack({self.name!r})"
@@ -100,7 +124,8 @@ class StylePack:
                 f"{self.name}|{seed}|{record.patient_id}"
             )
             if self.attributes:
-                record = self._add_labs(record, gold, rng)
+                render = self.renderer or StylePack._add_labs
+                record = render(self, record, gold, rng)
             if self.channels:
                 record = apply_noise(
                     record, gold, self.channels, rng,
@@ -142,6 +167,41 @@ class StylePack:
             if s.name == "Vitals"
         )
         record.sections.insert(vitals_index + 1, Section("Labs", text))
+        record.raw_text = record.render()
+        return record
+
+    def _add_dosages(
+        self,
+        record: PatientRecord,
+        gold: GoldAnnotations,
+        rng: random.Random,
+    ) -> PatientRecord:
+        """Append dosage sentences to the Medications list."""
+        asa = rng.choice((81, 162, 325))
+        met = rng.choice((25, 50, 100, 200))
+        # Half the cohort gets the canonical decimal strength.
+        lis = rng.choice((2.5, 5.0, 10.0, 20.0, 40.0))
+        ator = rng.choice((10, 20, 40, 80))
+        template = rng.choice(MEDICATION_TEMPLATES)
+        text = template.format(
+            asa=asa,
+            met=met,
+            met2=max(12, met // 2),
+            lis=int(lis) if lis.is_integer() else lis,
+            ator=ator,
+        )
+        gold.numeric["aspirin_dose"] = float(asa)
+        gold.numeric["metoprolol_dose"] = float(met)
+        gold.numeric["lisinopril_dose"] = float(lis)
+        gold.numeric["atorvastatin_dose"] = float(ator)
+        meds_index = next(
+            i for i, s in enumerate(record.sections)
+            if s.name == "Medications"
+        )
+        section = record.sections[meds_index]
+        record.sections[meds_index] = Section(
+            section.name, section.text + " " + text
+        )
         record.raw_text = record.render()
         return record
 
@@ -190,6 +250,13 @@ STYLE_PACKS: tuple[StylePack, ...] = (
         "cardiology-vitals",
         "extra Labs section with unit/decimal/distractor numerics",
         attributes=CARDIOLOGY_ATTRIBUTES,
+    ),
+    StylePack(
+        "medication-dosage",
+        "drug strengths in the Medications list: run-on mg values, "
+        "decimals, titration distractors",
+        attributes=MEDICATION_DOSAGE_ATTRIBUTES,
+        renderer=StylePack._add_dosages,
     ),
 )
 

@@ -1,0 +1,120 @@
+"""Prior-value temporal filter: scopes, regressions, neutrality.
+
+The filter (``repro.extraction.temporal``) is the numeric sibling of
+the NegEx-lite negation filter: it blocks candidate numbers that are
+previous readings ("at her last visit", "up from 149 pounds").  The
+regression tests here encode the measured verbose-style failures —
+pulse recall 0.0 before the filter — by asserting the unfiltered
+extractor still picks the distractor while the default picks the
+current value.  The neutrality tests pin that the filter changes
+nothing on the consistent-style baseline cohort.
+"""
+
+import pytest
+
+from repro.extraction import NumericExtractor
+from repro.extraction.schema import NUMERIC_ATTRIBUTES
+from repro.extraction.temporal import (
+    TEMPORAL_CUES,
+    TRAJECTORY_WORDS,
+    blocked_token_indices,
+)
+
+BY_NAME = {a.name: a for a in NUMERIC_ATTRIBUTES}
+
+
+class TestBlockedIndices:
+    def test_temporal_clause_blocked_current_clause_free(self):
+        tokens = (
+            "compared with a pulse of 79 at her last visit , "
+            "the pulse today is 72 .".split()
+        )
+        blocked = blocked_token_indices(tokens)
+        assert tokens.index("79") in blocked
+        assert tokens.index("72") not in blocked
+
+    def test_trajectory_source_blocked_destination_free(self):
+        tokens = "ldl cholesterol down from 201 to 180 mg/dL .".split()
+        blocked = blocked_token_indices(tokens)
+        assert tokens.index("201") in blocked
+        assert tokens.index("180") not in blocked
+
+    def test_plain_from_without_trajectory_not_blocked(self):
+        # "from" alone is not a prior-value frame ("suffers from …")
+        tokens = "she suffers from 3 conditions .".split()
+        assert blocked_token_indices(tokens) == frozenset()
+
+    def test_no_cues_no_blocking(self):
+        tokens = "the pulse today is 72 .".split()
+        assert blocked_token_indices(tokens) == frozenset()
+
+    def test_cue_scope_ends_at_clause_break(self):
+        tokens = "weight 154 pounds ; last visit weight 149 .".split()
+        blocked = blocked_token_indices(tokens)
+        assert tokens.index("149") in blocked
+        assert tokens.index("154") not in blocked
+
+    def test_vocabulary_sane(self):
+        assert "last" in TEMPORAL_CUES
+        assert "up" in TRAJECTORY_WORDS
+        assert not TEMPORAL_CUES & TRAJECTORY_WORDS
+
+
+class TestVerboseRegressions:
+    """The measured verbose-style distractor failures, pinned shut."""
+
+    @pytest.fixture(scope="class")
+    def filtered(self):
+        return NumericExtractor()
+
+    @pytest.fixture(scope="class")
+    def unfiltered(self):
+        return NumericExtractor(context_filter=False)
+
+    PULSE = (
+        "Compared with a pulse of 79 at her last visit, the pulse "
+        "today is 72."
+    )
+    WEIGHT = "Her weight, up from 149 pounds last year, is 154 pounds."
+
+    def test_pulse_prior_visit_distractor(self, filtered, unfiltered):
+        got = filtered.extract_attribute(BY_NAME["pulse"], self.PULSE)
+        assert got is not None and got.value == 72.0
+        # the pre-fix behaviour: without the filter the association
+        # picks the prior reading — this is what zeroed verbose recall
+        wrong = unfiltered.extract_attribute(
+            BY_NAME["pulse"], self.PULSE
+        )
+        assert wrong is not None and wrong.value == 79.0
+
+    def test_weight_up_from_distractor(self, filtered, unfiltered):
+        got = filtered.extract_attribute(BY_NAME["weight"], self.WEIGHT)
+        assert got is not None and got.value == 154.0
+        wrong = unfiltered.extract_attribute(
+            BY_NAME["weight"], self.WEIGHT
+        )
+        assert wrong is not None and wrong.value == 149.0
+
+
+class TestBaselineNeutrality:
+    def test_filter_changes_nothing_on_consistent_cohort(self):
+        # Like the negation filter, the temporal filter must be
+        # provably inert on the paper's consistent dictation: every
+        # record, attribute, value, and method identical with the
+        # filter on and off.
+        from repro.synth import CohortSpec, RecordGenerator
+
+        records, _ = RecordGenerator(seed=42).generate_cohort(
+            CohortSpec(
+                size=12,
+                smoking_counts={
+                    "never": 8, "current": 2, "former": 1, None: 1,
+                },
+            )
+        )
+        filtered = NumericExtractor()
+        unfiltered = NumericExtractor(context_filter=False)
+        for record in records:
+            a = filtered.extract_record(record)
+            b = unfiltered.extract_record(record)
+            assert a == b, record.patient_id
